@@ -1,0 +1,374 @@
+//! Clusterhead election for ad-hoc and sensor networks.
+//!
+//! The paper's conclusion names ad-hoc sensor networks as a natural
+//! application domain. The standard one-hop clustering scheme elects an
+//! MIS as the set of *clusterheads*: independence spaces the heads out
+//! (no two heads interfere), and domination guarantees every remaining
+//! node can affiliate with a head one hop away. This module runs the
+//! beeping-model MIS election and performs the deterministic affiliation
+//! step, exposing the cluster structure for inspection.
+
+use core::fmt;
+
+use mis_beeping::SimConfig;
+use mis_core::{solve_mis_with_config, Algorithm, SolveError};
+use mis_graph::{Graph, NodeId};
+
+/// A one-hop clustering: MIS heads plus a head assignment for every node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    heads: Vec<NodeId>,
+    assignment: Vec<NodeId>,
+    rounds: u32,
+}
+
+impl Clustering {
+    /// The elected clusterheads, sorted ascending.
+    #[must_use]
+    pub fn heads(&self) -> &[NodeId] {
+        &self.heads
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn cluster_count(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// The head that `v` affiliated with (heads affiliate with themselves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn head_of(&self, v: NodeId) -> NodeId {
+        self.assignment[v as usize]
+    }
+
+    /// The full assignment vector, indexed by node id.
+    #[must_use]
+    pub fn assignment(&self) -> &[NodeId] {
+        &self.assignment
+    }
+
+    /// The members of the cluster headed by `head` (including the head),
+    /// sorted ascending; empty if `head` is not a clusterhead.
+    #[must_use]
+    pub fn members(&self, head: NodeId) -> Vec<NodeId> {
+        (0..self.assignment.len() as NodeId)
+            .filter(|&v| self.assignment[v as usize] == head)
+            .collect()
+    }
+
+    /// Cluster sizes in head order (aligned with [`Clustering::heads`]).
+    #[must_use]
+    pub fn sizes(&self) -> Vec<usize> {
+        self.heads.iter().map(|&h| self.members(h).len()).collect()
+    }
+
+    /// The size of the largest cluster, or 0 for the empty graph.
+    #[must_use]
+    pub fn max_cluster_size(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// Mean cluster size, or `None` for the empty graph.
+    #[must_use]
+    pub fn mean_cluster_size(&self) -> Option<f64> {
+        if self.heads.is_empty() {
+            return None;
+        }
+        Some(self.assignment.len() as f64 / self.heads.len() as f64)
+    }
+
+    /// Beeping rounds taken by the underlying MIS election.
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+}
+
+/// A violation of the one-hop clustering conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusteringViolation {
+    /// A node affiliated with something that is not a head.
+    NotAHead {
+        /// The affiliated node.
+        node: NodeId,
+        /// Its claimed head.
+        head: NodeId,
+    },
+    /// A node affiliated with a head it is not adjacent to.
+    NotAdjacent {
+        /// The affiliated node.
+        node: NodeId,
+        /// Its claimed head.
+        head: NodeId,
+    },
+    /// Two heads are adjacent (interference).
+    AdjacentHeads {
+        /// One head of the offending pair.
+        u: NodeId,
+        /// The other head.
+        v: NodeId,
+    },
+}
+
+impl fmt::Display for ClusteringViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusteringViolation::NotAHead { node, head } => {
+                write!(f, "node {node} affiliated with non-head {head}")
+            }
+            ClusteringViolation::NotAdjacent { node, head } => {
+                write!(f, "node {node} is not adjacent to its head {head}")
+            }
+            ClusteringViolation::AdjacentHeads { u, v } => {
+                write!(f, "heads {u} and {v} are adjacent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusteringViolation {}
+
+/// Elects clusterheads by MIS and affiliates every other node with its
+/// lowest-id adjacent head.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from the underlying MIS run.
+///
+/// # Examples
+///
+/// ```
+/// use mis_apps::clustering::{check_clustering, cluster_via_mis};
+/// use mis_core::Algorithm;
+/// use mis_graph::generators;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// # fn main() -> Result<(), mis_core::SolveError> {
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let g = generators::random_geometric(60, 0.25, &mut rng);
+/// let clustering = cluster_via_mis(&g, &Algorithm::feedback(), 11)?;
+/// assert!(check_clustering(&g, &clustering).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+pub fn cluster_via_mis(
+    g: &Graph,
+    algorithm: &Algorithm,
+    seed: u64,
+) -> Result<Clustering, SolveError> {
+    cluster_via_mis_with_config(g, algorithm, seed, SimConfig::default())
+}
+
+/// Like [`cluster_via_mis`] with an explicit simulator configuration —
+/// the entry point for fault-injection studies on clusterhead election.
+///
+/// # Errors
+///
+/// As [`cluster_via_mis`]; under faults the election can fail, in which
+/// case no (possibly invalid) clustering is returned.
+///
+/// # Panics
+///
+/// Panics if the underlying (verified) MIS fails to dominate — impossible,
+/// as verification rejects such runs first.
+pub fn cluster_via_mis_with_config(
+    g: &Graph,
+    algorithm: &Algorithm,
+    seed: u64,
+    config: SimConfig,
+) -> Result<Clustering, SolveError> {
+    let result = solve_mis_with_config(g, algorithm, seed, config)?;
+    let heads = result.mis().to_vec();
+    let n = g.node_count();
+    let mut is_head = vec![false; n];
+    for &h in &heads {
+        is_head[h as usize] = true;
+    }
+    let mut assignment = vec![0 as NodeId; n];
+    for v in g.nodes() {
+        assignment[v as usize] = if is_head[v as usize] {
+            v
+        } else {
+            *g.neighbors(v)
+                .iter()
+                .filter(|&&u| is_head[u as usize])
+                .min()
+                .expect("an MIS dominates every node")
+        };
+    }
+    Ok(Clustering { heads, assignment, rounds: result.rounds() })
+}
+
+/// Checks the one-hop clustering conditions, reporting the first violation.
+///
+/// # Errors
+///
+/// Returns the violated condition: head validity, adjacency, or head
+/// independence.
+pub fn check_clustering(g: &Graph, clustering: &Clustering) -> Result<(), ClusteringViolation> {
+    let n = g.node_count();
+    let mut is_head = vec![false; n];
+    for &h in clustering.heads() {
+        is_head[h as usize] = true;
+    }
+    for &h in clustering.heads() {
+        if let Some(&other) = g.neighbors(h).iter().find(|&&u| is_head[u as usize]) {
+            return Err(ClusteringViolation::AdjacentHeads {
+                u: h.min(other),
+                v: h.max(other),
+            });
+        }
+    }
+    for v in g.nodes() {
+        let head = clustering.head_of(v);
+        if !is_head[head as usize] {
+            return Err(ClusteringViolation::NotAHead { node: v, head });
+        }
+        if head != v && !g.has_edge(v, head) {
+            return Err(ClusteringViolation::NotAdjacent { node: v, head });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graph::generators;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn clustering_on_grid_is_valid() {
+        let g = generators::grid2d(6, 6);
+        let c = cluster_via_mis(&g, &Algorithm::feedback(), 1).unwrap();
+        assert!(check_clustering(&g, &c).is_ok());
+        assert!(c.cluster_count() > 1);
+    }
+
+    #[test]
+    fn clusters_partition_the_nodes() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = generators::random_geometric(50, 0.2, &mut rng);
+        let c = cluster_via_mis(&g, &Algorithm::feedback(), 3).unwrap();
+        let total: usize = c.sizes().iter().sum();
+        assert_eq!(total, g.node_count());
+        assert_eq!(c.sizes().len(), c.cluster_count());
+    }
+
+    #[test]
+    fn heads_affiliate_with_themselves() {
+        let g = generators::cycle(10);
+        let c = cluster_via_mis(&g, &Algorithm::feedback(), 5).unwrap();
+        for &h in c.heads() {
+            assert_eq!(c.head_of(h), h);
+            assert!(c.members(h).contains(&h));
+        }
+    }
+
+    #[test]
+    fn members_of_non_head_is_empty() {
+        let g = generators::path(6);
+        let c = cluster_via_mis(&g, &Algorithm::feedback(), 2).unwrap();
+        let non_head = g.nodes().find(|v| !c.heads().contains(v)).unwrap();
+        assert!(c.members(non_head).is_empty());
+    }
+
+    #[test]
+    fn complete_graph_is_one_cluster() {
+        let g = generators::complete(8);
+        let c = cluster_via_mis(&g, &Algorithm::feedback(), 4).unwrap();
+        assert_eq!(c.cluster_count(), 1);
+        assert_eq!(c.max_cluster_size(), 8);
+        assert_eq!(c.mean_cluster_size(), Some(8.0));
+    }
+
+    #[test]
+    fn edgeless_graph_every_node_is_a_head() {
+        let g = Graph::empty(5);
+        let c = cluster_via_mis(&g, &Algorithm::feedback(), 0).unwrap();
+        assert_eq!(c.cluster_count(), 5);
+        assert_eq!(c.max_cluster_size(), 1);
+        assert!(check_clustering(&g, &c).is_ok());
+    }
+
+    #[test]
+    fn empty_graph_has_no_clusters() {
+        let g = Graph::empty(0);
+        let c = cluster_via_mis(&g, &Algorithm::feedback(), 0).unwrap();
+        assert_eq!(c.cluster_count(), 0);
+        assert_eq!(c.mean_cluster_size(), None);
+        assert_eq!(c.max_cluster_size(), 0);
+    }
+
+    #[test]
+    fn cluster_size_bounded_by_degree_plus_one() {
+        let g = generators::grid2d(7, 7); // Δ = 4
+        let c = cluster_via_mis(&g, &Algorithm::feedback(), 9).unwrap();
+        assert!(c.max_cluster_size() <= 5);
+    }
+
+    #[test]
+    fn checker_rejects_bad_affiliations() {
+        let g = generators::path(4); // 0-1-2-3
+        // Heads {0, 3}; node 1 must go to 0, node 2 to 3.
+        let good = Clustering {
+            heads: vec![0, 3],
+            assignment: vec![0, 0, 3, 3],
+            rounds: 0,
+        };
+        assert!(check_clustering(&g, &good).is_ok());
+        let not_a_head = Clustering {
+            heads: vec![0, 3],
+            assignment: vec![0, 2, 3, 3],
+            rounds: 0,
+        };
+        assert_eq!(
+            check_clustering(&g, &not_a_head),
+            Err(ClusteringViolation::NotAHead { node: 1, head: 2 })
+        );
+        let not_adjacent = Clustering {
+            heads: vec![0, 3],
+            assignment: vec![0, 3, 3, 3],
+            rounds: 0,
+        };
+        assert_eq!(
+            check_clustering(&g, &not_adjacent),
+            Err(ClusteringViolation::NotAdjacent { node: 1, head: 3 })
+        );
+        let adjacent_heads = Clustering {
+            heads: vec![0, 1],
+            assignment: vec![0, 1, 1, 1],
+            rounds: 0,
+        };
+        assert!(matches!(
+            check_clustering(&g, &adjacent_heads),
+            Err(ClusteringViolation::AdjacentHeads { .. })
+        ));
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        assert!(ClusteringViolation::NotAHead { node: 1, head: 2 }
+            .to_string()
+            .contains("non-head"));
+        assert!(ClusteringViolation::NotAdjacent { node: 1, head: 2 }
+            .to_string()
+            .contains("adjacent"));
+        assert!(ClusteringViolation::AdjacentHeads { u: 1, v: 2 }
+            .to_string()
+            .contains("heads"));
+    }
+
+    #[test]
+    fn clustering_is_deterministic_in_seed() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        let g = generators::gnp(30, 0.2, &mut rng);
+        let a = cluster_via_mis(&g, &Algorithm::feedback(), 50).unwrap();
+        let b = cluster_via_mis(&g, &Algorithm::feedback(), 50).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,410 @@
+//! Dominating sets and connected dominating sets via MIS.
+//!
+//! Every maximal independent set is a *dominating set* — maximality says
+//! exactly that every node outside the set has a neighbour inside it — and
+//! it is in fact an *independent* dominating set. Wireless protocols use
+//! this to elect a routing backbone: the MIS members become backbone nodes
+//! and, because any two MIS members of a connected graph are at most three
+//! hops apart, adding the intermediate nodes on such short paths yields a
+//! *connected* dominating set (the classical Wan–Alzoubi–Frieder
+//! construction). With the paper's feedback algorithm as the MIS primitive
+//! the election runs in `O(log n)` beeping rounds.
+
+use core::fmt;
+
+use mis_beeping::SimConfig;
+use mis_core::{solve_mis_with_config, Algorithm, SolveError};
+use mis_graph::{ops, Graph, NodeId};
+
+/// An independent dominating set (an MIS, reinterpreted) plus its cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DominatingSet {
+    nodes: Vec<NodeId>,
+    rounds: u32,
+}
+
+impl DominatingSet {
+    /// The dominating nodes, sorted ascending.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of dominators.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the set is empty (true only for the empty graph).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Beeping rounds taken by the underlying MIS election.
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+}
+
+/// A connected dominating set: MIS heads plus connector nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectedDominatingSet {
+    heads: Vec<NodeId>,
+    connectors: Vec<NodeId>,
+    rounds: u32,
+}
+
+impl ConnectedDominatingSet {
+    /// The MIS members forming the dominating core, sorted ascending.
+    #[must_use]
+    pub fn heads(&self) -> &[NodeId] {
+        &self.heads
+    }
+
+    /// The extra nodes added to connect the heads, sorted ascending.
+    #[must_use]
+    pub fn connectors(&self) -> &[NodeId] {
+        &self.connectors
+    }
+
+    /// All backbone nodes (heads and connectors), sorted ascending.
+    #[must_use]
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut all: Vec<NodeId> =
+            self.heads.iter().chain(self.connectors.iter()).copied().collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// Total backbone size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heads.len() + self.connectors.len()
+    }
+
+    /// Whether the backbone is empty (true only for the empty graph).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heads.is_empty()
+    }
+
+    /// Beeping rounds taken by the underlying MIS election.
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+}
+
+/// Failure modes of the dominating-set constructors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DominatingSetError {
+    /// The underlying MIS run failed.
+    Solve(SolveError),
+    /// A connected dominating set was requested on a disconnected graph.
+    Disconnected,
+}
+
+impl fmt::Display for DominatingSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DominatingSetError::Solve(e) => write!(f, "MIS run failed: {e}"),
+            DominatingSetError::Disconnected => {
+                f.write_str("graph is disconnected; no connected dominating set exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DominatingSetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DominatingSetError::Solve(e) => Some(e),
+            DominatingSetError::Disconnected => None,
+        }
+    }
+}
+
+impl From<SolveError> for DominatingSetError {
+    fn from(e: SolveError) -> Self {
+        DominatingSetError::Solve(e)
+    }
+}
+
+/// Elects an independent dominating set: one MIS run, reinterpreted.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from the underlying MIS run.
+///
+/// # Examples
+///
+/// ```
+/// use mis_apps::dominating::{dominating_set_via_mis, is_dominating_set};
+/// use mis_core::Algorithm;
+/// use mis_graph::generators;
+///
+/// # fn main() -> Result<(), mis_core::SolveError> {
+/// let g = generators::grid2d(5, 5);
+/// let ds = dominating_set_via_mis(&g, &Algorithm::feedback(), 11)?;
+/// assert!(is_dominating_set(&g, ds.nodes()));
+/// # Ok(())
+/// # }
+/// ```
+pub fn dominating_set_via_mis(
+    g: &Graph,
+    algorithm: &Algorithm,
+    seed: u64,
+) -> Result<DominatingSet, SolveError> {
+    dominating_set_via_mis_with_config(g, algorithm, seed, SimConfig::default())
+}
+
+/// Like [`dominating_set_via_mis`] with an explicit simulator
+/// configuration — the entry point for fault-injection studies.
+///
+/// # Errors
+///
+/// As [`dominating_set_via_mis`].
+pub fn dominating_set_via_mis_with_config(
+    g: &Graph,
+    algorithm: &Algorithm,
+    seed: u64,
+    config: SimConfig,
+) -> Result<DominatingSet, SolveError> {
+    let result = solve_mis_with_config(g, algorithm, seed, config)?;
+    Ok(DominatingSet { nodes: result.mis().to_vec(), rounds: result.rounds() })
+}
+
+/// Elects a connected dominating set: MIS heads plus, for every pair of
+/// heads at distance ≤ 3 chosen along a BFS tree over the heads, the one or
+/// two intermediate connector nodes.
+///
+/// The resulting backbone is at most `3·|MIS|` nodes and is within a
+/// constant factor of the minimum CDS on unit-disk graphs.
+///
+/// # Errors
+///
+/// [`DominatingSetError::Disconnected`] if `g` is not connected (a CDS
+/// cannot exist), or a propagated [`SolveError`].
+pub fn connected_dominating_set(
+    g: &Graph,
+    algorithm: &Algorithm,
+    seed: u64,
+) -> Result<ConnectedDominatingSet, DominatingSetError> {
+    if !ops::is_connected(g) {
+        return Err(DominatingSetError::Disconnected);
+    }
+    let result = solve_mis_with_config(g, algorithm, seed, SimConfig::default())?;
+    let heads = result.mis().to_vec();
+    let rounds = result.rounds();
+    if heads.len() <= 1 {
+        return Ok(ConnectedDominatingSet { heads, connectors: Vec::new(), rounds });
+    }
+
+    let n = g.node_count();
+    let mut is_head = vec![false; n];
+    for &h in &heads {
+        is_head[h as usize] = true;
+    }
+
+    // BFS over the "virtual" graph whose nodes are heads and whose edges
+    // join heads at distance ≤ 3 in g. For each tree edge, record the
+    // intermediate nodes of one shortest path as connectors.
+    let mut in_backbone = vec![false; n];
+    let mut visited_head = vec![false; n];
+    let mut connectors = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    visited_head[heads[0] as usize] = true;
+    queue.push_back(heads[0]);
+    while let Some(h) = queue.pop_front() {
+        // Depth-limited BFS from h (≤ 3 hops) with parent tracking.
+        let mut parent = vec![u32::MAX; n];
+        let mut depth = vec![u8::MAX; n];
+        let mut frontier = std::collections::VecDeque::new();
+        depth[h as usize] = 0;
+        frontier.push_back(h);
+        while let Some(v) = frontier.pop_front() {
+            let d = depth[v as usize];
+            if d == 3 {
+                continue;
+            }
+            for &u in g.neighbors(v) {
+                if depth[u as usize] == u8::MAX {
+                    depth[u as usize] = d + 1;
+                    parent[u as usize] = v;
+                    frontier.push_back(u);
+                }
+            }
+        }
+        for w in 0..n as NodeId {
+            if is_head[w as usize] && !visited_head[w as usize] && depth[w as usize] <= 3 {
+                visited_head[w as usize] = true;
+                queue.push_back(w);
+                // Walk back from w to h, collecting intermediates.
+                let mut cur = parent[w as usize];
+                while cur != u32::MAX && cur != h {
+                    if !is_head[cur as usize] && !in_backbone[cur as usize] {
+                        in_backbone[cur as usize] = true;
+                        connectors.push(cur);
+                    }
+                    cur = parent[cur as usize];
+                }
+            }
+        }
+    }
+    connectors.sort_unstable();
+    Ok(ConnectedDominatingSet { heads, connectors, rounds })
+}
+
+/// Whether `set` dominates `g`: every node is in `set` or adjacent to it.
+#[must_use]
+pub fn is_dominating_set(g: &Graph, set: &[NodeId]) -> bool {
+    let n = g.node_count();
+    let mut member = vec![false; n];
+    for &v in set {
+        if (v as usize) >= n {
+            return false;
+        }
+        member[v as usize] = true;
+    }
+    g.nodes().all(|v| {
+        member[v as usize] || g.neighbors(v).iter().any(|&u| member[u as usize])
+    })
+}
+
+/// Whether `set` is a *connected* dominating set of `g`: dominating, and
+/// the subgraph induced by `set` is connected.
+#[must_use]
+pub fn is_connected_dominating_set(g: &Graph, set: &[NodeId]) -> bool {
+    if !is_dominating_set(g, set) {
+        return false;
+    }
+    if set.is_empty() {
+        return g.is_empty();
+    }
+    let mut sorted = set.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    ops::is_connected(&ops::induced_subgraph(g, &sorted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graph::generators;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn mis_dominates_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for trial in 0..5 {
+            let g = generators::gnp(40, 0.1, &mut rng);
+            let ds = dominating_set_via_mis(&g, &Algorithm::feedback(), trial).unwrap();
+            assert!(is_dominating_set(&g, ds.nodes()));
+            assert!(mis_core::verify::is_independent_set(&g, ds.nodes()));
+        }
+    }
+
+    #[test]
+    fn dominating_set_on_star_is_singleton_or_leaves() {
+        let g = generators::star(12);
+        let ds = dominating_set_via_mis(&g, &Algorithm::feedback(), 2).unwrap();
+        // Either the hub alone, or all 11 leaves.
+        assert!(ds.len() == 1 || ds.len() == 11);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn cds_on_path_contains_interior() {
+        let g = generators::path(7);
+        let cds = connected_dominating_set(&g, &Algorithm::feedback(), 3).unwrap();
+        assert!(is_connected_dominating_set(&g, &cds.nodes()));
+    }
+
+    #[test]
+    fn cds_on_grid_is_connected_and_dominating() {
+        let g = generators::grid2d(6, 7);
+        let cds = connected_dominating_set(&g, &Algorithm::feedback(), 8).unwrap();
+        assert!(is_connected_dominating_set(&g, &cds.nodes()));
+        // Backbone stays well below the full node count.
+        assert!(cds.len() < g.node_count());
+        assert!(cds.rounds() > 0);
+    }
+
+    #[test]
+    fn cds_on_geometric_graph() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        // Radius large enough that the RGG is almost surely connected.
+        let g = generators::random_geometric(80, 0.3, &mut rng);
+        if ops::is_connected(&g) {
+            let cds = connected_dominating_set(&g, &Algorithm::feedback(), 6).unwrap();
+            assert!(is_connected_dominating_set(&g, &cds.nodes()));
+        }
+    }
+
+    #[test]
+    fn cds_on_complete_graph_is_one_head() {
+        let g = generators::complete(9);
+        let cds = connected_dominating_set(&g, &Algorithm::feedback(), 5).unwrap();
+        assert_eq!(cds.heads().len(), 1);
+        assert!(cds.connectors().is_empty());
+        assert_eq!(cds.len(), 1);
+    }
+
+    #[test]
+    fn cds_rejects_disconnected_graph() {
+        let g = generators::disjoint_cliques(&[3, 3]);
+        let err = connected_dominating_set(&g, &Algorithm::feedback(), 1).unwrap_err();
+        assert_eq!(err, DominatingSetError::Disconnected);
+        assert!(err.to_string().contains("disconnected"));
+    }
+
+    #[test]
+    fn heads_and_connectors_are_disjoint() {
+        let g = generators::grid2d(5, 9);
+        let cds = connected_dominating_set(&g, &Algorithm::feedback(), 13).unwrap();
+        for c in cds.connectors() {
+            assert!(!cds.heads().contains(c));
+        }
+        assert_eq!(cds.nodes().len(), cds.len());
+    }
+
+    #[test]
+    fn backbone_size_is_bounded_by_three_heads() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let g = generators::gnp(50, 0.08, &mut rng);
+        if ops::is_connected(&g) {
+            let cds = connected_dominating_set(&g, &Algorithm::feedback(), 9).unwrap();
+            assert!(cds.len() <= 3 * cds.heads().len());
+        }
+    }
+
+    #[test]
+    fn is_dominating_set_edge_cases() {
+        let g = generators::path(3);
+        assert!(is_dominating_set(&g, &[1]));
+        assert!(!is_dominating_set(&g, &[0]));
+        assert!(!is_dominating_set(&g, &[9])); // out of range
+        assert!(is_dominating_set(&Graph::empty(0), &[]));
+    }
+
+    #[test]
+    fn is_connected_dominating_set_edge_cases() {
+        let g = generators::cycle(5);
+        assert!(is_connected_dominating_set(&g, &[0, 1, 2]));
+        assert!(!is_connected_dominating_set(&g, &[0, 2])); // dominating but not connected
+        assert!(!is_connected_dominating_set(&g, &[0, 1])); // connected but not dominating
+        assert!(is_connected_dominating_set(&Graph::empty(0), &[]));
+    }
+
+    #[test]
+    fn single_node_graph_cds_is_the_node() {
+        let g = Graph::empty(1);
+        let cds = connected_dominating_set(&g, &Algorithm::feedback(), 0).unwrap();
+        assert_eq!(cds.heads(), &[0]);
+        assert!(cds.connectors().is_empty());
+    }
+}

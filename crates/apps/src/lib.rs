@@ -1,0 +1,56 @@
+//! Distributed applications built on MIS selection.
+//!
+//! The paper's conclusion observes that *“selecting a maximal independent
+//! set can also be used as a fundamental building block in algorithms for
+//! many other problems in distributed computing”*. This crate makes that
+//! concrete: every classical reduction below runs the beeping-model MIS
+//! algorithms of [`mis_core`] (the paper's feedback algorithm by default)
+//! as its only distributed primitive, so each application inherits the
+//! `O(log n)` round and `O(1)` beep-per-node guarantees of the underlying
+//! selection.
+//!
+//! | Problem | Reduction | Module |
+//! |---------|-----------|--------|
+//! | Maximal matching | MIS on the line graph `L(G)` | [`matching`] |
+//! | `(Δ+1)`-colouring | MIS on `G □ K_{Δ+1}` (Luby's reduction), or iterated MIS colour classes | [`coloring`] |
+//! | (Connected) dominating set | every MIS dominates; connect heads ≤ 3 hops apart | [`dominating`] |
+//! | Clusterhead election | MIS heads + one-hop member assignment | [`clustering`] |
+//!
+//! Every constructor takes the graph, an [`Algorithm`](mis_core::Algorithm)
+//! choice and a 64-bit seed, and returns a verified structure together with
+//! the number of beeping rounds consumed, so the applications can be
+//! benchmarked with the same methodology as the paper's figures.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mis_apps::matching::maximal_matching;
+//! use mis_core::Algorithm;
+//! use mis_graph::generators;
+//!
+//! # fn main() -> Result<(), mis_core::SolveError> {
+//! let g = generators::cycle(8);
+//! let m = maximal_matching(&g, &Algorithm::feedback(), 7)?;
+//! assert!(m.len() >= 3); // any maximal matching of C8 has 3 or 4 edges
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clustering;
+pub mod coloring;
+pub mod dominating;
+pub mod matching;
+
+pub use clustering::{cluster_via_mis, cluster_via_mis_with_config, Clustering};
+pub use coloring::{
+    iterated_mis_coloring, product_coloring, product_coloring_with_colors, Coloring,
+    ColoringError,
+};
+pub use dominating::{
+    connected_dominating_set, dominating_set_via_mis, dominating_set_via_mis_with_config,
+    ConnectedDominatingSet, DominatingSet, DominatingSetError,
+};
+pub use matching::{maximal_matching, maximal_matching_with_config, Matching};

@@ -1,0 +1,382 @@
+//! Maximal matching via MIS on the line graph.
+//!
+//! A matching of `G` is a set of pairwise non-incident edges; it is
+//! *maximal* when no further edge of `G` can be added. Edges of `G` are
+//! exactly the nodes of the line graph `L(G)`, and two edges are incident
+//! exactly when the corresponding line-graph nodes are adjacent — so a
+//! (maximal) independent set of `L(G)` is a (maximal) matching of `G`.
+//! Running the paper's feedback MIS algorithm on `L(G)` therefore elects a
+//! maximal matching in `O(log m)` beeping rounds, where `m = |E(G)|`.
+//!
+//! In a real network the line graph is not materialised: each edge is
+//! simulated by one of its endpoints, and a line-graph beep is a one-bit
+//! message on the two incident stars. The simulation here runs the MIS on
+//! an explicit `L(G)` for clarity; the round/beep accounting is identical.
+
+use core::fmt;
+
+use rand::Rng;
+
+use mis_beeping::SimConfig;
+use mis_core::{solve_mis_with_config, Algorithm, SolveError};
+use mis_graph::{ops, Graph, NodeId};
+
+/// A verified maximal matching together with the cost of electing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matching {
+    edges: Vec<(NodeId, NodeId)>,
+    rounds: u32,
+    mean_beeps_per_edge: f64,
+}
+
+impl Matching {
+    /// The matched edges, each as `(u, v)` with `u < v`, sorted.
+    #[must_use]
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Number of matched edges.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the matching is empty (true exactly when the graph has no
+    /// edges).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Beeping rounds taken by the MIS election on the line graph.
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Mean beeps per line-graph node, i.e. per edge of the input graph.
+    #[must_use]
+    pub fn mean_beeps_per_edge(&self) -> f64 {
+        self.mean_beeps_per_edge
+    }
+
+    /// The characteristic vector of matched nodes: `true` for every node
+    /// covered by some matched edge.
+    #[must_use]
+    pub fn covered(&self, node_count: usize) -> Vec<bool> {
+        let mut covered = vec![false; node_count];
+        for &(u, v) in &self.edges {
+            covered[u as usize] = true;
+            covered[v as usize] = true;
+        }
+        covered
+    }
+}
+
+/// A violation of the maximal-matching conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchingViolation {
+    /// Two matched edges share an endpoint.
+    SharedEndpoint {
+        /// The shared node.
+        node: NodeId,
+    },
+    /// An edge of the graph has both endpoints unmatched (maximality
+    /// broken).
+    AugmentingEdge {
+        /// One endpoint of the addable edge.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
+    /// A claimed matched edge is not an edge of the graph.
+    UnknownEdge {
+        /// One endpoint of the offending pair.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
+}
+
+impl fmt::Display for MatchingViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatchingViolation::SharedEndpoint { node } => {
+                write!(f, "two matched edges share endpoint {node}")
+            }
+            MatchingViolation::AugmentingEdge { u, v } => {
+                write!(f, "edge {u}-{v} could still be added to the matching")
+            }
+            MatchingViolation::UnknownEdge { u, v } => {
+                write!(f, "{u}-{v} is not an edge of the graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatchingViolation {}
+
+/// Elects a maximal matching by running `algorithm` (an MIS selection) on
+/// the line graph of `g`.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from the underlying MIS run; impossible on a
+/// fault-free network unless the generous default round cap is hit.
+///
+/// # Examples
+///
+/// ```
+/// use mis_apps::matching::{check_matching, maximal_matching};
+/// use mis_core::Algorithm;
+/// use mis_graph::generators;
+///
+/// # fn main() -> Result<(), mis_core::SolveError> {
+/// let g = generators::complete(6);
+/// let m = maximal_matching(&g, &Algorithm::feedback(), 3)?;
+/// assert!(check_matching(&g, m.edges()).is_ok());
+/// assert_eq!(m.len(), 3); // maximal = perfect on K6
+/// # Ok(())
+/// # }
+/// ```
+pub fn maximal_matching(
+    g: &Graph,
+    algorithm: &Algorithm,
+    seed: u64,
+) -> Result<Matching, SolveError> {
+    maximal_matching_with_config(g, algorithm, seed, SimConfig::default())
+}
+
+/// Like [`maximal_matching`] with an explicit simulator configuration —
+/// the entry point for fault-injection studies (message loss, late
+/// wake-ups) on the matching election.
+///
+/// # Errors
+///
+/// As [`maximal_matching`]; fault-injecting configurations can make both
+/// [`SolveError`] variants reachable, in which case no (possibly invalid)
+/// matching is returned.
+pub fn maximal_matching_with_config(
+    g: &Graph,
+    algorithm: &Algorithm,
+    seed: u64,
+    config: SimConfig,
+) -> Result<Matching, SolveError> {
+    let (lg, edge_of) = ops::line_graph(g);
+    let result = solve_mis_with_config(&lg, algorithm, seed, config)?;
+    let mut edges: Vec<(NodeId, NodeId)> = result
+        .mis()
+        .iter()
+        .map(|&i| edge_of[i as usize])
+        .collect();
+    edges.sort_unstable();
+    Ok(Matching {
+        edges,
+        rounds: result.rounds(),
+        mean_beeps_per_edge: result.mean_beeps_per_node(),
+    })
+}
+
+/// Checks the maximal-matching conditions, reporting the first violation.
+///
+/// # Errors
+///
+/// Returns the violated condition: edge validity, disjointness, or
+/// maximality.
+pub fn check_matching(g: &Graph, edges: &[(NodeId, NodeId)]) -> Result<(), MatchingViolation> {
+    let n = g.node_count();
+    let mut covered = vec![false; n];
+    for &(u, v) in edges {
+        if (u as usize) >= n || (v as usize) >= n || !g.has_edge(u, v) {
+            return Err(MatchingViolation::UnknownEdge { u, v });
+        }
+        for node in [u, v] {
+            if covered[node as usize] {
+                return Err(MatchingViolation::SharedEndpoint { node });
+            }
+            covered[node as usize] = true;
+        }
+    }
+    for (u, v) in g.edges() {
+        if !covered[u as usize] && !covered[v as usize] {
+            return Err(MatchingViolation::AugmentingEdge { u, v });
+        }
+    }
+    Ok(())
+}
+
+/// Whether `edges` is a maximal matching of `g`.
+#[must_use]
+pub fn is_maximal_matching(g: &Graph, edges: &[(NodeId, NodeId)]) -> bool {
+    check_matching(g, edges).is_ok()
+}
+
+/// The trivial sequential baseline: scan edges in canonical order, adding
+/// each edge whose endpoints are both still unmatched.
+#[must_use]
+pub fn greedy_matching(g: &Graph) -> Vec<(NodeId, NodeId)> {
+    let mut covered = vec![false; g.node_count()];
+    let mut matching = Vec::new();
+    for (u, v) in g.edges() {
+        if !covered[u as usize] && !covered[v as usize] {
+            covered[u as usize] = true;
+            covered[v as usize] = true;
+            matching.push((u, v));
+        }
+    }
+    matching
+}
+
+/// Greedy matching over a uniformly random edge order — the randomised
+/// sequential baseline.
+#[must_use]
+pub fn random_greedy_matching<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Vec<(NodeId, NodeId)> {
+    use rand::seq::SliceRandom;
+    let mut edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    edges.shuffle(rng);
+    let mut covered = vec![false; g.node_count()];
+    let mut matching = Vec::new();
+    for (u, v) in edges {
+        if !covered[u as usize] && !covered[v as usize] {
+            covered[u as usize] = true;
+            covered[v as usize] = true;
+            matching.push((u, v));
+        }
+    }
+    matching.sort_unstable();
+    matching
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graph::generators;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn matching_on_cycle_is_maximal() {
+        let g = generators::cycle(9);
+        let m = maximal_matching(&g, &Algorithm::feedback(), 1).unwrap();
+        assert!(check_matching(&g, m.edges()).is_ok());
+        // A maximal matching of C9 has 3 or 4 edges.
+        assert!((3..=4).contains(&m.len()), "got {}", m.len());
+    }
+
+    #[test]
+    fn matching_on_complete_graph_is_near_perfect() {
+        for n in [2, 5, 8, 13] {
+            let g = generators::complete(n);
+            let m = maximal_matching(&g, &Algorithm::feedback(), n as u64).unwrap();
+            assert!(check_matching(&g, m.edges()).is_ok());
+            assert_eq!(m.len(), n / 2); // maximal = maximum on K_n
+        }
+    }
+
+    #[test]
+    fn matching_on_star_has_one_edge() {
+        let g = generators::star(10);
+        let m = maximal_matching(&g, &Algorithm::feedback(), 4).unwrap();
+        assert_eq!(m.len(), 1);
+        assert!(is_maximal_matching(&g, m.edges()));
+    }
+
+    #[test]
+    fn matching_on_edgeless_graph_is_empty() {
+        let g = Graph::empty(5);
+        let m = maximal_matching(&g, &Algorithm::feedback(), 0).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert!(check_matching(&g, m.edges()).is_ok());
+    }
+
+    #[test]
+    fn matching_works_under_global_sweep_schedule() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = generators::gnp(40, 0.2, &mut rng);
+        let m = maximal_matching(&g, &Algorithm::sweep(), 5).unwrap();
+        assert!(check_matching(&g, m.edges()).is_ok());
+    }
+
+    #[test]
+    fn matching_size_is_within_factor_two_of_any_other() {
+        // Any two maximal matchings differ by at most a factor of 2.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = generators::gnp(60, 0.1, &mut rng);
+        let distributed = maximal_matching(&g, &Algorithm::feedback(), 2).unwrap();
+        let greedy = greedy_matching(&g);
+        assert!(distributed.len() * 2 >= greedy.len());
+        assert!(greedy.len() * 2 >= distributed.len());
+    }
+
+    #[test]
+    fn covered_marks_exactly_matched_endpoints() {
+        let g = generators::path(5);
+        let m = maximal_matching(&g, &Algorithm::feedback(), 8).unwrap();
+        let covered = m.covered(g.node_count());
+        let expected = covered.iter().filter(|&&c| c).count();
+        assert_eq!(expected, 2 * m.len());
+    }
+
+    #[test]
+    fn checker_rejects_shared_endpoint() {
+        let g = generators::path(3); // edges 0-1, 1-2
+        assert_eq!(
+            check_matching(&g, &[(0, 1), (1, 2)]),
+            Err(MatchingViolation::SharedEndpoint { node: 1 })
+        );
+    }
+
+    #[test]
+    fn checker_rejects_non_edge() {
+        let g = generators::path(3);
+        assert_eq!(
+            check_matching(&g, &[(0, 2)]),
+            Err(MatchingViolation::UnknownEdge { u: 0, v: 2 })
+        );
+    }
+
+    #[test]
+    fn checker_rejects_non_maximal() {
+        let g = generators::path(5); // 0-1-2-3-4
+        assert_eq!(
+            check_matching(&g, &[(0, 1)]),
+            Err(MatchingViolation::AugmentingEdge { u: 2, v: 3 })
+        );
+    }
+
+    #[test]
+    fn checker_accepts_empty_on_edgeless() {
+        assert!(check_matching(&Graph::empty(3), &[]).is_ok());
+    }
+
+    #[test]
+    fn greedy_baselines_are_maximal() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = generators::gnp(50, 0.15, &mut rng);
+        assert!(is_maximal_matching(&g, &greedy_matching(&g)));
+        let random = random_greedy_matching(&g, &mut rng);
+        assert!(is_maximal_matching(&g, &random));
+    }
+
+    #[test]
+    fn matching_is_deterministic_in_seed() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let g = generators::gnp(30, 0.3, &mut rng);
+        let a = maximal_matching(&g, &Algorithm::feedback(), 42).unwrap();
+        let b = maximal_matching(&g, &Algorithm::feedback(), 42).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let texts = [
+            MatchingViolation::SharedEndpoint { node: 3 }.to_string(),
+            MatchingViolation::AugmentingEdge { u: 1, v: 2 }.to_string(),
+            MatchingViolation::UnknownEdge { u: 0, v: 9 }.to_string(),
+        ];
+        assert!(texts[0].contains('3'));
+        assert!(texts[1].contains("added"));
+        assert!(texts[2].contains("not an edge"));
+    }
+}

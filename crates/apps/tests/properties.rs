@@ -1,0 +1,159 @@
+//! Property-based tests for the MIS-based applications: every reduction
+//! must produce a verified structure on arbitrary random graphs, with any
+//! of the beeping algorithms underneath.
+
+use mis_apps::{clustering, coloring, dominating, matching};
+use mis_core::{verify, Algorithm};
+use mis_graph::{generators, ops, Graph};
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn random_graph(n: usize, p: f64, seed: u64) -> Graph {
+    generators::gnp(n, p, &mut SmallRng::seed_from_u64(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// MIS on the line graph is a maximal matching of the original graph.
+    #[test]
+    fn matching_is_maximal_on_random_graphs(
+        n in 1usize..50,
+        p in 0.0f64..1.0,
+        graph_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, p, graph_seed);
+        let m = matching::maximal_matching(&g, &Algorithm::feedback(), run_seed).unwrap();
+        prop_assert!(matching::check_matching(&g, m.edges()).is_ok());
+    }
+
+    /// Matched edges, viewed as line-graph nodes, form an independent set.
+    #[test]
+    fn matching_edges_are_line_graph_independent(
+        n in 2usize..40,
+        p in 0.0f64..0.5,
+        graph_seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, p, graph_seed);
+        let m = matching::maximal_matching(&g, &Algorithm::feedback(), 7).unwrap();
+        let (lg, edge_of) = ops::line_graph(&g);
+        let indices: Vec<u32> = m
+            .edges()
+            .iter()
+            .map(|e| edge_of.iter().position(|x| x == e).unwrap() as u32)
+            .collect();
+        prop_assert!(verify::is_independent_set(&lg, &indices));
+    }
+
+    /// The product reduction always yields a proper colouring within Δ+1
+    /// colours.
+    #[test]
+    fn product_coloring_is_proper(
+        n in 1usize..30,
+        p in 0.0f64..0.6,
+        graph_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, p, graph_seed);
+        let c = coloring::product_coloring(&g, &Algorithm::feedback(), run_seed).unwrap();
+        prop_assert!(coloring::check_coloring(&g, c.colors()).is_ok());
+        prop_assert!(c.color_count() <= g.max_degree() as u32 + 1);
+    }
+
+    /// Iterated MIS colouring matches the product reduction's guarantees
+    /// and each colour class is independent.
+    #[test]
+    fn iterated_coloring_is_proper(
+        n in 1usize..40,
+        p in 0.0f64..0.6,
+        graph_seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, p, graph_seed);
+        let c = coloring::iterated_mis_coloring(&g, &Algorithm::feedback(), 3).unwrap();
+        prop_assert!(coloring::check_coloring(&g, c.colors()).is_ok());
+        prop_assert!(c.color_count() <= g.max_degree() as u32 + 1);
+        for color in 0..c.color_count() {
+            prop_assert!(verify::is_independent_set(&g, &c.class(color)));
+        }
+    }
+
+    /// An elected dominating set dominates and is independent.
+    #[test]
+    fn dominating_set_dominates(
+        n in 1usize..60,
+        p in 0.0f64..1.0,
+        graph_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, p, graph_seed);
+        let ds = dominating::dominating_set_via_mis(&g, &Algorithm::feedback(), run_seed)
+            .unwrap();
+        prop_assert!(dominating::is_dominating_set(&g, ds.nodes()));
+        prop_assert!(verify::is_independent_set(&g, ds.nodes()));
+    }
+
+    /// On connected graphs the CDS backbone is connected, dominating, and
+    /// at most three times the number of heads.
+    #[test]
+    fn cds_is_connected_dominating(
+        n in 2usize..40,
+        graph_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+    ) {
+        // Dense enough to be connected most of the time; skip otherwise.
+        let g = random_graph(n, 0.3, graph_seed);
+        prop_assume!(ops::is_connected(&g));
+        let cds = dominating::connected_dominating_set(&g, &Algorithm::feedback(), run_seed)
+            .unwrap();
+        prop_assert!(dominating::is_connected_dominating_set(&g, &cds.nodes()));
+        prop_assert!(cds.len() <= 3 * cds.heads().len());
+    }
+
+    /// Clustering is a partition: sizes sum to n, every affiliation is
+    /// one hop, heads are independent.
+    #[test]
+    fn clustering_partitions_nodes(
+        n in 1usize..60,
+        p in 0.0f64..1.0,
+        graph_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, p, graph_seed);
+        let c = clustering::cluster_via_mis(&g, &Algorithm::feedback(), run_seed).unwrap();
+        prop_assert!(clustering::check_clustering(&g, &c).is_ok());
+        let total: usize = c.sizes().iter().sum();
+        prop_assert_eq!(total, n);
+    }
+
+    /// All reductions behave identically across repeated runs with the
+    /// same seed (determinism).
+    #[test]
+    fn applications_are_deterministic(
+        n in 1usize..30,
+        graph_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, 0.25, graph_seed);
+        let m1 = matching::maximal_matching(&g, &Algorithm::feedback(), run_seed).unwrap();
+        let m2 = matching::maximal_matching(&g, &Algorithm::feedback(), run_seed).unwrap();
+        prop_assert_eq!(m1, m2);
+        let c1 = clustering::cluster_via_mis(&g, &Algorithm::feedback(), run_seed).unwrap();
+        let c2 = clustering::cluster_via_mis(&g, &Algorithm::feedback(), run_seed).unwrap();
+        prop_assert_eq!(c1, c2);
+    }
+
+    /// The reductions also work when driven by the global sweep schedule
+    /// (the DISC'11 baseline) instead of the feedback algorithm.
+    #[test]
+    fn applications_work_under_sweep_schedule(
+        n in 1usize..30,
+        graph_seed in any::<u64>(),
+    ) {
+        let g = random_graph(n, 0.3, graph_seed);
+        let m = matching::maximal_matching(&g, &Algorithm::sweep(), 2).unwrap();
+        prop_assert!(matching::is_maximal_matching(&g, m.edges()));
+        let ds = dominating::dominating_set_via_mis(&g, &Algorithm::sweep(), 2).unwrap();
+        prop_assert!(dominating::is_dominating_set(&g, ds.nodes()));
+    }
+}

@@ -1,0 +1,192 @@
+//! Exact maximum independent set (MaxIS) for small graphs.
+//!
+//! The paper's introduction distinguishes *maximal* independent sets
+//! (easy) from the NP-hard *maximum* independent set. For graphs of up to
+//! 128 nodes this module computes the true maximum by branch and bound
+//! over bitsets, letting experiments report how close the distributed
+//! algorithms' MIS sizes come to the optimum.
+
+use mis_graph::{Graph, NodeId};
+
+/// Maximum supported node count (bitset width).
+pub const MAX_NODES: usize = 128;
+
+/// Computes a maximum independent set exactly.
+///
+/// Branch and bound: repeatedly pick the highest-degree candidate `v` and
+/// branch on excluding/including it, pruning branches that cannot beat the
+/// incumbent. Exponential in the worst case — intended for the small
+/// graphs of quality-comparison experiments.
+///
+/// # Panics
+///
+/// Panics if the graph has more than [`MAX_NODES`] nodes.
+///
+/// # Examples
+///
+/// ```
+/// use mis_baselines::exact::maximum_independent_set;
+/// use mis_graph::generators;
+///
+/// let c5 = generators::cycle(5);
+/// assert_eq!(maximum_independent_set(&c5).len(), 2);
+/// let p7 = generators::path(7);
+/// assert_eq!(maximum_independent_set(&p7).len(), 4);
+/// ```
+#[must_use]
+pub fn maximum_independent_set(g: &Graph) -> Vec<NodeId> {
+    let n = g.node_count();
+    assert!(
+        n <= MAX_NODES,
+        "exact solver supports at most {MAX_NODES} nodes, got {n}"
+    );
+    if n == 0 {
+        return Vec::new();
+    }
+    let adjacency: Vec<u128> = (0..n as NodeId)
+        .map(|v| {
+            g.neighbors(v)
+                .iter()
+                .fold(0u128, |acc, &u| acc | (1u128 << u))
+        })
+        .collect();
+    let mut solver = Solver {
+        adjacency,
+        best: 0u128,
+        best_size: 0,
+    };
+    let all = if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
+    solver.search(0, 0, all);
+    bits_to_nodes(solver.best)
+}
+
+/// The size of a maximum independent set (the independence number `α(G)`).
+///
+/// # Panics
+///
+/// Panics if the graph has more than [`MAX_NODES`] nodes.
+#[must_use]
+pub fn independence_number(g: &Graph) -> usize {
+    maximum_independent_set(g).len()
+}
+
+struct Solver {
+    adjacency: Vec<u128>,
+    best: u128,
+    best_size: u32,
+}
+
+impl Solver {
+    fn search(&mut self, chosen: u128, chosen_size: u32, candidates: u128) {
+        if chosen_size + candidates.count_ones() <= self.best_size {
+            return; // cannot beat the incumbent
+        }
+        if candidates == 0 {
+            if chosen_size > self.best_size {
+                self.best = chosen;
+                self.best_size = chosen_size;
+            }
+            return;
+        }
+        // Pick the candidate with the most candidate-neighbours: removing
+        // it shrinks the problem fastest on the include branch.
+        let pivot = self.max_degree_candidate(candidates);
+        let pivot_bit = 1u128 << pivot;
+
+        // Branch 1: include the pivot.
+        self.search(
+            chosen | pivot_bit,
+            chosen_size + 1,
+            candidates & !pivot_bit & !self.adjacency[pivot],
+        );
+        // Branch 2: exclude the pivot.
+        self.search(chosen, chosen_size, candidates & !pivot_bit);
+    }
+
+    fn max_degree_candidate(&self, candidates: u128) -> usize {
+        let mut best = usize::MAX;
+        let mut best_deg = 0i64;
+        let mut rest = candidates;
+        while rest != 0 {
+            let v = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            let deg = (self.adjacency[v] & candidates).count_ones() as i64;
+            if best == usize::MAX || deg > best_deg {
+                best = v;
+                best_deg = deg;
+            }
+        }
+        best
+    }
+}
+
+fn bits_to_nodes(mut bits: u128) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(bits.count_ones() as usize);
+    while bits != 0 {
+        let v = bits.trailing_zeros();
+        out.push(v);
+        bits &= bits - 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_core::verify::is_independent_set;
+    use mis_graph::generators;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn known_independence_numbers() {
+        assert_eq!(independence_number(&generators::complete(7)), 1);
+        assert_eq!(independence_number(&generators::star(9)), 8);
+        assert_eq!(independence_number(&generators::cycle(6)), 3);
+        assert_eq!(independence_number(&generators::cycle(7)), 3);
+        assert_eq!(independence_number(&generators::path(6)), 3);
+        assert_eq!(independence_number(&generators::complete_bipartite(4, 6)), 6);
+        assert_eq!(independence_number(&mis_graph::Graph::empty(5)), 5);
+        assert_eq!(independence_number(&mis_graph::Graph::empty(0)), 0);
+        // Petersen-like: hypercube Q3 is bipartite with α = 4.
+        assert_eq!(independence_number(&generators::hypercube(3)), 4);
+    }
+
+    #[test]
+    fn result_is_independent() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..5 {
+            let g = generators::gnp(24, 0.3, &mut rng);
+            let max_is = maximum_independent_set(&g);
+            assert!(is_independent_set(&g, &max_is));
+        }
+    }
+
+    #[test]
+    fn exact_dominates_greedy() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..5 {
+            let g = generators::gnp(22, 0.4, &mut rng);
+            let greedy = mis_core::verify::greedy_mis(&g);
+            let exact = maximum_independent_set(&g);
+            assert!(exact.len() >= greedy.len());
+        }
+    }
+
+    #[test]
+    fn clique_union_alpha_is_component_count() {
+        // One node per clique: α = number of cliques.
+        let g = generators::disjoint_cliques(&[3, 4, 2, 5]);
+        assert_eq!(independence_number(&g), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 128")]
+    fn too_large_graph_panics() {
+        let g = mis_graph::Graph::empty(129);
+        let _ = maximum_independent_set(&g);
+    }
+}

@@ -1,0 +1,179 @@
+//! The deterministic local-minimum MIS algorithm — the distributed
+//! analogue of §1's "trivial centralised" greedy scan.
+//!
+//! Each round every active node broadcasts its identifier; a node whose
+//! identifier is smaller than all of its active neighbours' joins the MIS
+//! and retires its neighbourhood. This is correct on any graph and needs
+//! no randomness, but its round complexity is the length of the longest
+//! identifier-descending path — `Θ(n)` in the worst case (e.g. a path
+//! with sorted identifiers) — which is exactly why the paper's benchmark
+//! is the *randomised* `O(log n)` bar. It also leans on everything the
+//! beeping model forbids: unique identifiers and multi-bit messages.
+
+use rand::rngs::SmallRng;
+
+use mis_beeping::{NetworkInfo, Verdict};
+use mis_graph::NodeId;
+
+use crate::{MessageFactory, MessageProcess};
+
+/// Message of the greedy-local algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GreedyMsg {
+    /// The sender's identifier.
+    Id(NodeId),
+    /// Join announcement.
+    Join,
+}
+
+/// Per-node state of the deterministic local-minimum algorithm.
+#[derive(Debug, Clone)]
+pub struct GreedyLocalProcess {
+    id: NodeId,
+    winner: bool,
+}
+
+impl GreedyLocalProcess {
+    /// Creates the process for the node with identifier `id`.
+    #[must_use]
+    pub fn new(id: NodeId) -> Self {
+        Self { id, winner: false }
+    }
+}
+
+impl MessageProcess for GreedyLocalProcess {
+    type Msg = GreedyMsg;
+
+    fn broadcast1(&mut self, _rng: &mut SmallRng) -> Option<GreedyMsg> {
+        Some(GreedyMsg::Id(self.id))
+    }
+
+    fn broadcast2(&mut self, inbox: &[GreedyMsg]) -> Option<GreedyMsg> {
+        // Identifiers are unique, so "local minimum" is unambiguous.
+        self.winner = inbox.iter().all(|m| match m {
+            GreedyMsg::Id(other) => self.id < *other,
+            GreedyMsg::Join => false,
+        });
+        self.winner.then_some(GreedyMsg::Join)
+    }
+
+    fn decide(&mut self, inbox: &[GreedyMsg]) -> Verdict {
+        if self.winner {
+            Verdict::JoinMis
+        } else if inbox.iter().any(|m| matches!(m, GreedyMsg::Join)) {
+            Verdict::Covered
+        } else {
+            Verdict::Continue
+        }
+    }
+
+    fn message_bits(msg: &GreedyMsg) -> u64 {
+        match msg {
+            GreedyMsg::Id(_) => 32,
+            GreedyMsg::Join => 1,
+        }
+    }
+}
+
+/// Factory for [`GreedyLocalProcess`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyLocalFactory;
+
+impl GreedyLocalFactory {
+    /// Creates the factory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl MessageFactory for GreedyLocalFactory {
+    type Process = GreedyLocalProcess;
+    fn create(&self, node: NodeId, _degree: usize, _info: &NetworkInfo) -> GreedyLocalProcess {
+        GreedyLocalProcess::new(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MessageSimulator;
+    use mis_core::verify::check_mis;
+    use mis_graph::{generators, Graph};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn run(g: &Graph) -> crate::MsgRunOutcome {
+        MessageSimulator::new(g, &GreedyLocalFactory::new(), 1).run(10 * g.node_count() as u32 + 10)
+    }
+
+    #[test]
+    fn produces_an_mis_on_families() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let graphs = vec![
+            generators::gnp(60, 0.2, &mut rng),
+            generators::grid2d(7, 7),
+            generators::complete(10),
+            generators::star(9),
+            generators::disjoint_cliques(&[4, 3, 2, 1]),
+            Graph::empty(5),
+        ];
+        for g in graphs {
+            let outcome = run(&g);
+            assert!(outcome.terminated());
+            assert!(check_mis(&g, &outcome.mis()).is_ok());
+        }
+    }
+
+    #[test]
+    fn is_fully_deterministic() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let g = generators::gnp(40, 0.3, &mut rng);
+        let a = run(&g);
+        let b = MessageSimulator::new(&g, &GreedyLocalFactory::new(), 999).run(1000);
+        assert_eq!(a.mis(), b.mis()); // the seed is irrelevant: no randomness
+        assert_eq!(a.rounds(), b.rounds());
+    }
+
+    #[test]
+    fn selects_exactly_the_lexicographically_first_mis() {
+        // The local-minimum rule computes the same MIS as the sequential
+        // greedy scan in ascending id order.
+        let mut rng = SmallRng::seed_from_u64(3);
+        for seed in 0..5 {
+            let g = generators::gnp(30, 0.2 + 0.1 * f64::from(seed), &mut rng);
+            let outcome = run(&g);
+            assert_eq!(outcome.mis(), mis_core::verify::greedy_mis(&g));
+        }
+    }
+
+    #[test]
+    fn sorted_path_needs_linear_rounds() {
+        // Identifiers ascend along the path, so only one node per two
+        // rounds can be a local minimum: Θ(n) rounds, the worst case that
+        // motivates randomisation.
+        let g = generators::path(60);
+        let outcome = run(&g);
+        assert!(outcome.terminated());
+        assert!(
+            outcome.rounds() >= 25,
+            "expected ≈ n/2 rounds on the sorted path, got {}",
+            outcome.rounds()
+        );
+    }
+
+    #[test]
+    fn complete_graph_resolves_in_one_round() {
+        let outcome = run(&generators::complete(20));
+        assert_eq!(outcome.rounds(), 1);
+        assert_eq!(outcome.mis(), vec![0]);
+    }
+
+    #[test]
+    fn message_bits_are_counted() {
+        assert_eq!(GreedyLocalProcess::message_bits(&GreedyMsg::Id(3)), 32);
+        assert_eq!(GreedyLocalProcess::message_bits(&GreedyMsg::Join), 1);
+        let g = generators::cycle(10);
+        let outcome = run(&g);
+        assert!(outcome.metrics().mean_bits_per_channel(g.edge_count()) > 32.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Classical distributed MIS baselines on a message-passing runtime.
+//!
+//! The paper positions its feedback algorithm against the standard
+//! `O(log n)` algorithms, which — unlike beeping algorithms — exchange
+//! *numeric* messages and often need neighbour counts or identifiers:
+//!
+//! * [`LubyPriorityProcess`] — Luby's algorithm in its random-priority
+//!   form [Alon–Babai–Itai '86, Luby '85]: lowest random value in the
+//!   neighbourhood joins;
+//! * [`LubyMarkingProcess`] — Luby's original marking form: mark with
+//!   probability `1/(2d)`, resolve conflicts by degree then identifier;
+//! * [`MetivierProcess`] — Métivier–Robson–Saheb-Djahromi–Zemmari '11:
+//!   random-priority with lazy *bit-by-bit* exchange, achieving optimal
+//!   `O(log n)` total bits per channel (the comparison point for the
+//!   paper's §5 bit-complexity discussion);
+//! * [`exact`] — an exact maximum-independent-set solver (branch and
+//!   bound) for quality comparisons on small graphs.
+//!
+//! These run on [`MessageSimulator`], a synchronous runtime where each
+//! round has two broadcast sub-rounds (value exchange, then join
+//! announcements) and every message's size in bits is accounted, so the
+//! message/bit complexities of beeping and messaging algorithms can be
+//! compared on the same workloads.
+//!
+//! # Examples
+//!
+//! ```
+//! use mis_baselines::{LubyPriorityFactory, MessageSimulator};
+//! use mis_graph::generators;
+//!
+//! let g = generators::gnp(
+//!     40,
+//!     0.3,
+//!     &mut rand::rngs::SmallRng::seed_from_u64(2),
+//! );
+//! let outcome = MessageSimulator::new(&g, &LubyPriorityFactory::new(), 7)
+//!     .run(10_000);
+//! assert!(outcome.terminated());
+//! mis_core::verify::check_mis(&g, &outcome.mis()).unwrap();
+//! # use rand::SeedableRng;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+mod greedy_local;
+mod luby;
+mod metivier;
+mod runtime;
+
+pub use greedy_local::{GreedyLocalFactory, GreedyLocalProcess, GreedyMsg};
+pub use luby::{LubyMarkingFactory, LubyMarkingProcess, LubyPriorityFactory, LubyPriorityProcess};
+pub use metivier::{MetivierFactory, MetivierProcess};
+pub use runtime::{
+    MessageFactory, MessageMetrics, MessageProcess, MessageSimulator, MsgRunOutcome,
+};

@@ -1,0 +1,330 @@
+//! Luby's algorithm in both classic forms.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+use mis_beeping::{NetworkInfo, Verdict};
+use mis_graph::NodeId;
+
+use crate::{MessageFactory, MessageProcess};
+
+/// Message of the random-priority variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorityMsg {
+    /// A fresh random priority for this round.
+    Priority(u64),
+    /// Join announcement.
+    Join,
+}
+
+/// Luby's algorithm, random-priority form (Alon–Babai–Itai '86): each
+/// round every active node draws a fresh random value and broadcasts it; a
+/// node with a value strictly smaller than all of its active neighbours'
+/// joins the MIS, and its neighbours retire.
+///
+/// Expected `O(log n)` rounds — the bar the paper's feedback algorithm
+/// matches with 1-bit messages. Note the contrast in message size: 64-bit
+/// priorities versus beeps.
+#[derive(Debug, Clone)]
+pub struct LubyPriorityProcess {
+    value: u64,
+    winner: bool,
+}
+
+impl LubyPriorityProcess {
+    /// Creates a fresh process.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            value: 0,
+            winner: false,
+        }
+    }
+}
+
+impl Default for LubyPriorityProcess {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MessageProcess for LubyPriorityProcess {
+    type Msg = PriorityMsg;
+
+    fn broadcast1(&mut self, rng: &mut SmallRng) -> Option<PriorityMsg> {
+        self.value = rng.random();
+        Some(PriorityMsg::Priority(self.value))
+    }
+
+    fn broadcast2(&mut self, inbox: &[PriorityMsg]) -> Option<PriorityMsg> {
+        // Strict local minimum wins. Ties (probability ≈ 2⁻⁶⁴ per pair)
+        // simply yield no winner this round.
+        self.winner = inbox.iter().all(|m| match m {
+            PriorityMsg::Priority(other) => self.value < *other,
+            PriorityMsg::Join => false,
+        });
+        self.winner.then_some(PriorityMsg::Join)
+    }
+
+    fn decide(&mut self, inbox: &[PriorityMsg]) -> Verdict {
+        if self.winner {
+            Verdict::JoinMis
+        } else if inbox.iter().any(|m| matches!(m, PriorityMsg::Join)) {
+            Verdict::Covered
+        } else {
+            Verdict::Continue
+        }
+    }
+
+    fn message_bits(msg: &PriorityMsg) -> u64 {
+        match msg {
+            PriorityMsg::Priority(_) => 64,
+            PriorityMsg::Join => 1,
+        }
+    }
+}
+
+/// Factory for [`LubyPriorityProcess`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LubyPriorityFactory;
+
+impl LubyPriorityFactory {
+    /// Creates the factory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl MessageFactory for LubyPriorityFactory {
+    type Process = LubyPriorityProcess;
+    fn create(&self, _node: NodeId, _degree: usize, _info: &NetworkInfo) -> LubyPriorityProcess {
+        LubyPriorityProcess::new()
+    }
+}
+
+/// Message of the marking variant: mark flag, current degree, identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkMsg {
+    /// Round state: (marked?, residual degree, node id).
+    State {
+        /// Whether the sender marked itself this round.
+        marked: bool,
+        /// The sender's degree in the residual graph.
+        degree: u32,
+        /// The sender's identifier (for tie-breaking).
+        id: NodeId,
+    },
+    /// Join announcement.
+    Join,
+}
+
+/// Luby's original algorithm (STOC '85): mark with probability `1/(2d)`
+/// where `d` is the node's degree in the *residual* graph; a conflict
+/// between two adjacent marked nodes is resolved in favour of the higher
+/// degree (ties by identifier). Surviving marked nodes join.
+///
+/// This variant explicitly needs degree knowledge and identifiers — the
+/// “arithmetic calculations and precise numerical comparisons” the paper's
+/// introduction contrasts with the biological mechanism.
+///
+/// Residual degrees are tracked from inbox sizes: every active node
+/// broadcasts each round, so the inbox size *is* the active-neighbour
+/// count (taken from the previous round for the marking decision; the
+/// static degree seeds round 0).
+#[derive(Debug, Clone)]
+pub struct LubyMarkingProcess {
+    id: NodeId,
+    degree_estimate: u32,
+    marked: bool,
+    survives: bool,
+}
+
+impl LubyMarkingProcess {
+    /// Creates the process for node `id` with its static `degree`.
+    #[must_use]
+    pub fn new(id: NodeId, degree: usize) -> Self {
+        Self {
+            id,
+            degree_estimate: degree as u32,
+            marked: false,
+            survives: false,
+        }
+    }
+}
+
+impl MessageProcess for LubyMarkingProcess {
+    type Msg = MarkMsg;
+
+    fn broadcast1(&mut self, rng: &mut SmallRng) -> Option<MarkMsg> {
+        // Isolated nodes (no active neighbours) mark deterministically.
+        let p = if self.degree_estimate == 0 {
+            1.0
+        } else {
+            1.0 / (2.0 * f64::from(self.degree_estimate))
+        };
+        self.marked = p >= 1.0 || rng.random_bool(p);
+        Some(MarkMsg::State {
+            marked: self.marked,
+            degree: self.degree_estimate,
+            id: self.id,
+        })
+    }
+
+    fn broadcast2(&mut self, inbox: &[MarkMsg]) -> Option<MarkMsg> {
+        // Refresh the residual-degree estimate for the next round.
+        let active_neighbours = inbox.len() as u32;
+        self.survives = self.marked
+            && inbox.iter().all(|m| match *m {
+                MarkMsg::State { marked, degree, id } => {
+                    // Unmark if a marked neighbour dominates us.
+                    !(marked
+                        && (degree, id) > (self.degree_estimate, self.id))
+                }
+                MarkMsg::Join => true,
+            });
+        self.degree_estimate = active_neighbours;
+        self.survives.then_some(MarkMsg::Join)
+    }
+
+    fn decide(&mut self, inbox: &[MarkMsg]) -> Verdict {
+        if self.survives {
+            Verdict::JoinMis
+        } else if inbox.iter().any(|m| matches!(m, MarkMsg::Join)) {
+            Verdict::Covered
+        } else {
+            Verdict::Continue
+        }
+    }
+
+    fn message_bits(msg: &MarkMsg) -> u64 {
+        match msg {
+            MarkMsg::State { .. } => 1 + 32 + 32,
+            MarkMsg::Join => 1,
+        }
+    }
+}
+
+/// Factory for [`LubyMarkingProcess`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LubyMarkingFactory;
+
+impl LubyMarkingFactory {
+    /// Creates the factory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl MessageFactory for LubyMarkingFactory {
+    type Process = LubyMarkingProcess;
+    fn create(&self, node: NodeId, degree: usize, _info: &NetworkInfo) -> LubyMarkingProcess {
+        LubyMarkingProcess::new(node, degree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MessageSimulator;
+    use mis_core::verify::check_mis;
+    use mis_graph::generators;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn families() -> Vec<mis_graph::Graph> {
+        let mut rng = SmallRng::seed_from_u64(31);
+        vec![
+            generators::gnp(60, 0.5, &mut rng),
+            generators::gnp(80, 0.05, &mut rng),
+            generators::complete(15),
+            generators::path(25),
+            generators::star(20),
+            generators::grid2d(6, 7),
+            generators::theorem1_family(4),
+            mis_graph::Graph::empty(6),
+            generators::random_tree(50, &mut rng),
+        ]
+    }
+
+    #[test]
+    fn priority_variant_selects_mis_everywhere() {
+        for (i, g) in families().into_iter().enumerate() {
+            for seed in 0..3 {
+                let outcome =
+                    MessageSimulator::new(&g, &LubyPriorityFactory::new(), seed).run(100_000);
+                assert!(outcome.terminated(), "family {i} seed {seed}");
+                check_mis(&g, &outcome.mis())
+                    .unwrap_or_else(|e| panic!("family {i} seed {seed}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn marking_variant_selects_mis_everywhere() {
+        for (i, g) in families().into_iter().enumerate() {
+            for seed in 0..3 {
+                let outcome =
+                    MessageSimulator::new(&g, &LubyMarkingFactory::new(), seed).run(100_000);
+                assert!(outcome.terminated(), "family {i} seed {seed}");
+                check_mis(&g, &outcome.mis())
+                    .unwrap_or_else(|e| panic!("family {i} seed {seed}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn priority_rounds_grow_slowly() {
+        // O(log n): even on G(500, ½), tens of rounds suffice.
+        let g = generators::gnp(500, 0.5, &mut SmallRng::seed_from_u64(1));
+        let outcome = MessageSimulator::new(&g, &LubyPriorityFactory::new(), 5).run(100_000);
+        assert!(outcome.terminated());
+        assert!(
+            outcome.rounds() < 60,
+            "Luby took {} rounds on G(500, ½)",
+            outcome.rounds()
+        );
+    }
+
+    #[test]
+    fn isolated_node_joins_in_marking_variant() {
+        let g = mis_graph::Graph::empty(1);
+        let outcome = MessageSimulator::new(&g, &LubyMarkingFactory::new(), 0).run(100);
+        assert_eq!(outcome.mis(), vec![0]);
+        assert_eq!(outcome.rounds(), 1);
+    }
+
+    #[test]
+    fn priority_message_sizes() {
+        assert_eq!(
+            LubyPriorityProcess::message_bits(&PriorityMsg::Priority(7)),
+            64
+        );
+        assert_eq!(LubyPriorityProcess::message_bits(&PriorityMsg::Join), 1);
+        assert_eq!(
+            LubyMarkingProcess::message_bits(&MarkMsg::State {
+                marked: true,
+                degree: 1,
+                id: 2
+            }),
+            65
+        );
+        assert_eq!(LubyMarkingProcess::message_bits(&MarkMsg::Join), 1);
+    }
+
+    #[test]
+    fn priority_bits_dominate_feedback_bits() {
+        // The message-complexity contrast of the paper: Luby sends ≥64-bit
+        // values every round per edge; the beeping algorithm sends O(1)
+        // bits per channel overall.
+        let g = generators::gnp(100, 0.3, &mut SmallRng::seed_from_u64(2));
+        let luby = MessageSimulator::new(&g, &LubyPriorityFactory::new(), 3).run(100_000);
+        let bits_per_channel = luby
+            .metrics()
+            .mean_bits_per_channel(g.edge_count());
+        assert!(
+            bits_per_channel > 64.0,
+            "unexpectedly few bits: {bits_per_channel}"
+        );
+    }
+}

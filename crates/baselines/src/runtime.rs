@@ -1,0 +1,392 @@
+//! Synchronous message-passing runtime with bit accounting.
+//!
+//! Unlike the beeping model, processes here exchange *typed messages* with
+//! their neighbours and receive full inboxes (one message per active
+//! neighbour). Each round has two broadcast sub-rounds mirroring the
+//! beeping simulator's two exchanges, so round counts are comparable.
+
+use rand::rngs::SmallRng;
+
+use mis_beeping::rng::node_rng;
+use mis_beeping::{NetworkInfo, NodeStatus, Verdict};
+use mis_graph::{Graph, NodeId};
+
+/// A message-passing automaton run at each node by [`MessageSimulator`].
+pub trait MessageProcess {
+    /// Message type exchanged with neighbours.
+    type Msg: Clone;
+
+    /// Sub-round 1: optionally broadcast a message to all neighbours.
+    fn broadcast1(&mut self, rng: &mut SmallRng) -> Option<Self::Msg>;
+
+    /// Sub-round 2: receive the messages of active neighbours (in
+    /// unspecified order) and optionally broadcast a second message
+    /// (typically a join announcement).
+    fn broadcast2(&mut self, inbox: &[Self::Msg]) -> Option<Self::Msg>;
+
+    /// End of round: receive the second-sub-round inbox and decide.
+    fn decide(&mut self, inbox: &[Self::Msg]) -> Verdict;
+
+    /// Size in bits of a message on the wire (for bit-complexity
+    /// accounting).
+    fn message_bits(msg: &Self::Msg) -> u64;
+
+    /// Extra bits this process consumed through out-of-band accounting
+    /// (used by the Métivier bit-duel simulation); collected once at the
+    /// end of the run.
+    fn bits_consumed(&self) -> u64 {
+        0
+    }
+}
+
+/// Builds per-node [`MessageProcess`] instances.
+pub trait MessageFactory {
+    /// The process type this factory builds.
+    type Process: MessageProcess;
+
+    /// Builds the process for `node` with the given static `degree`.
+    fn create(&self, node: NodeId, degree: usize, info: &NetworkInfo) -> Self::Process;
+}
+
+/// Message and bit counts for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MessageMetrics {
+    /// Total messages broadcast (one per sender per sub-round, counted
+    /// once per *edge delivery*).
+    pub messages_delivered: u64,
+    /// Total bits across all deliveries (message size × deliveries), plus
+    /// any out-of-band bits reported by processes.
+    pub bits_total: u64,
+}
+
+impl MessageMetrics {
+    /// Mean bits per channel over the `m` edges of the graph (0 when the
+    /// graph has no edges).
+    #[must_use]
+    pub fn mean_bits_per_channel(&self, edge_count: usize) -> f64 {
+        if edge_count == 0 {
+            0.0
+        } else {
+            self.bits_total as f64 / edge_count as f64
+        }
+    }
+}
+
+/// Result of a [`MessageSimulator`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MsgRunOutcome {
+    statuses: Vec<NodeStatus>,
+    rounds: u32,
+    terminated: bool,
+    metrics: MessageMetrics,
+}
+
+impl MsgRunOutcome {
+    /// Nodes that joined the independent set, sorted ascending.
+    #[must_use]
+    pub fn mis(&self) -> Vec<NodeId> {
+        self.statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == NodeStatus::InMis)
+            .map(|(v, _)| v as NodeId)
+            .collect()
+    }
+
+    /// Final node statuses.
+    #[must_use]
+    pub fn statuses(&self) -> &[NodeStatus] {
+        &self.statuses
+    }
+
+    /// Rounds executed.
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Whether all nodes became inactive before the round cap.
+    #[must_use]
+    pub fn terminated(&self) -> bool {
+        self.terminated
+    }
+
+    /// Message/bit accounting.
+    #[must_use]
+    pub fn metrics(&self) -> &MessageMetrics {
+        &self.metrics
+    }
+}
+
+/// Synchronous message-passing engine (reliable network, static topology).
+pub struct MessageSimulator<'g, F: MessageFactory> {
+    graph: &'g Graph,
+    processes: Vec<F::Process>,
+    status: Vec<NodeStatus>,
+    rngs: Vec<SmallRng>,
+}
+
+impl<'g, F: MessageFactory> MessageSimulator<'g, F> {
+    /// Creates a simulator over `graph`, seeding all node streams from
+    /// `master_seed`.
+    pub fn new(graph: &'g Graph, factory: &F, master_seed: u64) -> Self {
+        let info = NetworkInfo {
+            node_count: graph.node_count(),
+            max_degree: graph.max_degree(),
+        };
+        let processes = (0..graph.node_count() as NodeId)
+            .map(|v| factory.create(v, graph.degree(v), &info))
+            .collect();
+        let status = vec![NodeStatus::Active; graph.node_count()];
+        let rngs = (0..graph.node_count() as NodeId)
+            .map(|v| node_rng(master_seed, v))
+            .collect();
+        Self {
+            graph,
+            processes,
+            status,
+            rngs,
+        }
+    }
+
+    /// Runs until every node is inactive or `max_rounds` is hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rounds` is zero.
+    #[must_use]
+    pub fn run(mut self, max_rounds: u32) -> MsgRunOutcome {
+        assert!(max_rounds > 0, "round cap must be positive");
+        let n = self.graph.node_count();
+        let mut metrics = MessageMetrics::default();
+        let mut outbox1: Vec<Option<<F::Process as MessageProcess>::Msg>> = vec![None; n];
+        let mut outbox2: Vec<Option<<F::Process as MessageProcess>::Msg>> = vec![None; n];
+        let mut remaining = n;
+        let mut rounds = 0u32;
+
+        while remaining > 0 && rounds < max_rounds {
+            // Sub-round 1 broadcasts.
+            for (v, out) in outbox1.iter_mut().enumerate() {
+                *out = if self.status[v] == NodeStatus::Active {
+                    self.processes[v].broadcast1(&mut self.rngs[v])
+                } else {
+                    None
+                };
+            }
+            self.account(&outbox1, &mut metrics);
+
+            // Sub-round 2: deliver inboxes, collect second broadcasts.
+            for (v, out) in outbox2.iter_mut().enumerate() {
+                *out = if self.status[v] == NodeStatus::Active {
+                    let inbox = self.collect_inbox(v as NodeId, &outbox1);
+                    self.processes[v].broadcast2(&inbox)
+                } else {
+                    None
+                };
+            }
+            self.account(&outbox2, &mut metrics);
+
+            // Decisions.
+            for v in 0..n {
+                if self.status[v] != NodeStatus::Active {
+                    continue;
+                }
+                let inbox = self.collect_inbox(v as NodeId, &outbox2);
+                match self.processes[v].decide(&inbox) {
+                    Verdict::Continue => {}
+                    Verdict::JoinMis => {
+                        self.status[v] = NodeStatus::InMis;
+                        remaining -= 1;
+                    }
+                    Verdict::Covered => {
+                        self.status[v] = NodeStatus::Covered;
+                        remaining -= 1;
+                    }
+                }
+            }
+            rounds += 1;
+        }
+
+        for p in &self.processes {
+            metrics.bits_total += p.bits_consumed();
+        }
+        MsgRunOutcome {
+            statuses: self.status,
+            rounds,
+            terminated: remaining == 0,
+            metrics,
+        }
+    }
+
+    fn collect_inbox(
+        &self,
+        v: NodeId,
+        outbox: &[Option<<F::Process as MessageProcess>::Msg>],
+    ) -> Vec<<F::Process as MessageProcess>::Msg> {
+        self.graph
+            .neighbors(v)
+            .iter()
+            .filter_map(|&u| outbox[u as usize].clone())
+            .collect()
+    }
+
+    /// Counts deliveries: each broadcast reaches every *active* neighbour.
+    fn account(
+        &self,
+        outbox: &[Option<<F::Process as MessageProcess>::Msg>],
+        metrics: &mut MessageMetrics,
+    ) {
+        for (v, msg) in outbox.iter().enumerate() {
+            let Some(msg) = msg else { continue };
+            let recipients = self
+                .graph
+                .neighbors(v as NodeId)
+                .iter()
+                .filter(|&&u| self.status[u as usize] == NodeStatus::Active)
+                .count() as u64;
+            metrics.messages_delivered += recipients;
+            metrics.bits_total += recipients * F::Process::message_bits(msg);
+        }
+    }
+}
+
+impl<F: MessageFactory> core::fmt::Debug for MessageSimulator<'_, F> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("MessageSimulator")
+            .field("nodes", &self.graph.node_count())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graph::generators;
+
+    /// Joins immediately if it has no active neighbours; otherwise lowest
+    /// id in the neighbourhood joins (a deterministic MIS algorithm).
+    struct LowestId {
+        id: NodeId,
+        winner: bool,
+    }
+
+    impl MessageProcess for LowestId {
+        type Msg = u32;
+
+        fn broadcast1(&mut self, _rng: &mut SmallRng) -> Option<u32> {
+            Some(self.id)
+        }
+
+        fn broadcast2(&mut self, inbox: &[u32]) -> Option<u32> {
+            self.winner = inbox.iter().all(|&other| self.id < other);
+            self.winner.then_some(self.id)
+        }
+
+        fn decide(&mut self, inbox: &[u32]) -> Verdict {
+            if self.winner {
+                Verdict::JoinMis
+            } else if !inbox.is_empty() {
+                Verdict::Covered
+            } else {
+                Verdict::Continue
+            }
+        }
+
+        fn message_bits(_msg: &u32) -> u64 {
+            32
+        }
+    }
+
+    struct LowestIdFactory;
+
+    impl MessageFactory for LowestIdFactory {
+        type Process = LowestId;
+        fn create(&self, node: NodeId, _degree: usize, _info: &NetworkInfo) -> LowestId {
+            LowestId {
+                id: node,
+                winner: false,
+            }
+        }
+    }
+
+    #[test]
+    fn lowest_id_selects_mis() {
+        for g in [
+            generators::path(10),
+            generators::cycle(9),
+            generators::complete(6),
+            generators::grid2d(4, 4),
+            mis_graph::Graph::empty(5),
+        ] {
+            let outcome = MessageSimulator::new(&g, &LowestIdFactory, 0).run(1_000);
+            assert!(outcome.terminated());
+            mis_core::verify::check_mis(&g, &outcome.mis()).unwrap();
+        }
+    }
+
+    #[test]
+    fn path_lowest_id_is_greedy() {
+        let g = generators::path(6);
+        let outcome = MessageSimulator::new(&g, &LowestIdFactory, 0).run(100);
+        assert_eq!(outcome.mis(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn bits_are_accounted() {
+        // K₂: round 1 delivers 2 id messages (32 bits each) and 1 join
+        // (node 0 wins; node 1 inactive after). Join broadcast from 0
+        // reaches 1 active neighbour: 3 deliveries × 32 bits.
+        let g = generators::complete(2);
+        let outcome = MessageSimulator::new(&g, &LowestIdFactory, 0).run(100);
+        assert_eq!(outcome.rounds(), 1);
+        assert_eq!(outcome.metrics().messages_delivered, 3);
+        assert_eq!(outcome.metrics().bits_total, 96);
+        assert!((outcome.metrics().mean_bits_per_channel(1) - 96.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_cap_reported() {
+        /// Never decides.
+        struct Stubborn;
+        impl MessageProcess for Stubborn {
+            type Msg = ();
+            fn broadcast1(&mut self, _rng: &mut SmallRng) -> Option<()> {
+                None
+            }
+            fn broadcast2(&mut self, _inbox: &[()]) -> Option<()> {
+                None
+            }
+            fn decide(&mut self, _inbox: &[()]) -> Verdict {
+                Verdict::Continue
+            }
+            fn message_bits(_msg: &()) -> u64 {
+                0
+            }
+        }
+        struct StubbornFactory;
+        impl MessageFactory for StubbornFactory {
+            type Process = Stubborn;
+            fn create(&self, _: NodeId, _: usize, _: &NetworkInfo) -> Stubborn {
+                Stubborn
+            }
+        }
+        let g = generators::path(3);
+        let outcome = MessageSimulator::new(&g, &StubbornFactory, 0).run(17);
+        assert!(!outcome.terminated());
+        assert_eq!(outcome.rounds(), 17);
+    }
+
+    #[test]
+    fn empty_graph_is_instant() {
+        let g = mis_graph::Graph::empty(0);
+        let outcome = MessageSimulator::new(&g, &LowestIdFactory, 0).run(10);
+        assert!(outcome.terminated());
+        assert_eq!(outcome.rounds(), 0);
+    }
+
+    #[test]
+    fn mean_bits_handles_edgeless() {
+        let m = MessageMetrics::default();
+        assert_eq!(m.mean_bits_per_channel(0), 0.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Simulation configuration and fault injection plans.
+
+use crate::TraceLevel;
+
+/// Fault-injection plan for a simulation run.
+///
+/// The paper's algorithm is designed for a reliable synchronous network;
+/// §6 argues the approach is robust to perturbations. This plan injects two
+/// realistic perturbations so that claim can be measured:
+///
+/// * **message loss** — each beep delivery over each directed edge is
+///   dropped independently with probability `message_loss`;
+/// * **late wake-ups** — node `v` stays [`Asleep`](crate::NodeStatus::Asleep)
+///   (neither beeping nor hearing) until round `wake_rounds[v]`.
+///
+/// Late wake-ups can break correctness (a late node cannot know a silent
+/// neighbour is already in the MIS); the `mis_keeps_beeping` repair in
+/// [`SimConfig`] makes MIS members re-announce every round, restoring
+/// safety at the cost of extra signals.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaultPlan {
+    /// Probability that an individual beep delivery is lost (per directed
+    /// edge, per exchange). Zero means a reliable network.
+    pub message_loss: f64,
+    /// Per-node wake-up rounds; empty means all nodes start awake. Nodes
+    /// beyond the vector's length start awake.
+    pub wake_rounds: Vec<u32>,
+}
+
+impl FaultPlan {
+    /// A reliable, all-awake network (the paper's setting).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether this plan injects no faults at all.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.message_loss == 0.0 && self.wake_rounds.iter().all(|&w| w == 0)
+    }
+
+    /// Wake round for `node` (0 when unspecified).
+    #[must_use]
+    pub fn wake_round(&self, node: u32) -> u32 {
+        self.wake_rounds.get(node as usize).copied().unwrap_or(0)
+    }
+}
+
+/// Configuration for a [`Simulator`](crate::Simulator) run.
+///
+/// # Examples
+///
+/// ```
+/// use mis_beeping::{SimConfig, TraceLevel};
+///
+/// let cfg = SimConfig::default()
+///     .with_max_rounds(10_000)
+///     .with_trace(TraceLevel::Rounds)
+///     .with_active_series(true);
+/// assert_eq!(cfg.max_rounds, 10_000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimConfig {
+    /// Hard cap on simulated rounds; the run reports
+    /// non-termination if the cap is reached. The default (1 million) is
+    /// far beyond anything the `O(log n)` algorithms need.
+    pub max_rounds: u32,
+    /// Fault-injection plan (defaults to none).
+    pub faults: FaultPlan,
+    /// When `true`, nodes already in the MIS keep beeping in **both**
+    /// exchanges of every subsequent round: the first-exchange heartbeat
+    /// inhibits late wakers from claiming next to an MIS member, and the
+    /// second-exchange heartbeat lets them terminate as covered. This
+    /// repairs correctness under late wake-ups and mirrors the persistent
+    /// lateral inhibition of SOP cells in the biological system.
+    pub mis_keeps_beeping: bool,
+    /// Per-round event recording level.
+    pub trace: TraceLevel,
+    /// Record the number of active nodes after every round (time-series
+    /// used by experiments).
+    pub record_active_series: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            max_rounds: 1_000_000,
+            faults: FaultPlan::none(),
+            mis_keeps_beeping: false,
+            trace: TraceLevel::Off,
+            record_active_series: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Replaces the round cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rounds` is zero.
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: u32) -> Self {
+        assert!(max_rounds > 0, "round cap must be positive");
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Replaces the fault plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message_loss` is outside `[0, 1)`.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        assert!(
+            (0.0..1.0).contains(&faults.message_loss),
+            "message loss probability must be in [0, 1)"
+        );
+        self.faults = faults;
+        self
+    }
+
+    /// Enables or disables the MIS re-announcement repair.
+    #[must_use]
+    pub fn with_mis_keeps_beeping(mut self, on: bool) -> Self {
+        self.mis_keeps_beeping = on;
+        self
+    }
+
+    /// Sets the trace level.
+    #[must_use]
+    pub fn with_trace(mut self, level: TraceLevel) -> Self {
+        self.trace = level;
+        self
+    }
+
+    /// Enables recording the active-node time series.
+    #[must_use]
+    pub fn with_active_series(mut self, on: bool) -> Self {
+        self.record_active_series = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fault_free() {
+        let cfg = SimConfig::default();
+        assert!(cfg.faults.is_none());
+        assert!(!cfg.mis_keeps_beeping);
+        assert_eq!(cfg.trace, TraceLevel::Off);
+    }
+
+    #[test]
+    fn fault_plan_queries() {
+        let plan = FaultPlan {
+            message_loss: 0.0,
+            wake_rounds: vec![0, 5, 2],
+        };
+        assert!(!plan.is_none());
+        assert_eq!(plan.wake_round(1), 5);
+        assert_eq!(plan.wake_round(99), 0);
+        assert!(FaultPlan::none().is_none());
+    }
+
+    #[test]
+    fn builder_chain() {
+        let cfg = SimConfig::default()
+            .with_max_rounds(5)
+            .with_mis_keeps_beeping(true)
+            .with_active_series(true)
+            .with_faults(FaultPlan {
+                message_loss: 0.1,
+                wake_rounds: vec![],
+            });
+        assert_eq!(cfg.max_rounds, 5);
+        assert!(cfg.mis_keeps_beeping);
+        assert!(cfg.record_active_series);
+        assert_eq!(cfg.faults.message_loss, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "round cap")]
+    fn zero_round_cap_panics() {
+        let _ = SimConfig::default().with_max_rounds(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "message loss")]
+    fn bad_loss_probability_panics() {
+        let _ = SimConfig::default().with_faults(FaultPlan {
+            message_loss: 1.0,
+            wake_rounds: vec![],
+        });
+    }
+}

@@ -1,0 +1,755 @@
+//! The synchronous two-exchange round engine.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use mis_graph::{Graph, NodeId};
+
+use crate::rng::node_rng;
+use crate::{
+    BeepingProcess, Metrics, NetworkInfo, NodeStatus, ProcessFactory, RoundRecord, SimConfig,
+    Trace, TraceLevel, Verdict,
+};
+
+/// Read-only view of one completed round, passed to observers registered
+/// via [`Simulator::run_with_observer`].
+///
+/// Observers power the paper-analysis instrumentation (`µ_t` measures,
+/// event classification) without slowing down ordinary runs.
+#[derive(Debug)]
+pub struct RoundView<'a> {
+    /// Round index (0-based).
+    pub round: u32,
+    /// Which nodes emitted a candidate beep in exchange 1 this round.
+    pub beeped: &'a [bool],
+    /// Which nodes heard a candidate beep in exchange 1 this round.
+    pub heard: &'a [bool],
+    /// Node statuses *after* the round's decisions.
+    pub status: &'a [NodeStatus],
+    /// Beep probabilities of all nodes *at the start* of the round
+    /// (0 for inactive or sleeping nodes).
+    pub probabilities: &'a [f64],
+}
+
+/// Result of a completed (or capped) simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    statuses: Vec<NodeStatus>,
+    rounds: u32,
+    terminated: bool,
+    metrics: Metrics,
+    trace: Trace,
+}
+
+impl RunOutcome {
+    /// The selected independent set, sorted ascending.
+    ///
+    /// When the run `terminated` and the processes implement an MIS
+    /// algorithm correctly under a fault-free network, this is a maximal
+    /// independent set (verify with `mis-core`'s checker).
+    #[must_use]
+    pub fn mis(&self) -> Vec<NodeId> {
+        self.statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == NodeStatus::InMis)
+            .map(|(v, _)| v as NodeId)
+            .collect()
+    }
+
+    /// Final status of every node.
+    #[must_use]
+    pub fn statuses(&self) -> &[NodeStatus] {
+        &self.statuses
+    }
+
+    /// Number of rounds executed.
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Whether every node became inactive before the round cap.
+    #[must_use]
+    pub fn terminated(&self) -> bool {
+        self.terminated
+    }
+
+    /// Collected metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Recorded trace (empty unless tracing was enabled).
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+/// Drives [`BeepingProcess`] automatons over a graph in synchronous
+/// two-exchange rounds.
+///
+/// Construct with [`Simulator::new`], then either call [`run`](Self::run)
+/// (or [`run_with_observer`](Self::run_with_observer)) to completion, or
+/// convert [`into_stepper`](Self::into_stepper) for round-by-round control.
+pub struct Simulator<'g, F: ProcessFactory> {
+    stepper: Stepper<'g, F>,
+}
+
+impl<'g, F: ProcessFactory> Simulator<'g, F> {
+    /// Creates a simulator over `graph` with per-node processes built by
+    /// `factory`, deriving all randomness from `master_seed`.
+    pub fn new(graph: &'g Graph, factory: &F, master_seed: u64, config: SimConfig) -> Self {
+        Self {
+            stepper: Stepper::new(graph, factory, master_seed, config),
+        }
+    }
+
+    /// Runs to termination or the round cap.
+    #[must_use]
+    pub fn run(self) -> RunOutcome {
+        self.run_with_observer(|_| {})
+    }
+
+    /// Runs to termination or the round cap, invoking `observer` after
+    /// every round with a [`RoundView`].
+    #[must_use]
+    pub fn run_with_observer(mut self, mut observer: impl FnMut(&RoundView<'_>)) -> RunOutcome {
+        while !self.stepper.is_done() {
+            self.stepper.step();
+            observer(&self.stepper.last_round_view());
+        }
+        self.stepper.finish()
+    }
+
+    /// Converts into a [`Stepper`] for incremental, inspectable execution.
+    #[must_use]
+    pub fn into_stepper(self) -> Stepper<'g, F> {
+        self.stepper
+    }
+}
+
+/// Incremental round-by-round execution of a beeping simulation, with full
+/// visibility into node states between rounds.
+///
+/// Use this for visualisation, debugging, or analyses that need to stop
+/// mid-run; [`Simulator::run`] is the one-shot wrapper.
+///
+/// # Examples
+///
+/// ```
+/// use mis_beeping::{SimConfig, Simulator, NodeStatus};
+/// # use mis_beeping::{BeepingProcess, FnFactory, NetworkInfo, Verdict};
+/// # use rand::{rngs::SmallRng, RngExt};
+/// # struct Coin { beeped: bool, heard: bool }
+/// # impl BeepingProcess for Coin {
+/// #     fn exchange1(&mut self, rng: &mut SmallRng) -> bool {
+/// #         self.beeped = rng.random_bool(0.5); self.beeped
+/// #     }
+/// #     fn exchange2(&mut self, heard: bool) -> bool {
+/// #         self.heard = heard; self.beeped && !heard
+/// #     }
+/// #     fn end_round(&mut self, heard_join: bool) -> Verdict {
+/// #         if self.beeped && !self.heard { Verdict::JoinMis }
+/// #         else if heard_join { Verdict::Covered } else { Verdict::Continue }
+/// #     }
+/// #     fn beep_probability(&self) -> f64 { 0.5 }
+/// # }
+///
+/// let graph = mis_graph::generators::cycle(6);
+/// let factory = FnFactory(|_, _, _: &NetworkInfo| Coin { beeped: false, heard: false });
+/// let mut stepper = Simulator::new(&graph, &factory, 3, SimConfig::default()).into_stepper();
+/// while !stepper.is_done() {
+///     stepper.step();
+///     let active = stepper
+///         .statuses()
+///         .iter()
+///         .filter(|s| **s == NodeStatus::Active)
+///         .count();
+///     println!("round {}: {active} active", stepper.round());
+/// }
+/// let outcome = stepper.finish();
+/// assert!(outcome.terminated());
+/// ```
+pub struct Stepper<'g, F: ProcessFactory> {
+    graph: &'g Graph,
+    config: SimConfig,
+    processes: Vec<F::Process>,
+    status: Vec<NodeStatus>,
+    rngs: Vec<SmallRng>,
+    fault_rng: SmallRng,
+    metrics: Metrics,
+    trace: Trace,
+    beep1: Vec<bool>,
+    beep2: Vec<bool>,
+    heard1: Vec<bool>,
+    heard2: Vec<bool>,
+    probs: Vec<f64>,
+    remaining: usize,
+    round: u32,
+}
+
+impl<'g, F: ProcessFactory> Stepper<'g, F> {
+    fn new(graph: &'g Graph, factory: &F, master_seed: u64, config: SimConfig) -> Self {
+        let n = graph.node_count();
+        let info = NetworkInfo {
+            node_count: n,
+            max_degree: graph.max_degree(),
+        };
+        let processes: Vec<F::Process> = (0..n as NodeId)
+            .map(|v| factory.create(v, graph.degree(v), &info))
+            .collect();
+        let status: Vec<NodeStatus> = (0..n as NodeId)
+            .map(|v| {
+                if config.faults.wake_round(v) > 0 {
+                    NodeStatus::Asleep
+                } else {
+                    NodeStatus::Active
+                }
+            })
+            .collect();
+        let rngs: Vec<SmallRng> = (0..n as NodeId).map(|v| node_rng(master_seed, v)).collect();
+        let fault_rng = SmallRng::seed_from_u64(crate::rng::splitmix64(
+            master_seed ^ 0xFA17_FA17_FA17_FA17,
+        ));
+        let remaining = status.iter().filter(|s| !s.is_inactive()).count();
+        Self {
+            graph,
+            config,
+            processes,
+            status,
+            rngs,
+            fault_rng,
+            metrics: Metrics::new(n),
+            trace: Trace::default(),
+            beep1: vec![false; n],
+            beep2: vec![false; n],
+            heard1: vec![false; n],
+            heard2: vec![false; n],
+            probs: vec![0.0; n],
+            remaining,
+            round: 0,
+        }
+    }
+
+    /// Whether the run is over (all nodes inactive, or round cap hit).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.remaining == 0 || self.round >= self.config.max_rounds
+    }
+
+    /// Executes one full round (both exchanges plus decisions). Does
+    /// nothing once [`is_done`](Self::is_done).
+    pub fn step(&mut self) {
+        if self.is_done() {
+            return;
+        }
+        let n = self.graph.node_count();
+        let round = self.round;
+        let lossy = self.config.faults.message_loss > 0.0;
+
+        // Wake sleeping nodes whose time has come.
+        for v in 0..n {
+            if self.status[v] == NodeStatus::Asleep
+                && self.config.faults.wake_round(v as NodeId) <= round
+            {
+                self.status[v] = NodeStatus::Active;
+            }
+        }
+
+        // Snapshot probabilities (observer/stepper visibility).
+        for v in 0..n {
+            self.probs[v] = if self.status[v] == NodeStatus::Active {
+                self.processes[v].beep_probability()
+            } else {
+                0.0
+            };
+        }
+
+        // Exchange 1: candidate beeps. With the heartbeat repair, MIS
+        // members also beep here, persistently inhibiting late wakers from
+        // claiming next to them (like sustained Delta expression by SOP
+        // cells).
+        let mut candidates: u32 = 0;
+        for v in 0..n {
+            self.beep1[v] = match self.status[v] {
+                NodeStatus::Active => {
+                    let b = self.processes[v].exchange1(&mut self.rngs[v]);
+                    candidates += u32::from(b);
+                    b
+                }
+                NodeStatus::InMis if self.config.mis_keeps_beeping => {
+                    self.metrics.heartbeat_signals += 1;
+                    true
+                }
+                _ => false,
+            };
+        }
+        broadcast(
+            self.graph,
+            &self.status,
+            &mut self.fault_rng,
+            self.config.faults.message_loss,
+            lossy,
+            &self.beep1,
+            &mut self.heard1,
+        );
+
+        // Exchange 2: join announcements (plus optional MIS heartbeats).
+        for v in 0..n {
+            self.beep2[v] = match self.status[v] {
+                NodeStatus::Active => self.processes[v].exchange2(self.heard1[v]),
+                NodeStatus::InMis if self.config.mis_keeps_beeping => {
+                    self.metrics.heartbeat_signals += 1;
+                    true
+                }
+                _ => false,
+            };
+        }
+        broadcast(
+            self.graph,
+            &self.status,
+            &mut self.fault_rng,
+            self.config.faults.message_loss,
+            lossy,
+            &self.beep2,
+            &mut self.heard2,
+        );
+
+        // Decisions and metric accounting.
+        let mut joined: Vec<NodeId> = Vec::new();
+        let mut covered: u32 = 0;
+        for v in 0..n {
+            if self.status[v] != NodeStatus::Active {
+                continue;
+            }
+            self.metrics.signals[v] += u32::from(self.beep1[v]) + u32::from(self.beep2[v]);
+            self.metrics.beeps[v] += u32::from(self.beep1[v] || self.beep2[v]);
+            match self.processes[v].end_round(self.heard2[v]) {
+                Verdict::Continue => {}
+                Verdict::JoinMis => {
+                    self.status[v] = NodeStatus::InMis;
+                    joined.push(v as NodeId);
+                    self.remaining -= 1;
+                }
+                Verdict::Covered => {
+                    self.status[v] = NodeStatus::Covered;
+                    covered += 1;
+                    self.remaining -= 1;
+                }
+            }
+        }
+
+        if self.config.record_active_series {
+            self.metrics.active_series.push(self.active_count());
+        }
+        if self.config.trace == TraceLevel::Rounds {
+            self.trace.push(RoundRecord {
+                round,
+                candidates,
+                joined,
+                covered,
+                active_after: self.active_count() as u32,
+            });
+        }
+        self.round += 1;
+        self.metrics.rounds = self.round;
+    }
+
+    /// The view of the most recently executed round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no round has been executed yet.
+    #[must_use]
+    pub fn last_round_view(&self) -> RoundView<'_> {
+        assert!(self.round > 0, "no round has been executed yet");
+        RoundView {
+            round: self.round - 1,
+            beeped: &self.beep1,
+            heard: &self.heard1,
+            status: &self.status,
+            probabilities: &self.probs,
+        }
+    }
+
+    /// Number of completed rounds.
+    #[must_use]
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// Current status of every node.
+    #[must_use]
+    pub fn statuses(&self) -> &[NodeStatus] {
+        &self.status
+    }
+
+    /// Beep probabilities captured at the start of the last executed round
+    /// (all zeros before the first step).
+    #[must_use]
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Number of currently active nodes.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.status
+            .iter()
+            .filter(|s| **s == NodeStatus::Active)
+            .count()
+    }
+
+    /// Metrics accumulated so far.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Finalises the run into a [`RunOutcome`] (callable at any point; an
+    /// unfinished run reports `terminated() == false` only if nodes remain
+    /// active *and* the cap was reached — stopping early by choice keeps
+    /// `terminated()` equal to “no node remains active”).
+    #[must_use]
+    pub fn finish(self) -> RunOutcome {
+        RunOutcome {
+            terminated: self.remaining == 0,
+            statuses: self.status,
+            rounds: self.round,
+            metrics: self.metrics,
+            trace: self.trace,
+        }
+    }
+}
+
+/// Computes `heard[v] = OR of beeps delivered to v from its neighbours`,
+/// applying per-delivery message loss when `lossy`.
+fn broadcast(
+    graph: &Graph,
+    status: &[NodeStatus],
+    fault_rng: &mut SmallRng,
+    loss: f64,
+    lossy: bool,
+    beeps: &[bool],
+    heard: &mut [bool],
+) {
+    heard.fill(false);
+    for (v, &b) in beeps.iter().enumerate() {
+        if !b {
+            continue;
+        }
+        for &u in graph.neighbors(v as NodeId) {
+            // Sleeping nodes hear nothing.
+            if status[u as usize] == NodeStatus::Asleep {
+                continue;
+            }
+            if lossy && fault_rng.random_bool(loss) {
+                continue;
+            }
+            heard[u as usize] = true;
+        }
+    }
+}
+
+impl<F: ProcessFactory> core::fmt::Debug for Simulator<'_, F> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("nodes", &self.stepper.graph.node_count())
+            .field("config", &self.stepper.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: ProcessFactory> core::fmt::Debug for Stepper<'_, F> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Stepper")
+            .field("nodes", &self.graph.node_count())
+            .field("round", &self.round)
+            .field("active", &self.active_count())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BeepingProcess, FaultPlan, FnFactory};
+    use mis_graph::generators;
+
+    /// Beep with a fixed probability forever — a correct (if slow) MIS
+    /// algorithm used to exercise the engine without `mis-core`.
+    struct Coin {
+        p: f64,
+        beeped: bool,
+        heard: bool,
+    }
+
+    impl Coin {
+        fn factory(p: f64) -> FnFactory<impl Fn(NodeId, usize, &NetworkInfo) -> Coin> {
+            FnFactory(move |_, _, _: &NetworkInfo| Coin {
+                p,
+                beeped: false,
+                heard: false,
+            })
+        }
+    }
+
+    impl BeepingProcess for Coin {
+        fn exchange1(&mut self, rng: &mut SmallRng) -> bool {
+            self.beeped = self.p >= 1.0 || rng.random_bool(self.p);
+            self.beeped
+        }
+        fn exchange2(&mut self, heard: bool) -> bool {
+            self.heard = heard;
+            self.beeped && !heard
+        }
+        fn end_round(&mut self, heard_join: bool) -> Verdict {
+            // Cautious join rule: yield to any join announcement. In a
+            // fault-free network a winning candidate never hears one, so
+            // this matches Table 1 of the paper there, while staying safe
+            // under late wake-ups (the heartbeat repair).
+            if heard_join {
+                Verdict::Covered
+            } else if self.beeped && !self.heard {
+                Verdict::JoinMis
+            } else {
+                Verdict::Continue
+            }
+        }
+        fn beep_probability(&self) -> f64 {
+            self.p
+        }
+    }
+
+    fn assert_is_mis(g: &Graph, mis: &[NodeId]) {
+        let in_set: std::collections::HashSet<_> = mis.iter().copied().collect();
+        for &v in mis {
+            for &u in g.neighbors(v) {
+                assert!(!in_set.contains(&u), "adjacent MIS nodes {u}, {v}");
+            }
+        }
+        for v in g.nodes() {
+            assert!(
+                in_set.contains(&v) || g.neighbors(v).iter().any(|u| in_set.contains(u)),
+                "node {v} uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn coin_process_selects_mis_on_families() {
+        for (name, g) in [
+            ("cycle", generators::cycle(12)),
+            ("complete", generators::complete(8)),
+            ("path", generators::path(9)),
+            ("star", generators::star(10)),
+            ("grid", generators::grid2d(4, 5)),
+        ] {
+            let outcome = Simulator::new(&g, &Coin::factory(0.5), 11, SimConfig::default()).run();
+            assert!(outcome.terminated(), "{name} did not terminate");
+            assert_is_mis(&g, &outcome.mis());
+        }
+    }
+
+    #[test]
+    fn single_node_joins_immediately() {
+        let g = Graph::empty(1);
+        let outcome = Simulator::new(&g, &Coin::factory(1.0), 0, SimConfig::default()).run();
+        assert!(outcome.terminated());
+        assert_eq!(outcome.mis(), vec![0]);
+        assert_eq!(outcome.rounds(), 1);
+        assert_eq!(outcome.metrics().beeps[0], 1);
+        assert_eq!(outcome.metrics().signals[0], 2); // both exchanges
+    }
+
+    #[test]
+    fn always_beeping_neighbours_never_terminate() {
+        let g = generators::complete(2);
+        let cfg = SimConfig::default().with_max_rounds(50);
+        let outcome = Simulator::new(&g, &Coin::factory(1.0), 1, cfg).run();
+        assert!(!outcome.terminated());
+        assert_eq!(outcome.rounds(), 50);
+        assert!(outcome.mis().is_empty());
+    }
+
+    #[test]
+    fn empty_graph_terminates_in_zero_rounds() {
+        let g = Graph::empty(0);
+        let outcome = Simulator::new(&g, &Coin::factory(0.5), 2, SimConfig::default()).run();
+        assert!(outcome.terminated());
+        assert_eq!(outcome.rounds(), 0);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let g = generators::gnp(30, 0.3, &mut rand::rngs::SmallRng::seed_from_u64(3));
+        let a = Simulator::new(&g, &Coin::factory(0.5), 77, SimConfig::default()).run();
+        let b = Simulator::new(&g, &Coin::factory(0.5), 77, SimConfig::default()).run();
+        assert_eq!(a, b);
+        let c = Simulator::new(&g, &Coin::factory(0.5), 78, SimConfig::default()).run();
+        // Different seeds *may* coincide, but on 30 nodes it is vanishingly
+        // unlikely the full outcome (statuses + metrics) matches.
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn trace_and_series_record() {
+        let g = generators::cycle(10);
+        let cfg = SimConfig::default()
+            .with_trace(TraceLevel::Rounds)
+            .with_active_series(true);
+        let outcome = Simulator::new(&g, &Coin::factory(0.5), 5, cfg).run();
+        assert_eq!(outcome.trace().len() as u32, outcome.rounds());
+        assert_eq!(
+            outcome.metrics().active_series.len() as u32,
+            outcome.rounds()
+        );
+        assert_eq!(outcome.trace().total_joins(), outcome.mis().len());
+        // Active counts are non-increasing for a fault-free run.
+        let series = &outcome.metrics().active_series;
+        assert!(series.windows(2).all(|w| w[1] <= w[0]));
+        assert_eq!(*series.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn observer_sees_every_round() {
+        let g = generators::path(6);
+        let mut seen = 0u32;
+        let outcome = Simulator::new(&g, &Coin::factory(0.5), 8, SimConfig::default())
+            .run_with_observer(|view| {
+                assert_eq!(view.round, seen);
+                assert_eq!(view.beeped.len(), 6);
+                assert_eq!(view.probabilities.len(), 6);
+                seen += 1;
+            });
+        assert_eq!(seen, outcome.rounds());
+    }
+
+    #[test]
+    fn stepper_matches_run() {
+        let g = generators::gnp(25, 0.4, &mut rand::rngs::SmallRng::seed_from_u64(6));
+        let run = Simulator::new(&g, &Coin::factory(0.5), 21, SimConfig::default()).run();
+        let mut stepper =
+            Simulator::new(&g, &Coin::factory(0.5), 21, SimConfig::default()).into_stepper();
+        let mut rounds = 0;
+        while !stepper.is_done() {
+            stepper.step();
+            rounds += 1;
+        }
+        assert_eq!(rounds, run.rounds());
+        let stepped = stepper.finish();
+        assert_eq!(stepped, run);
+    }
+
+    #[test]
+    fn stepper_exposes_intermediate_state() {
+        let g = generators::complete(6);
+        let mut stepper =
+            Simulator::new(&g, &Coin::factory(0.3), 2, SimConfig::default()).into_stepper();
+        assert_eq!(stepper.active_count(), 6);
+        assert_eq!(stepper.round(), 0);
+        stepper.step();
+        assert_eq!(stepper.round(), 1);
+        assert_eq!(stepper.probabilities().len(), 6);
+        assert_eq!(stepper.last_round_view().round, 0);
+        // Step after done is a no-op.
+        while !stepper.is_done() {
+            stepper.step();
+        }
+        let rounds = stepper.round();
+        stepper.step();
+        assert_eq!(stepper.round(), rounds);
+    }
+
+    #[test]
+    fn stepper_finish_midway_reports_state() {
+        let g = generators::cycle(20);
+        let mut stepper =
+            Simulator::new(&g, &Coin::factory(0.2), 3, SimConfig::default()).into_stepper();
+        stepper.step();
+        let partial = stepper.finish();
+        assert_eq!(partial.rounds(), 1);
+        // After one round at p = 0.2 on C₂₀ some nodes are usually still
+        // active, but either way the flag must agree with the statuses.
+        let active_left = partial
+            .statuses()
+            .iter()
+            .any(|s| !s.is_inactive());
+        assert_eq!(partial.terminated(), !active_left);
+    }
+
+    #[test]
+    #[should_panic(expected = "no round")]
+    fn view_before_first_step_panics() {
+        let g = generators::path(3);
+        let stepper =
+            Simulator::new(&g, &Coin::factory(0.5), 0, SimConfig::default()).into_stepper();
+        let _ = stepper.last_round_view();
+    }
+
+    #[test]
+    fn sleeping_nodes_join_late_with_repair() {
+        // A path 0-1: node 1 sleeps 30 rounds; node 0 joins early. With the
+        // heartbeat repair, node 1 must end up covered, never in the MIS.
+        let g = generators::path(2);
+        let cfg = SimConfig::default()
+            .with_mis_keeps_beeping(true)
+            .with_faults(FaultPlan {
+                message_loss: 0.0,
+                wake_rounds: vec![0, 30],
+            });
+        let outcome = Simulator::new(&g, &Coin::factory(1.0), 4, cfg).run();
+        assert!(outcome.terminated());
+        assert_eq!(outcome.mis(), vec![0]);
+        assert_eq!(outcome.statuses()[1], NodeStatus::Covered);
+        assert!(outcome.metrics().heartbeat_signals > 0);
+    }
+
+    #[test]
+    fn sleeping_nodes_can_violate_without_repair() {
+        // Same scenario without the repair: node 1 wakes to silence and
+        // joins, violating independence — the engine must faithfully report
+        // both nodes as InMis (detection is the verifier's job).
+        let g = generators::path(2);
+        let cfg = SimConfig::default().with_faults(FaultPlan {
+            message_loss: 0.0,
+            wake_rounds: vec![0, 30],
+        });
+        let outcome = Simulator::new(&g, &Coin::factory(1.0), 4, cfg).run();
+        assert!(outcome.terminated());
+        assert_eq!(outcome.mis(), vec![0, 1]);
+    }
+
+    #[test]
+    fn message_loss_still_terminates() {
+        let g = generators::cycle(8);
+        let cfg = SimConfig::default().with_faults(FaultPlan {
+            message_loss: 0.2,
+            wake_rounds: vec![],
+        });
+        let outcome = Simulator::new(&g, &Coin::factory(0.5), 6, cfg).run();
+        assert!(outcome.terminated());
+        assert!(!outcome.mis().is_empty());
+    }
+
+    #[test]
+    fn beeps_count_rounds_not_signals() {
+        let g = Graph::empty(1);
+        let outcome = Simulator::new(&g, &Coin::factory(1.0), 0, SimConfig::default()).run();
+        // One round, beeped in both exchanges: 1 beep, 2 signals.
+        assert_eq!(outcome.metrics().total_beeps(), 1);
+        assert_eq!(outcome.metrics().signals[0], 2);
+    }
+
+    #[test]
+    fn debug_format() {
+        let g = generators::path(3);
+        let sim = Simulator::new(&g, &Coin::factory(0.5), 0, SimConfig::default());
+        assert!(format!("{sim:?}").contains("Simulator"));
+        let stepper = sim.into_stepper();
+        assert!(format!("{stepper:?}").contains("Stepper"));
+    }
+}

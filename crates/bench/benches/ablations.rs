@@ -1,0 +1,46 @@
+//! Bench for the §6 robustness ablations: how feedback parameters change
+//! wall-clock time-to-MIS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mis_bench::{gnp_half, grid};
+use mis_core::{solve_mis, Algorithm, FeedbackConfig};
+
+fn ablations(c: &mut Criterion) {
+    let workloads = [("gnp200", gnp_half(200)), ("grid15", grid(15))];
+    let mut group = c.benchmark_group("feedback_ablations");
+    group.sample_size(30);
+    for (wname, g) in &workloads {
+        for gamma in [1.5f64, 2.0, 4.0] {
+            let algo = Algorithm::feedback_with(
+                FeedbackConfig::default().with_factors(gamma, gamma),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("factor_{gamma}"), wname),
+                g,
+                |b, g| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed = seed.wrapping_add(1);
+                        black_box(solve_mis(g, &algo, seed).unwrap().rounds())
+                    });
+                },
+            );
+        }
+        let low_start = Algorithm::feedback_with(
+            FeedbackConfig::default().with_initial_p(1.0 / 16.0),
+        );
+        group.bench_with_input(BenchmarkId::new("initial_p_1_16", wname), g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(solve_mis(g, &low_start, seed).unwrap().rounds())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

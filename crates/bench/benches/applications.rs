@@ -1,0 +1,97 @@
+//! Bench for the MIS-as-building-block reductions: wall-clock cost of
+//! electing a maximal matching, a (Δ+1)-colouring and a connected
+//! dominating backbone on shared workloads, feedback vs sweep underneath.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mis_apps::{coloring, dominating, matching};
+use mis_bench::{gnp_half, grid};
+use mis_core::Algorithm;
+use mis_graph::generators;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn workloads() -> Vec<(&'static str, mis_graph::Graph)> {
+    let mut rng = SmallRng::seed_from_u64(9);
+    vec![
+        ("gnp100", gnp_half(100)),
+        ("grid10", grid(10)),
+        ("rgg100", generators::random_geometric(100, 0.2, &mut rng)),
+    ]
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apps_matching");
+    group.sample_size(20);
+    for (wname, g) in workloads() {
+        for (aname, algo) in [("feedback", Algorithm::feedback()), ("sweep", Algorithm::sweep())]
+        {
+            group.bench_with_input(BenchmarkId::new(aname, wname), &g, |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    black_box(matching::maximal_matching(g, &algo, seed).unwrap().len())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apps_coloring");
+    group.sample_size(20);
+    for (wname, g) in workloads() {
+        group.bench_with_input(BenchmarkId::new("product", wname), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(
+                    coloring::product_coloring(g, &Algorithm::feedback(), seed)
+                        .unwrap()
+                        .color_count(),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("iterated", wname), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(
+                    coloring::iterated_mis_coloring(g, &Algorithm::feedback(), seed)
+                        .unwrap()
+                        .color_count(),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_seq", wname), &g, |b, g| {
+            b.iter(|| black_box(coloring::greedy_coloring(g).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_backbone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apps_backbone");
+    group.sample_size(20);
+    for (wname, g) in workloads() {
+        if !mis_graph::ops::is_connected(&g) {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("cds", wname), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(
+                    dominating::connected_dominating_set(g, &Algorithm::feedback(), seed)
+                        .unwrap()
+                        .len(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching, bench_coloring, bench_backbone);
+criterion_main!(benches);

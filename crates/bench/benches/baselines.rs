@@ -1,0 +1,69 @@
+//! Bench racing the paper's algorithm against the classical baselines on
+//! one shared workload (the X1 extension experiment's wall-clock view).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mis_baselines::{
+    LubyMarkingFactory, LubyPriorityFactory, MessageSimulator, MetivierFactory,
+};
+use mis_bench::gnp_sparse;
+use mis_core::{solve_mis, Algorithm};
+
+fn baselines(c: &mut Criterion) {
+    let g = gnp_sparse(500);
+    let mut group = c.benchmark_group("baselines_gnp500_sparse");
+    group.sample_size(30);
+
+    group.bench_function("feedback", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(solve_mis(&g, &Algorithm::feedback(), seed).unwrap().rounds())
+        });
+    });
+    group.bench_function("sweep", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(solve_mis(&g, &Algorithm::sweep(), seed).unwrap().rounds())
+        });
+    });
+    group.bench_function("luby_priority", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(
+                MessageSimulator::new(&g, &LubyPriorityFactory::new(), seed)
+                    .run(100_000)
+                    .rounds(),
+            )
+        });
+    });
+    group.bench_function("luby_marking", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(
+                MessageSimulator::new(&g, &LubyMarkingFactory::new(), seed)
+                    .run(100_000)
+                    .rounds(),
+            )
+        });
+    });
+    group.bench_function("metivier", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(
+                MessageSimulator::new(&g, &MetivierFactory::new(), seed)
+                    .run(100_000)
+                    .rounds(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, baselines);
+criterion_main!(benches);

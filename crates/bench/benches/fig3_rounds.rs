@@ -1,0 +1,35 @@
+//! Bench for Figure 3's workload: time-to-MIS on `G(n, ½)` for the global
+//! sweep vs the feedback algorithm. Criterion measures wall time; the
+//! round counts themselves are reproduced by `xp fig3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mis_bench::gnp_half;
+use mis_core::{solve_mis, Algorithm};
+
+fn fig3_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_time_to_mis");
+    group.sample_size(20);
+    for n in [100usize, 300, 1000] {
+        let g = gnp_half(n);
+        group.bench_with_input(BenchmarkId::new("feedback", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(solve_mis(g, &Algorithm::feedback(), seed).unwrap().rounds())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sweep", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(solve_mis(g, &Algorithm::sweep(), seed).unwrap().rounds())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3_rounds);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench for Figure 5's workload: full runs on the beeps-per-node sizes.
+//! The beep statistics are reproduced by `xp fig5`; this measures the cost
+//! of collecting them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mis_bench::gnp_half;
+use mis_core::{solve_mis, Algorithm};
+
+fn fig5_beeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_beeps_per_node");
+    group.sample_size(30);
+    for n in [50usize, 200] {
+        let g = gnp_half(n);
+        for algo in [Algorithm::feedback(), Algorithm::sweep(), Algorithm::science()] {
+            group.bench_with_input(BenchmarkId::new(algo.name(), n), &g, |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    black_box(solve_mis(g, &algo, seed).unwrap().mean_beeps_per_node())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5_beeps);
+criterion_main!(benches);

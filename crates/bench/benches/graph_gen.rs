@@ -1,0 +1,43 @@
+//! Generator throughput: the substrate cost of producing each workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mis_graph::generators;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn graph_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_generators");
+    group.sample_size(30);
+    for n in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("gnp_half", n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| black_box(generators::gnp(n, 0.5, &mut rng).edge_count()));
+        });
+        group.bench_with_input(BenchmarkId::new("gnp_sparse", n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            b.iter(|| black_box(generators::gnp(n, 10.0 / n as f64, &mut rng).edge_count()));
+        });
+        group.bench_with_input(BenchmarkId::new("geometric", n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            let radius = (5.0 / n as f64).sqrt();
+            b.iter(|| {
+                black_box(generators::random_geometric(n, radius, &mut rng).edge_count())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("random_tree", n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(4);
+            b.iter(|| black_box(generators::random_tree(n, &mut rng).edge_count()));
+        });
+    }
+    group.bench_function("grid_100x100", |b| {
+        b.iter(|| black_box(generators::grid2d(100, 100).edge_count()));
+    });
+    group.bench_function("theorem1_side_24", |b| {
+        b.iter(|| black_box(generators::theorem1_family(24).edge_count()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, graph_gen);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Bench for the Theorem 1 family: sweep vs feedback on clique unions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mis_bench::clique_family;
+use mis_core::{solve_mis, Algorithm};
+
+fn lower_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem1_family");
+    group.sample_size(20);
+    for side in [8usize, 16, 24] {
+        let g = clique_family(side);
+        group.bench_with_input(BenchmarkId::new("feedback", g.node_count()), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(solve_mis(g, &Algorithm::feedback(), seed).unwrap().rounds())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sweep", g.node_count()), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(solve_mis(g, &Algorithm::sweep(), seed).unwrap().rounds())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lower_bound);
+criterion_main!(benches);

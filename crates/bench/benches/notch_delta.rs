@@ -1,0 +1,55 @@
+//! Bench for the biological substrate: integrating the Collier model to
+//! steady state vs running the discrete algorithm on the same tissue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mis_biology::{CollierModel, CollierParams};
+use mis_core::{solve_mis, Algorithm};
+use mis_graph::generators;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn notch_delta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lateral_inhibition");
+    group.sample_size(10);
+    for side in [4usize, 8] {
+        let tissue = generators::hex_grid(side, side);
+        group.bench_with_input(
+            BenchmarkId::new("collier_ode", side * side),
+            &tissue,
+            |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let mut rng = SmallRng::seed_from_u64(seed);
+                    black_box(
+                        CollierModel::new(g, CollierParams::default())
+                            .run_to_steady_state(&mut rng)
+                            .high_delta_cells()
+                            .len(),
+                    )
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("feedback_algorithm", side * side),
+            &tissue,
+            |b, g| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    black_box(
+                        solve_mis(g, &Algorithm::feedback(), seed)
+                            .unwrap()
+                            .mis()
+                            .len(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, notch_delta);
+criterion_main!(benches);

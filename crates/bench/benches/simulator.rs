@@ -1,0 +1,35 @@
+//! Raw engine throughput: rounds per second of the beeping simulator on a
+//! large sparse graph (the substrate cost under everything else).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mis_bench::{gnp_sparse, rgg};
+use mis_core::{solve_mis, Algorithm};
+
+fn simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_throughput");
+    group.sample_size(20);
+    for n in [1_000usize, 5_000] {
+        let g = gnp_sparse(n);
+        group.bench_with_input(BenchmarkId::new("feedback_gnp_sparse", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(solve_mis(g, &Algorithm::feedback(), seed).unwrap().rounds())
+            });
+        });
+    }
+    let g = rgg(2_000, 0.05);
+    group.bench_function("feedback_rgg_2000", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(solve_mis(&g, &Algorithm::feedback(), seed).unwrap().rounds())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, simulator);
+criterion_main!(benches);

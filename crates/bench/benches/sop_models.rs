@@ -1,0 +1,48 @@
+//! Bench for the Science'11 stochastic-accumulation SOP models: wall-clock
+//! time to pattern completion per accumulation model, against the discrete
+//! feedback algorithm on the same hex tissue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mis_biology::sop::{run_sop_selection, AccumulationModel, SopParams};
+use mis_core::{solve_mis, Algorithm};
+use mis_graph::generators;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn sop_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sop_models");
+    group.sample_size(30);
+    for side in [6usize, 10] {
+        let tissue = generators::hex_grid(side, side);
+        for model in AccumulationModel::all() {
+            group.bench_with_input(
+                BenchmarkId::new(model.name().replace(' ', "_"), side),
+                &tissue,
+                |b, tissue| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed = seed.wrapping_add(1);
+                        let outcome = run_sop_selection(
+                            tissue,
+                            SopParams::for_model(model),
+                            &mut SmallRng::seed_from_u64(seed),
+                        );
+                        black_box(outcome.steps())
+                    });
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("feedback_algorithm", side), &tissue, |b, t| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(solve_mis(t, &Algorithm::feedback(), seed).unwrap().rounds())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sop_models);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Shared fixtures for the benchmark suite.
+//!
+//! Each bench target in `benches/` regenerates the wall-clock side of one
+//! paper artefact (the statistical side lives in `mis-experiments`; see
+//! `DESIGN.md` §3). Graph fixtures are deterministic so successive bench
+//! runs are comparable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mis_graph::{generators, Graph};
+use rand::{rngs::SmallRng, SeedableRng};
+
+/// Deterministic `G(n, ½)` fixture (the Figures 3/5 workload).
+#[must_use]
+pub fn gnp_half(n: usize) -> Graph {
+    generators::gnp(n, 0.5, &mut SmallRng::seed_from_u64(0xF16 ^ n as u64))
+}
+
+/// Deterministic sparse `G(n, 10/n)` fixture.
+#[must_use]
+pub fn gnp_sparse(n: usize) -> Graph {
+    let p = (10.0 / n as f64).min(1.0);
+    generators::gnp(n, p, &mut SmallRng::seed_from_u64(0x5BA5 ^ n as u64))
+}
+
+/// Deterministic random geometric fixture (sensor networks).
+#[must_use]
+pub fn rgg(n: usize, radius: f64) -> Graph {
+    generators::random_geometric(n, radius, &mut SmallRng::seed_from_u64(0x36 ^ n as u64))
+}
+
+/// The Theorem 1 clique-union family by side parameter.
+#[must_use]
+pub fn clique_family(side: usize) -> Graph {
+    generators::theorem1_family(side)
+}
+
+/// Square grid fixture (§5 workload).
+#[must_use]
+pub fn grid(side: usize) -> Graph {
+    generators::grid2d(side, side)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(gnp_half(64), gnp_half(64));
+        assert_eq!(gnp_sparse(128), gnp_sparse(128));
+        assert_eq!(rgg(50, 0.2), rgg(50, 0.2));
+    }
+
+    #[test]
+    fn fixtures_have_expected_sizes() {
+        assert_eq!(gnp_half(64).node_count(), 64);
+        assert_eq!(grid(9).node_count(), 81);
+        assert_eq!(clique_family(4).node_count(), 40);
+    }
+}

@@ -1,0 +1,59 @@
+//! The Notch–Delta lateral-inhibition ODE model.
+//!
+//! §2 of the paper (Figure 4) grounds the feedback MIS algorithm in the
+//! biology of *Drosophila* sensory-organ-precursor selection: Delta in one
+//! cell transactivates Notch in its neighbours, and Notch activity
+//! suppresses the cell's own Delta — a positive intercellular feedback
+//! loop that amplifies small differences until adjacent cells settle into
+//! mutually exclusive *sending* (high Delta) and *receiving* (high Notch)
+//! states.
+//!
+//! This crate implements the standard continuous model of that mechanism —
+//! Collier, Monk, Maini & Lewis, *Pattern formation by lateral inhibition
+//! with feedback* (J. Theor. Biol. 183, 1996; the paper's reference 7) —
+//! on arbitrary [`mis_graph::Graph`] topologies:
+//!
+//! ```text
+//!   dn_i/dt = F( mean of d_j over neighbours j of i ) − n_i
+//!   dd_i/dt = ν · ( G(n_i) − d_i )
+//!
+//!   F(x) = x^k / (a + x^k)        activation of Notch by neighbour Delta
+//!   G(x) = 1 / (1 + b·x^h)        inhibition of Delta by own Notch
+//! ```
+//!
+//! Integrating from near-uniform initial conditions produces a
+//! “fine-grained pattern”: a salt-and-pepper arrangement of high-Delta
+//! cells, no two adjacent, that the paper identifies with a maximal
+//! independent set. [`PatternOutcome::high_delta_cells`] extracts that set
+//! so tests can compare the continuous model's output with the discrete
+//! algorithm's (`mis-core`).
+//!
+//! # Examples
+//!
+//! ```
+//! use mis_biology::{CollierModel, CollierParams};
+//! use mis_graph::generators;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let epithelium = generators::cycle(12);
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let outcome = CollierModel::new(&epithelium, CollierParams::default())
+//!     .run_to_steady_state(&mut rng);
+//! let senders = outcome.high_delta_cells();
+//! // Senders form an independent set: lateral inhibition worked.
+//! for &s in &senders {
+//!     for &u in epithelium.neighbors(s) {
+//!         assert!(!senders.contains(&u));
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod ode;
+pub mod sop;
+
+pub use model::{CellState, CollierModel, CollierParams, PatternOutcome};
+pub use ode::rk4_step;

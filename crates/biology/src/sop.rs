@@ -1,0 +1,449 @@
+//! Stochastic-accumulation models of SOP selection (Afek et al.,
+//! Science 2011).
+//!
+//! §1 of the paper recounts how Afek et al. “compared statistics derived
+//! from the observed SOP selection times with several in silico models
+//! for stochastic accumulation of Notch and Delta” before settling on “a
+//! consistent model with stochastic rate change that did not require
+//! knowledge about the number of active neighbours and used only
+//! threshold (binary) communication”. This module implements that model
+//! family so the discrete algorithm's biological ancestry can be
+//! exercised directly:
+//!
+//! * each proneural cell accumulates an internal Delta level;
+//! * when the level crosses a threshold the cell *signals* — a binary,
+//!   identity-free event, exactly the paper's beep;
+//! * a signalling cell with no simultaneously-signalling neighbour is
+//!   selected as an SOP and laterally inhibits its neighbours;
+//! * simultaneous crossings (collisions) reset the colliding cells.
+//!
+//! The three [`AccumulationModel`] variants reproduce the progression the
+//! Science paper tested: a deterministic rate (selection times too
+//! regular), a rate drawn once per cell (heavy-tailed waiting times), and
+//! the accepted *stochastic rate change* model in which a cell's rate
+//! ratchets up at random moments, giving an accelerating hazard. The
+//! exact parameter values of the original fits are not published with the
+//! paper, so the variants here are qualitative equivalents: they preserve
+//! the property under comparison (the *shape* of the selection-time
+//! distribution) rather than its absolute scale — see `DESIGN.md` §4.
+
+use mis_graph::{Graph, NodeId};
+use rand::{Rng, RngExt};
+
+/// How a cell's Delta accumulation rate behaves over time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccumulationModel {
+    /// All cells share one fixed rate; only the starting level is noisy.
+    /// Selection times cluster tightly (the model the Science paper ruled
+    /// out first).
+    FixedRate,
+    /// Each cell draws its rate once, uniformly from `(0, 2·rate)`.
+    /// Early crossers are fast cells; slow cells wait a long time.
+    RandomRateOnce,
+    /// Each cell starts slow and, at each step with probability
+    /// `change_prob`, doubles its rate — the stochastic rate *change*
+    /// model the Science paper found consistent with the fly data.
+    StochasticRateChange,
+}
+
+impl AccumulationModel {
+    /// All three variants, in the order the Science paper considered them.
+    #[must_use]
+    pub fn all() -> [AccumulationModel; 3] {
+        [
+            AccumulationModel::FixedRate,
+            AccumulationModel::RandomRateOnce,
+            AccumulationModel::StochasticRateChange,
+        ]
+    }
+
+    /// A short human-readable label.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            AccumulationModel::FixedRate => "fixed rate",
+            AccumulationModel::RandomRateOnce => "random rate (once)",
+            AccumulationModel::StochasticRateChange => "stochastic rate change",
+        }
+    }
+}
+
+/// Parameters of the stochastic accumulation simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SopParams {
+    /// Which accumulation model drives the cells.
+    pub model: AccumulationModel,
+    /// Base accumulation rate per step (threshold is fixed at 1).
+    pub rate: f64,
+    /// Per-step probability of a rate jump (only used by
+    /// [`AccumulationModel::StochasticRateChange`]).
+    pub change_prob: f64,
+    /// Safety cap on simulation steps.
+    pub max_steps: u32,
+}
+
+impl SopParams {
+    /// Defaults tuned so typical selection happens within tens of steps.
+    #[must_use]
+    pub fn for_model(model: AccumulationModel) -> Self {
+        Self { model, rate: 0.05, change_prob: 0.15, max_steps: 100_000 }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.rate.is_finite() || self.rate <= 0.0 {
+            return Err(format!("rate must be positive and finite, got {}", self.rate));
+        }
+        if !(0.0..=1.0).contains(&self.change_prob) {
+            return Err(format!("change_prob must be in [0, 1], got {}", self.change_prob));
+        }
+        if self.max_steps == 0 {
+            return Err("max_steps must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SopParams {
+    fn default() -> Self {
+        Self::for_model(AccumulationModel::StochasticRateChange)
+    }
+}
+
+/// Outcome of one stochastic SOP-selection run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SopOutcome {
+    selected: Vec<NodeId>,
+    selection_times: Vec<(NodeId, u32)>,
+    collisions: u64,
+    steps: u32,
+    completed: bool,
+}
+
+impl SopOutcome {
+    /// The selected SOP cells, sorted ascending. When the run
+    /// [`completed`](Self::completed), this is a maximal independent set.
+    #[must_use]
+    pub fn selected(&self) -> &[NodeId] {
+        &self.selected
+    }
+
+    /// `(cell, step)` pairs in order of selection.
+    #[must_use]
+    pub fn selection_times(&self) -> &[(NodeId, u32)] {
+        &self.selection_times
+    }
+
+    /// The selection steps alone, as floats, for distribution tests.
+    #[must_use]
+    pub fn times(&self) -> Vec<f64> {
+        self.selection_times.iter().map(|&(_, t)| f64::from(t)).collect()
+    }
+
+    /// Number of collision events (two adjacent cells crossing the
+    /// threshold in the same step, both resetting).
+    #[must_use]
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+
+    /// Steps simulated.
+    #[must_use]
+    pub fn steps(&self) -> u32 {
+        self.steps
+    }
+
+    /// Whether every cell became an SOP or an inhibited neighbour before
+    /// `max_steps`.
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.completed
+    }
+
+    /// Coefficient of variation (std dev / mean) of the selection times —
+    /// the dispersion statistic the Science paper matched against the fly
+    /// data. `None` with fewer than two selections.
+    #[must_use]
+    pub fn selection_time_cv(&self) -> Option<f64> {
+        let times = self.times();
+        if times.len() < 2 {
+            return None;
+        }
+        let n = times.len() as f64;
+        let mean = times.iter().sum::<f64>() / n;
+        if mean == 0.0 {
+            return None;
+        }
+        let var = times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / (n - 1.0);
+        Some(var.sqrt() / mean)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellFate {
+    Active,
+    Sop,
+    Inhibited,
+}
+
+/// Runs the stochastic accumulation model on `tissue`.
+///
+/// # Panics
+///
+/// Panics if `params` fail [`SopParams::validate`].
+///
+/// # Examples
+///
+/// ```
+/// use mis_biology::sop::{run_sop_selection, AccumulationModel, SopParams};
+/// use mis_graph::generators;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let tissue = generators::hex_grid(5, 5);
+/// let params = SopParams::for_model(AccumulationModel::StochasticRateChange);
+/// let outcome = run_sop_selection(&tissue, params, &mut SmallRng::seed_from_u64(3));
+/// assert!(outcome.completed());
+/// // Lateral inhibition: no two adjacent SOPs.
+/// for &s in outcome.selected() {
+///     for &u in tissue.neighbors(s) {
+///         assert!(!outcome.selected().contains(&u));
+///     }
+/// }
+/// ```
+pub fn run_sop_selection<R: Rng + ?Sized>(
+    tissue: &Graph,
+    params: SopParams,
+    rng: &mut R,
+) -> SopOutcome {
+    params.validate().expect("invalid SOP parameters");
+    let n = tissue.node_count();
+    let mut fate = vec![CellFate::Active; n];
+    let mut level = vec![0.0f64; n];
+    let mut rate = vec![0.0f64; n];
+    for r in rate.iter_mut() {
+        *r = match params.model {
+            AccumulationModel::FixedRate => params.rate,
+            // Floored away from zero so no cell needs unboundedly long to
+            // cross; the tail stays heavy enough to dominate FixedRate.
+            AccumulationModel::RandomRateOnce => {
+                rng.random_range(0.02 * params.rate..2.0 * params.rate)
+            }
+            // Rate change starts an order of magnitude slow and ratchets up.
+            AccumulationModel::StochasticRateChange => params.rate / 16.0,
+        };
+    }
+    // Noisy starting levels break ties even for the deterministic rate.
+    for l in level.iter_mut() {
+        *l = rng.random_range(0.0..0.5);
+    }
+
+    let mut selected = Vec::new();
+    let mut selection_times = Vec::new();
+    let mut collisions = 0u64;
+    let mut active = n;
+    let mut step = 0u32;
+    let mut crossers: Vec<NodeId> = Vec::new();
+    while active > 0 && step < params.max_steps {
+        step += 1;
+        crossers.clear();
+        for v in 0..n {
+            if fate[v] != CellFate::Active {
+                continue;
+            }
+            if params.model == AccumulationModel::StochasticRateChange
+                && rng.random_bool(params.change_prob)
+            {
+                rate[v] = (rate[v] * 2.0).min(1.0);
+            }
+            level[v] += rate[v];
+            if level[v] >= 1.0 {
+                crossers.push(v as NodeId);
+            }
+        }
+        // Threshold communication: a crosser signals; it is selected only
+        // if no *active* neighbour signalled in the same step.
+        let mut crossing = vec![false; n];
+        for &v in &crossers {
+            crossing[v as usize] = true;
+        }
+        for &v in &crossers {
+            let contested = tissue.neighbors(v).iter().any(|&u| crossing[u as usize]);
+            if contested {
+                collisions += 1;
+                // Back off to a fresh noisy level; re-randomising (rather
+                // than resetting to exactly zero) breaks the livelock of
+                // identical-rate cells colliding forever in lockstep.
+                level[v as usize] = rng.random_range(0.0..0.5);
+            } else {
+                fate[v as usize] = CellFate::Sop;
+                active -= 1;
+                selected.push(v);
+                selection_times.push((v, step));
+                for &u in tissue.neighbors(v) {
+                    if fate[u as usize] == CellFate::Active {
+                        fate[u as usize] = CellFate::Inhibited;
+                        active -= 1;
+                    }
+                }
+            }
+        }
+    }
+    selected.sort_unstable();
+    SopOutcome { selected, selection_times, collisions, steps: step, completed: active == 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graph::generators;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn run(model: AccumulationModel, g: &Graph, seed: u64) -> SopOutcome {
+        run_sop_selection(g, SopParams::for_model(model), &mut SmallRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn all_models_produce_an_mis_on_the_hex_tissue() {
+        let tissue = generators::hex_grid(6, 6);
+        for model in AccumulationModel::all() {
+            let outcome = run(model, &tissue, 11);
+            assert!(outcome.completed(), "{} did not finish", model.name());
+            assert!(
+                mis_core_check(&tissue, outcome.selected()),
+                "{} produced a non-MIS pattern",
+                model.name()
+            );
+        }
+    }
+
+    /// Local MIS check (kept here to avoid a dev-dependency cycle with
+    /// mis-core): independent + dominating.
+    fn mis_core_check(g: &Graph, set: &[NodeId]) -> bool {
+        let mut member = vec![false; g.node_count()];
+        for &v in set {
+            member[v as usize] = true;
+        }
+        let independent = set
+            .iter()
+            .all(|&v| g.neighbors(v).iter().all(|&u| !member[u as usize]));
+        let dominating = g.nodes().all(|v| {
+            member[v as usize] || g.neighbors(v).iter().any(|&u| member[u as usize])
+        });
+        independent && dominating
+    }
+
+    #[test]
+    fn rate_change_model_completes_on_cliques() {
+        // The hardest case for threshold crossing: everyone adjacent.
+        let g = generators::complete(12);
+        let outcome = run(AccumulationModel::StochasticRateChange, &g, 5);
+        assert!(outcome.completed());
+        assert_eq!(outcome.selected().len(), 1);
+    }
+
+    #[test]
+    fn fixed_rate_times_are_tighter_than_random_rate() {
+        // The Science paper's reason for rejecting the fixed-rate model is
+        // that real selection times are too dispersed. Check the model
+        // ordering on a disjoint union of many small cliques (many
+        // independent selections in one run).
+        let g = generators::disjoint_cliques(&[4; 40]);
+        let mut fixed_cv = Vec::new();
+        let mut random_cv = Vec::new();
+        for seed in 0..8 {
+            if let Some(cv) = run(AccumulationModel::FixedRate, &g, seed).selection_time_cv() {
+                fixed_cv.push(cv);
+            }
+            if let Some(cv) =
+                run(AccumulationModel::RandomRateOnce, &g, seed).selection_time_cv()
+            {
+                random_cv.push(cv);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&fixed_cv) < mean(&random_cv),
+            "fixed CV {} should be below random-rate CV {}",
+            mean(&fixed_cv),
+            mean(&random_cv)
+        );
+    }
+
+    #[test]
+    fn selection_times_are_recorded_in_order() {
+        let g = generators::grid2d(5, 5);
+        let outcome = run(AccumulationModel::StochasticRateChange, &g, 3);
+        let times: Vec<u32> = outcome.selection_times().iter().map(|&(_, t)| t).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(outcome.times().len(), outcome.selected().len());
+    }
+
+    #[test]
+    fn empty_tissue_completes_immediately() {
+        let g = Graph::empty(0);
+        let outcome = run(AccumulationModel::FixedRate, &g, 0);
+        assert!(outcome.completed());
+        assert_eq!(outcome.steps(), 0);
+        assert!(outcome.selected().is_empty());
+        assert_eq!(outcome.selection_time_cv(), None);
+    }
+
+    #[test]
+    fn single_cell_selects_itself() {
+        let g = Graph::empty(1);
+        let outcome = run(AccumulationModel::StochasticRateChange, &g, 2);
+        assert_eq!(outcome.selected(), &[0]);
+        assert_eq!(outcome.collisions(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::hex_grid(4, 4);
+        let a = run(AccumulationModel::StochasticRateChange, &g, 9);
+        let b = run(AccumulationModel::StochasticRateChange, &g, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn params_validation_rejects_bad_values() {
+        let bad_rate = SopParams { rate: 0.0, ..SopParams::default() };
+        assert!(bad_rate.validate().is_err());
+        let bad_prob = SopParams { change_prob: 1.5, ..SopParams::default() };
+        assert!(bad_prob.validate().is_err());
+        let bad_steps = SopParams { max_steps: 0, ..SopParams::default() };
+        assert!(bad_steps.validate().is_err());
+        assert!(SopParams::default().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SOP parameters")]
+    fn run_panics_on_invalid_params() {
+        let p = SopParams { rate: -1.0, ..SopParams::default() };
+        let _ = run_sop_selection(&generators::path(3), p, &mut SmallRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn model_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            AccumulationModel::all().iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn collisions_happen_under_fixed_rate_on_cliques() {
+        // With one shared rate and similar starting levels, adjacent cells
+        // frequently cross together; the model must still resolve.
+        let g = generators::disjoint_cliques(&[6; 20]);
+        let mut any_collision = false;
+        for seed in 0..5 {
+            let outcome = run(AccumulationModel::FixedRate, &g, seed);
+            assert!(outcome.completed());
+            any_collision |= outcome.collisions() > 0;
+        }
+        assert!(any_collision, "expected at least one collision across seeds");
+    }
+}

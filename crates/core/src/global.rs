@@ -1,0 +1,240 @@
+//! The globally scheduled algorithm class of Afek et al. (§3 of the paper).
+
+use core::fmt;
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+use mis_beeping::{BeepingProcess, NetworkInfo, ProcessFactory, Verdict};
+use mis_graph::NodeId;
+
+use crate::ProbabilitySchedule;
+
+/// A node running the Afek et al. approach: beep with the globally preset
+/// probability `p_t` of a [`ProbabilitySchedule`], identical at every node.
+///
+/// Theorem 1 of the paper shows this entire class — for *any* schedule —
+/// needs `Ω(log² n)` rounds on the clique-union family; the experiments
+/// instantiate it with the DISC'11 sweep and the Science'11 ramp.
+#[derive(Debug, Clone)]
+pub struct GlobalScheduleProcess<S> {
+    schedule: S,
+    step: u32,
+    beeped: bool,
+    heard: bool,
+    cautious_join: bool,
+}
+
+impl<S: ProbabilitySchedule> GlobalScheduleProcess<S> {
+    /// Creates a process at step 0 of `schedule`.
+    #[must_use]
+    pub fn new(schedule: S) -> Self {
+        Self {
+            schedule,
+            step: 0,
+            beeped: false,
+            heard: false,
+            cautious_join: false,
+        }
+    }
+
+    /// Enables the cautious join rule (see
+    /// [`FeedbackConfig::cautious_join`](crate::FeedbackConfig::cautious_join)).
+    #[must_use]
+    pub fn with_cautious_join(mut self, on: bool) -> Self {
+        self.cautious_join = on;
+        self
+    }
+
+    /// The current step index (number of completed rounds).
+    #[must_use]
+    pub fn step(&self) -> u32 {
+        self.step
+    }
+}
+
+impl<S: ProbabilitySchedule> BeepingProcess for GlobalScheduleProcess<S> {
+    fn exchange1(&mut self, rng: &mut SmallRng) -> bool {
+        let p = self.schedule.probability(self.step);
+        self.beeped = p >= 1.0 || (p > 0.0 && rng.random_bool(p));
+        self.beeped
+    }
+
+    fn exchange2(&mut self, heard: bool) -> bool {
+        self.heard = heard;
+        self.beeped && !heard
+    }
+
+    fn end_round(&mut self, heard_join: bool) -> Verdict {
+        self.step += 1;
+        let claiming = self.beeped && !self.heard;
+        if claiming {
+            if self.cautious_join && heard_join {
+                return Verdict::Covered;
+            }
+            return Verdict::JoinMis;
+        }
+        if heard_join {
+            return Verdict::Covered;
+        }
+        Verdict::Continue
+    }
+
+    fn beep_probability(&self) -> f64 {
+        self.schedule.probability(self.step)
+    }
+}
+
+/// Factory installing the same schedule-driven process at every node.
+///
+/// The schedule is built per node by a closure over `(node, degree,
+/// network info)` so that informed schedules (Science'11 needs `n` and `Δ`)
+/// can read the network facts, while uninformed ones ignore them.
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalScheduleFactory<F> {
+    make_schedule: F,
+    cautious_join: bool,
+}
+
+impl<F, S> GlobalScheduleFactory<F>
+where
+    F: Fn(&NetworkInfo) -> S,
+    S: ProbabilitySchedule,
+{
+    /// Creates the factory from a schedule constructor.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mis_core::{GlobalScheduleFactory, SweepSchedule};
+    ///
+    /// let factory = GlobalScheduleFactory::new(|_| SweepSchedule::new());
+    /// # let _ = factory;
+    /// ```
+    #[must_use]
+    pub fn new(make_schedule: F) -> Self {
+        Self {
+            make_schedule,
+            cautious_join: false,
+        }
+    }
+
+    /// Enables the cautious join rule on every created process.
+    #[must_use]
+    pub fn with_cautious_join(mut self, on: bool) -> Self {
+        self.cautious_join = on;
+        self
+    }
+}
+
+impl<F, S> ProcessFactory for GlobalScheduleFactory<F>
+where
+    F: Fn(&NetworkInfo) -> S,
+    S: ProbabilitySchedule,
+{
+    type Process = GlobalScheduleProcess<S>;
+
+    fn create(&self, _node: NodeId, _degree: usize, info: &NetworkInfo) -> Self::Process {
+        GlobalScheduleProcess::new((self.make_schedule)(info))
+            .with_cautious_join(self.cautious_join)
+    }
+}
+
+impl<S: ProbabilitySchedule> fmt::Display for GlobalScheduleProcess<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "global[{}] at step {}", self.schedule.name(), self.step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConstantSchedule, ScienceSchedule, SweepSchedule};
+    use mis_beeping::rng::node_rng;
+    use mis_beeping::{SimConfig, Simulator};
+    use mis_graph::generators;
+
+    #[test]
+    fn process_follows_schedule_steps() {
+        let mut p = GlobalScheduleProcess::new(SweepSchedule::new());
+        let mut rng = node_rng(0, 0);
+        assert_eq!(p.beep_probability(), 1.0);
+        // Step 0: p = 1 so the node must beep.
+        assert!(p.exchange1(&mut rng));
+        let _ = p.exchange2(true); // heard someone; no claim
+        assert_eq!(p.end_round(false), Verdict::Continue);
+        assert_eq!(p.step(), 1);
+        assert_eq!(p.beep_probability(), 0.5);
+    }
+
+    #[test]
+    fn probability_one_always_beeps_and_wins_alone() {
+        let mut p = GlobalScheduleProcess::new(ConstantSchedule::new(1.0));
+        let mut rng = node_rng(1, 0);
+        assert!(p.exchange1(&mut rng));
+        assert!(p.exchange2(false));
+        assert_eq!(p.end_round(false), Verdict::JoinMis);
+    }
+
+    #[test]
+    fn probability_zero_never_beeps() {
+        let mut p = GlobalScheduleProcess::new(ConstantSchedule::new(0.0));
+        let mut rng = node_rng(2, 0);
+        for _ in 0..5 {
+            assert!(!p.exchange1(&mut rng));
+            assert!(!p.exchange2(false));
+            assert_eq!(p.end_round(false), Verdict::Continue);
+        }
+    }
+
+    #[test]
+    fn sweep_terminates_on_graph_families() {
+        let factory = GlobalScheduleFactory::new(|_| SweepSchedule::new());
+        for (name, g) in [
+            ("complete", generators::complete(10)),
+            ("cycle", generators::cycle(15)),
+            ("grid", generators::grid2d(4, 4)),
+            ("clique union", generators::theorem1_family(3)),
+        ] {
+            let outcome = Simulator::new(&g, &factory, 3, SimConfig::default()).run();
+            assert!(outcome.terminated(), "{name}");
+        }
+    }
+
+    #[test]
+    fn science_uses_network_info() {
+        let factory =
+            GlobalScheduleFactory::new(|info: &NetworkInfo| {
+                ScienceSchedule::for_network(info.node_count, info.max_degree, 2)
+            });
+        let g = generators::gnp(40, 0.5, &mut rand::rngs::SmallRng::seed_from_u64(8));
+        let outcome = Simulator::new(&g, &factory, 5, SimConfig::default()).run();
+        assert!(outcome.terminated());
+        use rand::SeedableRng as _;
+    }
+
+    #[test]
+    fn cautious_join_yields() {
+        let mut p =
+            GlobalScheduleProcess::new(ConstantSchedule::new(1.0)).with_cautious_join(true);
+        let mut rng = node_rng(3, 0);
+        assert!(p.exchange1(&mut rng));
+        assert!(p.exchange2(false));
+        assert_eq!(p.end_round(true), Verdict::Covered);
+    }
+
+    #[test]
+    fn covered_when_hearing_join() {
+        let mut p = GlobalScheduleProcess::new(ConstantSchedule::new(0.0));
+        let mut rng = node_rng(4, 0);
+        let _ = p.exchange1(&mut rng);
+        let _ = p.exchange2(true);
+        assert_eq!(p.end_round(true), Verdict::Covered);
+    }
+
+    #[test]
+    fn display_names_schedule() {
+        let p = GlobalScheduleProcess::new(SweepSchedule::new());
+        assert!(p.to_string().contains("sweep"));
+    }
+}

@@ -1,0 +1,291 @@
+//! Instrumentation for the proof of Theorem 6 (`O(1)` expected beeps).
+//!
+//! The proof decomposes a node's beeps into:
+//!
+//! * **descent** steps — the node hears a beep and its probability drops
+//!   to a new all-time low; the expected beeps over this subsequence is
+//!   `½ + ¼ + … ≤ 1`;
+//! * **Case 1** — silence heard, probability doubles;
+//! * **Case 2** — beep heard, probability halves but not to a new low
+//!   (each such step pairs with an earlier Case 1 step);
+//! * **Case 3** — silence heard at the probability cap; a beep here wins
+//!   the round, so at most one Case 3 beep ever occurs.
+//!
+//! [`BeepAccountant`] recomputes this decomposition from live runs via the
+//! simulator's observer hook, letting tests check the proof's budget
+//! (`1 + 1 + 2·3 = 8` expected beeps) empirically.
+
+use core::fmt;
+
+use mis_beeping::RoundView;
+use mis_graph::NodeId;
+
+/// Per-class beep counts for one node (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BeepBreakdown {
+    /// Beeps during descent steps (new probability minima).
+    pub descent: u32,
+    /// Beeps during Case 1 steps (silence, probability doubles).
+    pub case1: u32,
+    /// Beeps during Case 2 steps (heard, non-minimum halving).
+    pub case2: u32,
+    /// Beeps during Case 3 steps (silence at the cap).
+    pub case3: u32,
+}
+
+impl BeepBreakdown {
+    /// Total beeps across all classes.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.descent + self.case1 + self.case2 + self.case3
+    }
+}
+
+impl fmt::Display for BeepBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "descent={} case1={} case2={} case3={} (total {})",
+            self.descent,
+            self.case1,
+            self.case2,
+            self.case3,
+            self.total()
+        )
+    }
+}
+
+/// Classifies every step of one node's life per the Theorem 6 proof.
+///
+/// Feed consecutive [`RoundView`]s from
+/// [`Simulator::run_with_observer`](mis_beeping::Simulator::run_with_observer);
+/// accounting stops automatically when the node goes inactive.
+///
+/// # Examples
+///
+/// ```
+/// use mis_beeping::{SimConfig, Simulator};
+/// use mis_core::theory::beeps::BeepAccountant;
+/// use mis_core::FeedbackFactory;
+/// use mis_graph::generators;
+///
+/// let g = generators::cycle(12);
+/// let mut acct = BeepAccountant::new(0, 0.5);
+/// let outcome = Simulator::new(&g, &FeedbackFactory::new(), 5, SimConfig::default())
+///     .run_with_observer(|view| acct.observe(view));
+/// // The accountant's total matches the engine's per-node beep metric.
+/// assert_eq!(
+///     acct.breakdown().total(),
+///     outcome.metrics().beeps[0]
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct BeepAccountant {
+    node: NodeId,
+    cap: f64,
+    min_probability: f64,
+    breakdown: BeepBreakdown,
+    active: bool,
+    steps: u32,
+}
+
+impl BeepAccountant {
+    /// Creates an accountant for `node`, whose probability cap is `cap`
+    /// (the paper's algorithm uses ½).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is not in `(0, 1]`.
+    #[must_use]
+    pub fn new(node: NodeId, cap: f64) -> Self {
+        assert!(cap > 0.0 && cap <= 1.0, "cap must be in (0, 1]");
+        Self {
+            node,
+            cap,
+            min_probability: f64::INFINITY,
+            breakdown: BeepBreakdown::default(),
+            active: true,
+            steps: 0,
+        }
+    }
+
+    /// Ingests one completed round.
+    pub fn observe(&mut self, view: &RoundView<'_>) {
+        if !self.active {
+            return;
+        }
+        let idx = self.node as usize;
+        let p = view.probabilities[idx];
+        if p == 0.0 {
+            // Node was inactive (or asleep) at the start of this round.
+            self.active = view.status[idx] == mis_beeping::NodeStatus::Asleep;
+            return;
+        }
+        self.steps += 1;
+        let beeped = view.beeped[idx];
+        let heard = view.heard[idx];
+        let is_new_min = p < self.min_probability;
+        if heard {
+            if is_new_min {
+                // Probability drops below every earlier value: a descent
+                // step in the proof's terminology.
+                self.min_probability = p;
+                if beeped {
+                    self.breakdown.descent += 1;
+                }
+            } else if beeped {
+                self.breakdown.case2 += 1;
+            }
+        } else if p >= self.cap {
+            if is_new_min {
+                self.min_probability = p;
+            }
+            if beeped {
+                self.breakdown.case3 += 1;
+            }
+        } else {
+            if is_new_min {
+                self.min_probability = p;
+            }
+            if beeped {
+                self.breakdown.case1 += 1;
+            }
+        }
+        if view.status[idx].is_inactive() {
+            self.active = false;
+        }
+    }
+
+    /// The per-class beep counts so far.
+    #[must_use]
+    pub fn breakdown(&self) -> BeepBreakdown {
+        self.breakdown
+    }
+
+    /// Steps the node was active for.
+    #[must_use]
+    pub fn steps_observed(&self) -> u32 {
+        self.steps
+    }
+
+    /// The node being tracked.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FeedbackFactory;
+    use mis_beeping::{SimConfig, Simulator};
+    use mis_graph::generators;
+    use mis_stats::OnlineStats;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn account_all(g: &mis_graph::Graph, seed: u64) -> Vec<BeepBreakdown> {
+        let mut accountants: Vec<BeepAccountant> = g
+            .nodes()
+            .map(|v| BeepAccountant::new(v, 0.5))
+            .collect();
+        let outcome = Simulator::new(g, &FeedbackFactory::new(), seed, SimConfig::default())
+            .run_with_observer(|view| {
+                for acct in &mut accountants {
+                    acct.observe(view);
+                }
+            });
+        // Totals must reconcile exactly with the engine's metric.
+        for acct in &accountants {
+            assert_eq!(
+                acct.breakdown().total(),
+                outcome.metrics().beeps[acct.node() as usize],
+                "node {} accounting drifted",
+                acct.node()
+            );
+        }
+        accountants.into_iter().map(|a| a.breakdown()).collect()
+    }
+
+    #[test]
+    fn totals_match_engine_metrics() {
+        let g = generators::gnp(50, 0.5, &mut SmallRng::seed_from_u64(1));
+        let _ = account_all(&g, 7);
+    }
+
+    #[test]
+    fn case3_beeps_at_most_one() {
+        // A Case 3 beep (silence at the cap) wins the round, so each node
+        // emits at most one — a hard invariant from the proof.
+        for seed in 0..5 {
+            let g = generators::gnp(60, 0.4, &mut SmallRng::seed_from_u64(seed));
+            for b in account_all(&g, seed ^ 0xCA5E) {
+                assert!(b.case3 <= 1, "{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn descent_beeps_expected_below_one() {
+        // E[descent beeps] ≤ ½ + ¼ + … ≤ 1; check the empirical mean.
+        let mut descents = OnlineStats::new();
+        for seed in 0..6 {
+            let g = generators::gnp(80, 0.5, &mut SmallRng::seed_from_u64(seed + 10));
+            for b in account_all(&g, seed) {
+                descents.push(f64::from(b.descent));
+            }
+        }
+        assert!(
+            descents.mean() < 1.0,
+            "mean descent beeps {} exceeds the proof's budget",
+            descents.mean()
+        );
+    }
+
+    #[test]
+    fn total_budget_well_below_proof_constant() {
+        // The proof's budget is 8; practice is ≈ 1.1.
+        let mut totals = OnlineStats::new();
+        for seed in 0..6 {
+            let g = generators::gnp(80, 0.5, &mut SmallRng::seed_from_u64(seed + 20));
+            for b in account_all(&g, seed ^ 0xB07) {
+                totals.push(f64::from(b.total()));
+            }
+        }
+        assert!(totals.mean() < 2.0, "mean total beeps {}", totals.mean());
+        assert!(totals.mean() > 0.5);
+    }
+
+    #[test]
+    fn grid_accounting_matches_paper_band() {
+        let g = generators::grid2d(10, 10);
+        let mut totals = OnlineStats::new();
+        for seed in 0..10 {
+            for b in account_all(&g, seed) {
+                totals.push(f64::from(b.total()));
+            }
+        }
+        assert!(
+            (0.9..1.5).contains(&totals.mean()),
+            "grid beeps/node {}",
+            totals.mean()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn bad_cap_panics() {
+        let _ = BeepAccountant::new(0, 0.0);
+    }
+
+    #[test]
+    fn display_breakdown() {
+        let b = BeepBreakdown {
+            descent: 1,
+            case1: 2,
+            case2: 0,
+            case3: 1,
+        };
+        assert!(b.to_string().contains("total 4"));
+    }
+}

@@ -1,0 +1,299 @@
+//! Instrumentation for Theorem 1: the lower bound for globally-chosen
+//! probability values.
+//!
+//! The proof of Theorem 1 hinges on one scalar per clique size `d` and
+//! schedule prefix `p_1, …, p_T`: the *potential*
+//!
+//! ```text
+//!   Φ_T(d) = Σ_{i=1..T} 6 · d · p_i · e^{−d·p_i}
+//! ```
+//!
+//! Inequality (1) of the paper shows the probability that a copy of `K_d`
+//! is still fully active after `T` steps is at least `exp(−Φ_T(d))`; the
+//! union-bound step then forces `Φ_T(d) > ¼·log n` for **every**
+//! `d ∈ {3, …, n^{1/3}}`, and the averaging argument shows no schedule can
+//! achieve that before `T = Ω(log² n)`. This module computes those proof
+//! quantities directly so tests and experiments can watch the mechanism —
+//! each step's probability `p` "serves" only cliques with `d ≈ 1/p`
+//! (the weight `d·p·e^{−d·p}` peaks at `d·p = 1`), so a global schedule
+//! must spend separate steps on each of the `Θ(log n)` decades of clique
+//! sizes, `Θ(log n)` steps per decade.
+
+use mis_graph::NodeId;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::schedule::ProbabilitySchedule;
+
+/// One term of the potential: `6 · d · p · e^{−d·p}`.
+///
+/// This upper-bounds (up to the constant) the probability that a specific
+/// step with beep probability `p` deactivates a clique of size `d`, and is
+/// maximised when `d·p = 1` — the formal sense in which a probability
+/// value only "fits" one clique scale.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `d == 0`.
+#[must_use]
+pub fn potential_term(d: usize, p: f64) -> f64 {
+    assert!(d > 0, "clique size must be positive");
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    let dp = d as f64 * p;
+    6.0 * dp * (-dp).exp()
+}
+
+/// The Theorem 1 potential `Φ_T(d)` of the first `steps` values of
+/// `schedule` against clique size `d`.
+#[must_use]
+pub fn potential<S: ProbabilitySchedule + ?Sized>(schedule: &S, d: usize, steps: u32) -> f64 {
+    (0..steps).map(|t| potential_term(d, schedule.probability(t))).sum()
+}
+
+/// The proof's lower bound on the probability that a `K_d` is still fully
+/// active after `steps` steps: `exp(−Φ_T(d))` (valid for `d ≥ 3`).
+#[must_use]
+pub fn clique_survival_lower_bound<S: ProbabilitySchedule + ?Sized>(
+    schedule: &S,
+    d: usize,
+    steps: u32,
+) -> f64 {
+    (-potential(schedule, d, steps)).exp()
+}
+
+/// The exact probability that a clique `K_d` whose nodes all beep with
+/// probability `p` resolves in one step — i.e. that exactly one node
+/// beeps: `d · p · (1−p)^{d−1}` (inequality (1) of the paper, before
+/// relaxation).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `d == 0`.
+#[must_use]
+pub fn single_beep_probability(d: usize, p: f64) -> f64 {
+    assert!(d > 0, "clique size must be positive");
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    d as f64 * p * (1.0 - p).powi(d as i32 - 1)
+}
+
+/// The number of schedule steps until `Φ_T(d) ≥ target` for **every**
+/// clique size `d ∈ {3, …, max_d}` — the proof's termination requirement
+/// with `target = ¼·log₂ n`. Returns `None` if `cap` steps do not
+/// suffice.
+///
+/// For the sweep schedule this grows like `log² n` when
+/// `max_d = n^{1/3}` and `target = Θ(log n)`; for any schedule it cannot
+/// grow slower (Theorem 1).
+#[must_use]
+pub fn steps_to_cover<S: ProbabilitySchedule + ?Sized>(
+    schedule: &S,
+    max_d: usize,
+    target: f64,
+    cap: u32,
+) -> Option<u32> {
+    if max_d < 3 {
+        return Some(0);
+    }
+    let mut acc = vec![0.0f64; max_d + 1];
+    for t in 0..cap {
+        let p = schedule.probability(t);
+        let mut all_done = true;
+        for (d, slot) in acc.iter_mut().enumerate().skip(3) {
+            if *slot < target {
+                *slot += potential_term(d, p);
+                if *slot < target {
+                    all_done = false;
+                }
+            }
+        }
+        if all_done {
+            return Some(t + 1);
+        }
+    }
+    None
+}
+
+/// Monte-Carlo estimate of the probability that a `K_d` driven by
+/// `schedule` still has **all** nodes active after `steps` steps —
+/// the quantity [`clique_survival_lower_bound`] bounds from below.
+///
+/// One trial simulates the clique directly: at each step every active
+/// node beeps with the scheduled probability, and the clique resolves the
+/// first time exactly one node beeps.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+#[must_use]
+pub fn simulate_clique_survival<S: ProbabilitySchedule + ?Sized>(
+    schedule: &S,
+    d: usize,
+    steps: u32,
+    trials: u32,
+    seed: u64,
+) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let mut survived = 0u32;
+    for trial in 0..trials {
+        let mut rng = SmallRng::seed_from_u64(seed ^ (u64::from(trial) << 20));
+        let mut resolved = false;
+        'steps: for t in 0..steps {
+            let p = schedule.probability(t);
+            let mut beepers = 0u32;
+            for _ in 0..d {
+                if rng.random_bool(p) {
+                    beepers += 1;
+                    if beepers > 1 {
+                        continue 'steps; // collision: clique stays active
+                    }
+                }
+            }
+            if beepers == 1 {
+                resolved = true;
+                break;
+            }
+        }
+        if !resolved {
+            survived += 1;
+        }
+    }
+    f64::from(survived) / f64::from(trials)
+}
+
+/// The clique size whose potential is smallest after `steps` steps of
+/// `schedule` — the "least served" scale, which the adversarial family of
+/// Theorem 1 always contains. Returns `None` when `max_d < 3`.
+#[must_use]
+pub fn least_served_clique<S: ProbabilitySchedule + ?Sized>(
+    schedule: &S,
+    max_d: usize,
+    steps: u32,
+) -> Option<(NodeId, f64)> {
+    (3..=max_d)
+        .map(|d| (d as NodeId, potential(schedule, d, steps)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{ConstantSchedule, SweepSchedule};
+
+    #[test]
+    fn potential_term_peaks_at_dp_one() {
+        // x·e^{−x} is maximised at x = 1 with value 1/e.
+        let peak = potential_term(10, 0.1);
+        assert!((peak - 6.0 / std::f64::consts::E).abs() < 1e-12);
+        assert!(potential_term(10, 0.01) < peak);
+        assert!(potential_term(10, 0.5) < peak);
+        assert!(potential_term(1000, 0.1) < peak / 100.0); // way off-scale
+    }
+
+    #[test]
+    fn potential_term_edge_values() {
+        assert_eq!(potential_term(5, 0.0), 0.0);
+        assert!(potential_term(1, 1.0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn potential_term_rejects_bad_probability() {
+        let _ = potential_term(3, 1.5);
+    }
+
+    #[test]
+    fn potential_accumulates_over_steps() {
+        let s = ConstantSchedule::new(0.25);
+        let one = potential(&s, 4, 1);
+        let ten = potential(&s, 4, 10);
+        assert!((ten - 10.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_beep_probability_known_values() {
+        // K_1: beeps alone with probability p.
+        assert!((single_beep_probability(1, 0.3) - 0.3).abs() < 1e-12);
+        // K_2 at p = ½: exactly one of two beeps = 2·½·½ = ½.
+        assert!((single_beep_probability(2, 0.5) - 0.5).abs() < 1e-12);
+        // Large clique at p = ½ is hopeless: n/2^n.
+        assert!(single_beep_probability(40, 0.5) < 1e-10);
+    }
+
+    #[test]
+    fn survival_bound_is_valid_against_simulation() {
+        // The proof's exp(−Φ) must lower-bound the simulated survival
+        // probability for d ≥ 3 (inequality (1) + relaxations).
+        let sweep = SweepSchedule::new();
+        for d in [3usize, 8, 32] {
+            for steps in [5u32, 15, 40] {
+                let bound = clique_survival_lower_bound(&sweep, d, steps);
+                let sim = simulate_clique_survival(&sweep, d, steps, 4000, 99);
+                assert!(
+                    sim >= bound - 0.03, // Monte-Carlo slack
+                    "d={d}, T={steps}: simulated {sim:.3} below bound {bound:.3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_schedule_cannot_serve_all_scales() {
+        // A constant p serves cliques with d ≈ 1/p quickly but leaves
+        // far-off scales nearly untouched: the potential of a clique with
+        // d·p = 64 stays tiny even after many steps.
+        let s = ConstantSchedule::new(0.25);
+        let matched = potential(&s, 4, 100);
+        let mismatched = potential(&s, 256, 100);
+        assert!(matched > 100.0);
+        assert!(mismatched < 1e-20);
+    }
+
+    #[test]
+    fn sweep_covers_all_scales_eventually() {
+        let sweep = SweepSchedule::new();
+        let t = steps_to_cover(&sweep, 32, 2.0, 100_000).expect("sweep reaches every scale");
+        assert!(t > 0);
+        // Every clique size really is covered at that step count.
+        for d in 3..=32 {
+            assert!(potential(&sweep, d, t) >= 2.0, "d={d} not covered");
+        }
+    }
+
+    #[test]
+    fn cover_time_grows_superlinearly_in_log_n() {
+        // Theorem 1's quantitative heart: with max_d = n^{1/3} and
+        // target = ¼ log₂ n, the sweep's cover time grows like log² n, so
+        // quadrupling log n (n = 2^6 → 2^24) must much more than
+        // quadruple the cover time.
+        let sweep = SweepSchedule::new();
+        let cover = |log_n: f64| {
+            let max_d = 2f64.powf(log_n / 3.0).round() as usize;
+            steps_to_cover(&sweep, max_d.max(3), log_n / 4.0, 10_000_000).unwrap()
+        };
+        let small = cover(6.0);
+        let large = cover(24.0);
+        let ratio = f64::from(large) / f64::from(small);
+        assert!(
+            ratio > 6.0,
+            "expected superlinear growth in log n: T({}) = {small}, T({}) = {large}",
+            6,
+            24
+        );
+    }
+
+    #[test]
+    fn least_served_clique_is_the_off_scale_one() {
+        let s = ConstantSchedule::new(0.25);
+        let (d, phi) = least_served_clique(&s, 64, 50).unwrap();
+        assert_eq!(d, 64); // farthest from 1/p = 4
+        assert!(phi < potential(&s, 4, 50));
+        assert_eq!(least_served_clique(&s, 2, 50), None);
+    }
+
+    #[test]
+    fn steps_to_cover_edge_cases() {
+        let s = ConstantSchedule::new(0.25);
+        assert_eq!(steps_to_cover(&s, 2, 5.0, 10), Some(0)); // no cliques to serve
+        assert_eq!(steps_to_cover(&s, 256, 5.0, 100), None); // cap too small
+    }
+}

@@ -1,0 +1,267 @@
+//! MIS verification and the trivial sequential baselines.
+//!
+//! The paper's introduction notes that computing *some* MIS centrally is
+//! trivial — scan nodes in any order, adding each node that keeps the set
+//! independent. These baselines anchor correctness tests and size
+//! comparisons; the checker validates every distributed run.
+
+use core::fmt;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use mis_graph::{Graph, NodeId};
+
+/// A violation of the maximal-independent-set conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MisViolation {
+    /// Two set members are adjacent (independence broken).
+    AdjacentMembers {
+        /// One endpoint of the offending edge.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
+    /// A node is neither in the set nor adjacent to it (maximality broken).
+    UncoveredNode {
+        /// The uncovered node.
+        node: NodeId,
+    },
+    /// The candidate set mentions a node that is not in the graph.
+    UnknownNode {
+        /// The out-of-range node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for MisViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MisViolation::AdjacentMembers { u, v } => {
+                write!(f, "set members {u} and {v} are adjacent")
+            }
+            MisViolation::UncoveredNode { node } => {
+                write!(f, "node {node} is neither in the set nor adjacent to it")
+            }
+            MisViolation::UnknownNode { node } => {
+                write!(f, "node {node} does not exist in the graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MisViolation {}
+
+/// Checks the full MIS conditions, reporting the first violation found.
+///
+/// # Errors
+///
+/// Returns the violated condition: independence, maximality, or node
+/// range.
+///
+/// # Examples
+///
+/// ```
+/// use mis_core::verify::check_mis;
+/// use mis_graph::generators;
+///
+/// let g = generators::path(3);
+/// assert!(check_mis(&g, &[0, 2]).is_ok());
+/// assert!(check_mis(&g, &[0]).is_err()); // node 2 uncovered
+/// assert!(check_mis(&g, &[0, 1]).is_err()); // adjacent members
+/// ```
+pub fn check_mis(g: &Graph, set: &[NodeId]) -> Result<(), MisViolation> {
+    let n = g.node_count();
+    let mut member = vec![false; n];
+    for &v in set {
+        if v as usize >= n {
+            return Err(MisViolation::UnknownNode { node: v });
+        }
+        member[v as usize] = true;
+    }
+    for &v in set {
+        for &u in g.neighbors(v) {
+            if member[u as usize] {
+                return Err(MisViolation::AdjacentMembers { u: u.min(v), v: u.max(v) });
+            }
+        }
+    }
+    for v in g.nodes() {
+        if !member[v as usize] && !g.neighbors(v).iter().any(|&u| member[u as usize]) {
+            return Err(MisViolation::UncoveredNode { node: v });
+        }
+    }
+    Ok(())
+}
+
+/// Whether `set` is an independent set of `g` (ignoring maximality).
+#[must_use]
+pub fn is_independent_set(g: &Graph, set: &[NodeId]) -> bool {
+    let n = g.node_count();
+    let mut member = vec![false; n];
+    for &v in set {
+        if v as usize >= n {
+            return false;
+        }
+        member[v as usize] = true;
+    }
+    set.iter()
+        .all(|&v| g.neighbors(v).iter().all(|&u| !member[u as usize]))
+}
+
+/// Whether `set` is a *maximal* independent set of `g`.
+#[must_use]
+pub fn is_maximal_independent_set(g: &Graph, set: &[NodeId]) -> bool {
+    check_mis(g, set).is_ok()
+}
+
+/// The trivial sequential MIS: scan nodes in ascending order, adding each
+/// node whose neighbours are all outside the set (§1 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use mis_core::verify::{check_mis, greedy_mis};
+/// use mis_graph::generators;
+///
+/// let g = generators::cycle(7);
+/// let mis = greedy_mis(&g);
+/// assert!(check_mis(&g, &mis).is_ok());
+/// ```
+#[must_use]
+pub fn greedy_mis(g: &Graph) -> Vec<NodeId> {
+    greedy_mis_in_order(g, g.nodes())
+}
+
+/// Greedy MIS scanning nodes in the order produced by `order`.
+///
+/// Every MIS of `g` arises from *some* order, so this parameterisation
+/// spans the whole solution space.
+///
+/// # Panics
+///
+/// Panics if `order` yields an out-of-range node.
+pub fn greedy_mis_in_order<I>(g: &Graph, order: I) -> Vec<NodeId>
+where
+    I: IntoIterator<Item = NodeId>,
+{
+    let mut blocked = vec![false; g.node_count()];
+    let mut mis = Vec::new();
+    for v in order {
+        if !blocked[v as usize] {
+            mis.push(v);
+            blocked[v as usize] = true;
+            for &u in g.neighbors(v) {
+                blocked[u as usize] = true;
+            }
+        }
+    }
+    mis.sort_unstable();
+    mis
+}
+
+/// Greedy MIS over a uniformly random node order — the natural randomised
+/// sequential baseline for MIS-size comparisons.
+pub fn random_greedy_mis<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = g.nodes().collect();
+    order.shuffle(rng);
+    greedy_mis_in_order(g, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graph::generators;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn check_detects_all_violation_kinds() {
+        let g = generators::path(4); // 0-1-2-3
+        assert_eq!(
+            check_mis(&g, &[0, 1]),
+            Err(MisViolation::AdjacentMembers { u: 0, v: 1 })
+        );
+        assert_eq!(
+            check_mis(&g, &[0]),
+            Err(MisViolation::UncoveredNode { node: 2 })
+        );
+        assert_eq!(
+            check_mis(&g, &[9]),
+            Err(MisViolation::UnknownNode { node: 9 })
+        );
+        assert!(check_mis(&g, &[0, 2]).is_ok());
+        assert!(check_mis(&g, &[1, 3]).is_ok());
+    }
+
+    #[test]
+    fn empty_graph_empty_set_is_mis() {
+        let g = Graph::empty(0);
+        assert!(check_mis(&g, &[]).is_ok());
+    }
+
+    #[test]
+    fn isolated_nodes_must_be_included() {
+        let g = Graph::empty(2);
+        assert!(check_mis(&g, &[0, 1]).is_ok());
+        assert_eq!(
+            check_mis(&g, &[0]),
+            Err(MisViolation::UncoveredNode { node: 1 })
+        );
+    }
+
+    #[test]
+    fn independence_check_alone() {
+        let g = generators::path(4);
+        assert!(is_independent_set(&g, &[0, 2]));
+        assert!(is_independent_set(&g, &[0])); // not maximal but independent
+        assert!(!is_independent_set(&g, &[0, 1]));
+        assert!(!is_independent_set(&g, &[7]));
+        assert!(!is_maximal_independent_set(&g, &[0]));
+    }
+
+    #[test]
+    fn greedy_on_classic_graphs() {
+        assert_eq!(greedy_mis(&generators::complete(5)), vec![0]);
+        assert_eq!(greedy_mis(&generators::star(6)), vec![0]);
+        assert_eq!(greedy_mis(&generators::path(5)), vec![0, 2, 4]);
+        let g = generators::cycle(6);
+        assert!(check_mis(&g, &greedy_mis(&g)).is_ok());
+    }
+
+    #[test]
+    fn greedy_in_reverse_order() {
+        let g = generators::star(5); // centre 0
+        let mis = greedy_mis_in_order(&g, (0..5).rev());
+        // Leaves scanned first: all four leaves enter, centre blocked.
+        assert_eq!(mis, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn random_greedy_is_valid_on_families() {
+        let rng = SmallRng::seed_from_u64(1);
+        for g in [
+            generators::gnp(40, 0.3, &mut rng.clone()),
+            generators::grid2d(5, 5),
+            generators::theorem1_family(3),
+            generators::hypercube(4),
+        ] {
+            for seed in 0..5 {
+                let mut r = SmallRng::seed_from_u64(seed);
+                let mis = random_greedy_mis(&g, &mut r);
+                assert!(check_mis(&g, &mis).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = MisViolation::AdjacentMembers { u: 1, v: 2 };
+        assert!(v.to_string().contains("adjacent"));
+        let v = MisViolation::UncoveredNode { node: 3 };
+        assert!(v.to_string().contains("neither"));
+        let v = MisViolation::UnknownNode { node: 4 };
+        assert!(v.to_string().contains("not exist"));
+    }
+
+    use mis_graph::Graph;
+}

@@ -1,0 +1,459 @@
+//! `xp` — the experiment driver.
+//!
+//! ```text
+//! xp <experiment> [--quick] [--seed N] [--trials N] [--science] [--out FILE]
+//!
+//! experiments:
+//!   fig3         Figure 3: rounds vs n on G(n, ½)
+//!   fig5         Figure 5: beeps per node vs n
+//!   grid         §5: beeps per node on rectangular grids
+//!   lower-bound  Theorem 1: clique-union family separation
+//!   tails        Theorem 2: termination-time tails
+//!   robustness   §6: parameter ablations
+//!   faults       extension: message loss & late wake-ups
+//!   race         extension: baselines comparison
+//!   quality      extension: MIS sizes vs exact optimum
+//!   decay        extension: active-node decay curves
+//!   apps         extension: matching / colouring / backbone via MIS
+//!   sop          extension: SOP selection-time statistics (Science'11 models)
+//!   potential    extension: Theorem 1 potential coverage per schedule
+//!   all          everything above, in order
+//! ```
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use mis_experiments::{
+    applications, decay, faults, fig3, fig5, grid_beeps, lower_bound, potential, quality, race,
+    robustness, sop, tails, Report,
+};
+
+#[derive(Debug, Clone)]
+struct Options {
+    experiment: String,
+    quick: bool,
+    seed: Option<u64>,
+    trials: Option<usize>,
+    science: bool,
+    out: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: xp <fig3|fig5|grid|lower-bound|tails|robustness|faults|race|quality|decay|apps|sop|potential|all> \
+     [--quick] [--seed N] [--trials N] [--science] [--out FILE]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut it = args.iter();
+    let experiment = it.next().ok_or_else(|| usage().to_owned())?.clone();
+    let mut opts = Options {
+        experiment,
+        quick: false,
+        seed: None,
+        trials: None,
+        science: false,
+        out: None,
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--science" => opts.science = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = Some(v.parse().map_err(|_| format!("bad seed {v:?}"))?);
+            }
+            "--trials" => {
+                let v = it.next().ok_or("--trials needs a value")?;
+                opts.trials = Some(v.parse().map_err(|_| format!("bad trial count {v:?}"))?);
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a file path")?;
+                opts.out = Some(v.clone());
+            }
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_fig3(opts: &Options) -> (String, String) {
+    let mut config = if opts.quick {
+        fig3::Fig3Config::quick()
+    } else {
+        fig3::Fig3Config::paper()
+    };
+    if let Some(s) = opts.seed {
+        config.seed = s;
+    }
+    if let Some(t) = opts.trials {
+        config.trials = t;
+    }
+    eprintln!("fig3: sizes {:?}, {} trials", config.sizes, config.trials);
+    (
+        "Figure 3 — rounds to MIS on G(n, ½)".into(),
+        fig3::run(&config).render(),
+    )
+}
+
+fn run_fig5(opts: &Options) -> (String, String) {
+    let mut config = if opts.quick {
+        fig5::Fig5Config::quick()
+    } else {
+        fig5::Fig5Config::paper()
+    };
+    if opts.science {
+        config = config.with_science();
+    }
+    if let Some(s) = opts.seed {
+        config.seed = s;
+    }
+    if let Some(t) = opts.trials {
+        config.trials = t;
+    }
+    eprintln!("fig5: sizes {:?}, {} trials", config.sizes, config.trials);
+    (
+        "Figure 5 — mean beeps per node on G(n, ½)".into(),
+        fig5::run(&config).render(),
+    )
+}
+
+fn run_grid(opts: &Options) -> (String, String) {
+    let mut config = if opts.quick {
+        grid_beeps::GridBeepsConfig::quick()
+    } else {
+        grid_beeps::GridBeepsConfig::paper()
+    };
+    if let Some(s) = opts.seed {
+        config.seed = s;
+    }
+    if let Some(t) = opts.trials {
+        config.trials = t;
+    }
+    eprintln!("grid: shapes {:?}, {} trials", config.grids, config.trials);
+    (
+        "§5 / Theorem 6 — beeps per node on rectangular grids".into(),
+        grid_beeps::run(&config).render(),
+    )
+}
+
+fn run_lower_bound(opts: &Options) -> (String, String) {
+    let mut config = if opts.quick {
+        lower_bound::LowerBoundConfig::quick()
+    } else {
+        lower_bound::LowerBoundConfig::paper()
+    };
+    if let Some(s) = opts.seed {
+        config.seed = s;
+    }
+    if let Some(t) = opts.trials {
+        config.trials = t;
+    }
+    eprintln!(
+        "lower-bound: targets {:?}, {} trials",
+        config.target_sizes, config.trials
+    );
+    (
+        "Theorem 1 — clique-union lower-bound family".into(),
+        lower_bound::run(&config).render(),
+    )
+}
+
+fn run_tails(opts: &Options) -> (String, String) {
+    let mut config = if opts.quick {
+        tails::TailsConfig::quick()
+    } else {
+        tails::TailsConfig::paper()
+    };
+    if let Some(s) = opts.seed {
+        config.seed = s;
+    }
+    if let Some(t) = opts.trials {
+        config.trials = t;
+    }
+    eprintln!("tails: sizes {:?}, {} trials", config.sizes, config.trials);
+    (
+        "Theorem 2 — termination-time tails".into(),
+        tails::run(&config).render(),
+    )
+}
+
+fn run_robustness(opts: &Options) -> (String, String) {
+    let mut config = if opts.quick {
+        robustness::RobustnessConfig::quick()
+    } else {
+        robustness::RobustnessConfig::paper()
+    };
+    if let Some(s) = opts.seed {
+        config.seed = s;
+    }
+    if let Some(t) = opts.trials {
+        config.trials = t;
+    }
+    eprintln!("robustness: n = {}, {} trials", config.n, config.trials);
+    (
+        "§6 — robustness ablations".into(),
+        robustness::run(&config).render(),
+    )
+}
+
+fn run_faults(opts: &Options) -> (String, String) {
+    let mut config = if opts.quick {
+        faults::FaultsConfig::quick()
+    } else {
+        faults::FaultsConfig::paper()
+    };
+    if let Some(s) = opts.seed {
+        config.seed = s;
+    }
+    if let Some(t) = opts.trials {
+        config.trials = t;
+    }
+    eprintln!(
+        "faults: n = {}, loss rates {:?}, {} trials",
+        config.n, config.loss_rates, config.trials
+    );
+    (
+        "Extension — fault injection".into(),
+        faults::run(&config).render(),
+    )
+}
+
+fn run_race(opts: &Options) -> (String, String) {
+    let mut config = if opts.quick {
+        race::RaceConfig::quick()
+    } else {
+        race::RaceConfig::paper()
+    };
+    if let Some(s) = opts.seed {
+        config.seed = s;
+    }
+    if let Some(t) = opts.trials {
+        config.trials = t;
+    }
+    eprintln!("race: {} trials per workload", config.trials);
+    (
+        "Extension — baseline race".into(),
+        race::run(&config).render(),
+    )
+}
+
+fn run_quality(opts: &Options) -> (String, String) {
+    let mut config = if opts.quick {
+        quality::QualityConfig::quick()
+    } else {
+        quality::QualityConfig::paper()
+    };
+    if let Some(s) = opts.seed {
+        config.seed = s;
+    }
+    if let Some(t) = opts.trials {
+        config.trials = t;
+    }
+    eprintln!("quality: {} trials per workload", config.trials);
+    (
+        "Extension — MIS size vs exact optimum".into(),
+        quality::run(&config).render(),
+    )
+}
+
+fn run_decay(opts: &Options) -> (String, String) {
+    let mut config = if opts.quick {
+        decay::DecayConfig::quick()
+    } else {
+        decay::DecayConfig::paper()
+    };
+    if let Some(s) = opts.seed {
+        config.seed = s;
+    }
+    if let Some(t) = opts.trials {
+        config.trials = t;
+    }
+    eprintln!("decay: n = {}, {} trials", config.n, config.trials);
+    (
+        "Extension — active-node decay".into(),
+        decay::run(&config).render(),
+    )
+}
+
+fn run_apps(opts: &Options) -> (String, String) {
+    let mut config = if opts.quick {
+        applications::AppsConfig::quick()
+    } else {
+        applications::AppsConfig::paper()
+    };
+    if let Some(s) = opts.seed {
+        config.seed = s;
+    }
+    if let Some(t) = opts.trials {
+        config.trials = t;
+    }
+    eprintln!("apps: {} trials per workload", config.trials);
+    (
+        "Extension — MIS as a building block".into(),
+        applications::run(&config).render(),
+    )
+}
+
+fn run_sop(opts: &Options) -> (String, String) {
+    let mut config = if opts.quick {
+        sop::SopConfig::quick()
+    } else {
+        sop::SopConfig::paper()
+    };
+    if let Some(s) = opts.seed {
+        config.seed = s;
+    }
+    if let Some(t) = opts.trials {
+        config.trials = t;
+    }
+    eprintln!("sop: {} trials per model on a {}x{} hex tissue", config.trials, config.side, config.side);
+    (
+        "Extension — SOP selection-time statistics".into(),
+        sop::run(&config).render(),
+    )
+}
+
+fn run_potential(opts: &Options) -> (String, String) {
+    let config = if opts.quick {
+        potential::PotentialConfig::quick()
+    } else {
+        potential::PotentialConfig::paper()
+    };
+    eprintln!("potential: {} sizes, cap {}", config.log_sizes.len(), config.cap);
+    (
+        "Extension — Theorem 1 potential coverage".into(),
+        potential::run(&config).render(),
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    type Runner = fn(&Options) -> (String, String);
+    let plan: Vec<Runner> = match opts.experiment.as_str() {
+        "fig3" => vec![run_fig3],
+        "fig5" => vec![run_fig5],
+        "grid" => vec![run_grid],
+        "lower-bound" => vec![run_lower_bound],
+        "tails" => vec![run_tails],
+        "robustness" => vec![run_robustness],
+        "faults" => vec![run_faults],
+        "race" => vec![run_race],
+        "quality" => vec![run_quality],
+        "decay" => vec![run_decay],
+        "apps" => vec![run_apps],
+        "sop" => vec![run_sop],
+        "potential" => vec![run_potential],
+        "all" => vec![
+            run_fig3,
+            run_fig5,
+            run_grid,
+            run_lower_bound,
+            run_tails,
+            run_robustness,
+            run_faults,
+            run_race,
+            run_quality,
+            run_decay,
+            run_apps,
+            run_sop,
+            run_potential,
+        ],
+        other => {
+            eprintln!("unknown experiment {other:?}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut report = Report::new();
+    for runner in plan {
+        let started = std::time::Instant::now();
+        let (title, body) = runner(&opts);
+        eprintln!("  …done in {:.1?}", started.elapsed());
+        println!("## {title}\n\n{body}");
+        report.push_section(title, body);
+    }
+
+    if let Some(path) = &opts.out {
+        match std::fs::File::create(path)
+            .and_then(|mut f| f.write_all(report.to_markdown().as_bytes()))
+        {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        parse_args(&owned)
+    }
+
+    #[test]
+    fn parses_experiment_and_flags() {
+        let opts = parse(&["fig3", "--quick", "--seed", "9", "--trials", "12"]).unwrap();
+        assert_eq!(opts.experiment, "fig3");
+        assert!(opts.quick);
+        assert_eq!(opts.seed, Some(9));
+        assert_eq!(opts.trials, Some(12));
+        assert!(!opts.science);
+        assert_eq!(opts.out, None);
+    }
+
+    #[test]
+    fn parses_out_and_science() {
+        let opts = parse(&["fig5", "--science", "--out", "report.md"]).unwrap();
+        assert!(opts.science);
+        assert_eq!(opts.out.as_deref(), Some("report.md"));
+    }
+
+    #[test]
+    fn rejects_missing_experiment() {
+        assert!(parse(&[]).unwrap_err().contains("usage"));
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        let err = parse(&["fig3", "--loud"]).unwrap_err();
+        assert!(err.contains("--loud"));
+        assert!(err.contains("usage"));
+    }
+
+    #[test]
+    fn rejects_flag_without_value() {
+        assert!(parse(&["fig3", "--seed"]).is_err());
+        assert!(parse(&["fig3", "--trials"]).is_err());
+        assert!(parse(&["fig3", "--out"]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_numeric_values() {
+        assert!(parse(&["fig3", "--seed", "abc"]).is_err());
+        assert!(parse(&["fig3", "--trials", "-2"]).is_err());
+    }
+
+    #[test]
+    fn usage_lists_every_experiment() {
+        for name in [
+            "fig3", "fig5", "grid", "lower-bound", "tails", "robustness", "faults", "race",
+            "quality", "decay", "apps", "sop", "potential", "all",
+        ] {
+            assert!(usage().contains(name), "usage is missing {name}");
+        }
+    }
+}

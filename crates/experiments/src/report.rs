@@ -1,0 +1,145 @@
+//! Markdown report assembly shared by all experiments.
+
+use core::fmt;
+
+use crate::SeriesPoint;
+use mis_stats::Table;
+
+/// A markdown report built from titled sections — the material `xp` prints
+/// and `EXPERIMENTS.md` records.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    sections: Vec<(String, String)>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a section.
+    pub fn push_section(&mut self, title: impl Into<String>, body: impl Into<String>) -> &mut Self {
+        self.sections.push((title.into(), body.into()));
+        self
+    }
+
+    /// Number of sections.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Whether the report has no sections.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Renders the whole report as markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        for (title, body) in &self.sections {
+            out.push_str(&format!("## {title}\n\n{body}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+/// Renders a table of `x / mean ± sd` rows for several named series that
+/// share x-values (the layout of the paper's figure data).
+///
+/// # Panics
+///
+/// Panics if the series have differing lengths or mismatched x-values.
+#[must_use]
+pub fn series_table(x_label: &str, series: &[(&str, &[SeriesPoint])]) -> Table {
+    let mut headers = vec![x_label.to_owned()];
+    for (name, _) in series {
+        headers.push(format!("{name} mean"));
+        headers.push(format!("{name} sd"));
+    }
+    let mut table = Table::new(headers);
+    table.numeric();
+    let len = series.first().map_or(0, |(_, pts)| pts.len());
+    for (_, pts) in series {
+        assert_eq!(pts.len(), len, "series length mismatch");
+    }
+    for i in 0..len {
+        let x = series[0].1[i].x;
+        let mut row = vec![format_x(x)];
+        for (_, pts) in series {
+            assert!(
+                (pts[i].x - x).abs() < 1e-9,
+                "series x-values disagree at row {i}"
+            );
+            row.push(format!("{:.2}", pts[i].mean()));
+            row.push(format!("{:.2}", pts[i].std_dev()));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+fn format_x(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_sections() {
+        let mut r = Report::new();
+        assert!(r.is_empty());
+        r.push_section("A", "alpha").push_section("B", "beta");
+        assert_eq!(r.len(), 2);
+        let md = r.to_markdown();
+        assert!(md.contains("## A"));
+        assert!(md.contains("beta"));
+    }
+
+    #[test]
+    fn series_table_layout() {
+        let s1 = vec![
+            SeriesPoint::from_samples(10.0, [1.0, 3.0]),
+            SeriesPoint::from_samples(20.0, [5.0, 5.0]),
+        ];
+        let s2 = vec![
+            SeriesPoint::from_samples(10.0, [2.0]),
+            SeriesPoint::from_samples(20.0, [4.0]),
+        ];
+        let t = series_table("n", &[("a", &s1), ("b", &s2)]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("n,a mean,a sd,b mean,b sd"));
+        assert!(csv.contains("10,2.00,1.41,2.00,0.00"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_panic() {
+        let s1 = vec![SeriesPoint::from_samples(1.0, [1.0])];
+        let s2: Vec<SeriesPoint> = vec![];
+        let _ = series_table("n", &[("a", &s1), ("b", &s2)]);
+    }
+
+    #[test]
+    fn fractional_x_formatting() {
+        let s = vec![SeriesPoint::from_samples(0.25, [1.0])];
+        let t = series_table("eps", &[("a", &s)]);
+        assert!(t.to_csv().contains("0.25"));
+    }
+}

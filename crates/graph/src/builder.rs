@@ -1,0 +1,174 @@
+//! Incremental, validated graph construction.
+
+use crate::{Graph, GraphError, NodeId};
+
+/// Builder for [`Graph`] values.
+///
+/// Use this when edges are discovered incrementally (parsers, generators
+/// with rejection steps). Edges are validated eagerly so errors point at the
+/// offending insertion; duplicates are merged at [`build`](Self::build) time.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// b.add_edge(2, 1)?; // duplicate orientation, merged
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), mis_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    node_count: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `node_count` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count` exceeds the `u32` index space.
+    #[must_use]
+    pub fn new(node_count: usize) -> Self {
+        assert!(
+            node_count <= u32::MAX as usize,
+            "node count exceeds u32 index space"
+        );
+        Self {
+            node_count,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edge insertions so far (duplicates not yet merged).
+    #[must_use]
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Pre-allocates room for `additional` more edges.
+    pub fn reserve(&mut self, additional: usize) -> &mut Self {
+        self.edges.reserve(additional);
+        self
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `u == v` and
+    /// [`GraphError::NodeOutOfRange`] if either endpoint is `≥ node_count`.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self, GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        for w in [u, v] {
+            if w as usize >= self.node_count {
+                return Err(GraphError::NodeOutOfRange {
+                    node: w,
+                    node_count: self.node_count,
+                });
+            }
+        }
+        self.edges.push((u.min(v), u.max(v)));
+        Ok(self)
+    }
+
+    /// Adds an edge that the caller guarantees to be valid and canonical
+    /// (`u < v`, both in range). Generators that produce edges in canonical
+    /// order use this to skip re-validation.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the preconditions.
+    pub fn add_canonical_edge_unchecked(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        debug_assert!(u < v, "edge must be canonical (u < v)");
+        debug_assert!((v as usize) < self.node_count, "endpoint out of range");
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Finishes construction, merging duplicate edges.
+    #[must_use]
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        Graph::from_sorted_dedup_edges(self.node_count, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_expected_graph() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(3, 2).unwrap();
+        assert_eq!(b.node_count(), 4);
+        assert_eq!(b.pending_edges(), 2);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn rejects_self_loop_eagerly() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(b.add_edge(1, 1).unwrap_err(), GraphError::SelfLoop { node: 1 });
+    }
+
+    #[test]
+    fn rejects_out_of_range_eagerly() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(0, 2).unwrap_err(),
+            GraphError::NodeOutOfRange { node: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn duplicates_merge_on_build() {
+        let mut b = GraphBuilder::new(3);
+        for _ in 0..5 {
+            b.add_edge(0, 2).unwrap();
+            b.add_edge(2, 0).unwrap();
+        }
+        assert_eq!(b.build().edge_count(), 1);
+    }
+
+    #[test]
+    fn unchecked_canonical_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.add_canonical_edge_unchecked(0, 1)
+            .add_canonical_edge_unchecked(1, 2);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new(7).build();
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn chaining_works() {
+        let mut b = GraphBuilder::new(3);
+        b.reserve(2).add_edge(0, 1).unwrap().add_edge(1, 2).unwrap();
+        assert_eq!(b.build().edge_count(), 2);
+    }
+}

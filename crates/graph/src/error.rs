@@ -1,0 +1,87 @@
+//! Error type for graph construction and parsing.
+
+use core::fmt;
+
+use crate::NodeId;
+
+/// Errors produced when building or parsing a [`Graph`](crate::Graph).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge `(v, v)` was supplied; simple graphs have no self-loops.
+    SelfLoop {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// An endpoint exceeds the declared node count.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The declared number of nodes.
+        node_count: usize,
+    },
+    /// More nodes were requested than the `u32` index space allows.
+    TooManyNodes {
+        /// The requested number of nodes.
+        requested: usize,
+    },
+    /// A line of edge-list input could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop at node {node} is not allowed in a simple graph")
+            }
+            GraphError::NodeOutOfRange { node, node_count } => write!(
+                f,
+                "node {node} out of range for graph with {node_count} nodes"
+            ),
+            GraphError::TooManyNodes { requested } => write!(
+                f,
+                "requested {requested} nodes, which exceeds the u32 index space"
+            ),
+            GraphError::Parse { line, reason } => {
+                write!(f, "parse error on line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::SelfLoop { node: 3 };
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::NodeOutOfRange {
+            node: 9,
+            node_count: 5,
+        };
+        assert!(e.to_string().contains("out of range"));
+        let e = GraphError::TooManyNodes { requested: 1 << 40 };
+        assert!(e.to_string().contains("u32"));
+        let e = GraphError::Parse {
+            line: 2,
+            reason: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<GraphError>();
+    }
+}

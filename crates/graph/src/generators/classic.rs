@@ -1,0 +1,227 @@
+//! Deterministic classic topologies.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// The complete graph `K_n`.
+///
+/// On `K_n` the feedback algorithm shows its non-Luby behaviour: only one
+/// node can win a round, so progress per round is tiny at first and the
+/// adaptive probabilities matter (see the discussion before Theorem 2).
+///
+/// # Panics
+///
+/// Panics if `n` exceeds the `u32` index space.
+///
+/// # Examples
+///
+/// ```
+/// let g = mis_graph::generators::complete(5);
+/// assert_eq!(g.edge_count(), 10);
+/// assert_eq!(g.max_degree(), 4);
+/// ```
+#[must_use]
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    b.reserve(n * n.saturating_sub(1) / 2);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            b.add_canonical_edge_unchecked(u, v);
+        }
+    }
+    b.build()
+}
+
+/// The path `P_n` on `n` nodes (`n - 1` edges).
+///
+/// # Panics
+///
+/// Panics if `n` exceeds the `u32` index space.
+#[must_use]
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as NodeId {
+        b.add_canonical_edge_unchecked(v - 1, v);
+    }
+    b.build()
+}
+
+/// The cycle `C_n` on `n ≥ 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `n` exceeds the `u32` index space.
+#[must_use]
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as NodeId {
+        b.add_canonical_edge_unchecked(v - 1, v);
+    }
+    b.add_canonical_edge_unchecked(0, (n - 1) as NodeId);
+    b.build()
+}
+
+/// The star `K_{1,n-1}`: node 0 is the centre.
+///
+/// The unique MIS containing the centre is `{0}`; the unique MIS avoiding it
+/// is all the leaves — a useful asymmetric test case.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n` exceeds the `u32` index space.
+#[must_use]
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1, "a star needs at least its centre");
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as NodeId {
+        b.add_canonical_edge_unchecked(0, v);
+    }
+    b.build()
+}
+
+/// The complete bipartite graph `K_{a,b}`: nodes `0..a` on one side,
+/// `a..a+b` on the other.
+///
+/// # Panics
+///
+/// Panics if `a + b` exceeds the `u32` index space.
+#[must_use]
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let n = a + b;
+    let mut builder = GraphBuilder::new(n);
+    builder.reserve(a * b);
+    for u in 0..a as NodeId {
+        for v in a as NodeId..n as NodeId {
+            builder.add_canonical_edge_unchecked(u, v);
+        }
+    }
+    builder.build()
+}
+
+/// The wheel `W_n`: a cycle on nodes `1..n` plus hub node 0 adjacent to all.
+///
+/// # Panics
+///
+/// Panics if `n < 4` (the smallest wheel) or `n` exceeds the `u32` index
+/// space.
+#[must_use]
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "a wheel needs at least 4 nodes");
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as NodeId {
+        b.add_canonical_edge_unchecked(0, v);
+    }
+    for v in 2..n as NodeId {
+        b.add_canonical_edge_unchecked(v - 1, v);
+    }
+    b.add_canonical_edge_unchecked(1, (n - 1) as NodeId);
+    b.build()
+}
+
+/// The `dim`-dimensional hypercube `Q_dim` on `2^dim` nodes; nodes are
+/// adjacent iff their indices differ in exactly one bit.
+///
+/// # Panics
+///
+/// Panics if `dim ≥ 32`.
+#[must_use]
+pub fn hypercube(dim: u32) -> Graph {
+    assert!(dim < 32, "hypercube dimension must be below 32");
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::new(n);
+    b.reserve(n * dim as usize / 2);
+    for v in 0..n as NodeId {
+        for bit in 0..dim {
+            let u = v ^ (1 << bit);
+            if v < u {
+                b.add_canonical_edge_unchecked(v, u);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_counts() {
+        for n in 0..8 {
+            let g = complete(n);
+            assert_eq!(g.edge_count(), n * n.saturating_sub(1) / 2);
+            if n > 1 {
+                assert_eq!(g.min_degree(), n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn path_structure() {
+        let g = path(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(path(1).edge_count(), 0);
+        assert_eq!(path(0).node_count(), 0);
+    }
+
+    #[test]
+    fn cycle_structure() {
+        let g = cycle(6);
+        assert_eq!(g.edge_count(), 6);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(0, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_panics() {
+        let _ = cycle(2);
+    }
+
+    #[test]
+    fn star_structure() {
+        let g = star(7);
+        assert_eq!(g.degree(0), 6);
+        for v in 1..7 {
+            assert_eq!(g.degree(v), 1);
+        }
+        assert_eq!(star(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn bipartite_structure() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 12);
+        assert!(!g.has_edge(0, 1)); // same side
+        assert!(g.has_edge(0, 3));
+        assert_eq!(complete_bipartite(0, 5).edge_count(), 0);
+    }
+
+    #[test]
+    fn wheel_structure() {
+        let g = wheel(6);
+        assert_eq!(g.degree(0), 5);
+        for v in 1..6 {
+            assert_eq!(g.degree(v), 3);
+        }
+        assert_eq!(g.edge_count(), 10);
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 32);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(g.has_edge(0b0000, 0b1000));
+        assert!(!g.has_edge(0b0000, 0b1100));
+        assert_eq!(hypercube(0).node_count(), 1);
+    }
+}

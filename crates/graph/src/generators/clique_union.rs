@@ -1,0 +1,147 @@
+//! The Theorem 1 lower-bound family: disjoint unions of cliques.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// A disjoint union of cliques with the given sizes.
+///
+/// Size-0 entries are ignored; size-1 entries contribute isolated nodes.
+///
+/// # Panics
+///
+/// Panics if the total node count exceeds the `u32` index space.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::generators::disjoint_cliques;
+///
+/// let g = disjoint_cliques(&[3, 2, 1]);
+/// assert_eq!(g.node_count(), 6);
+/// assert_eq!(g.edge_count(), 3 + 1 + 0);
+/// ```
+#[must_use]
+pub fn disjoint_cliques(sizes: &[usize]) -> Graph {
+    let n: usize = sizes.iter().sum();
+    let mut b = GraphBuilder::new(n);
+    let mut base = 0usize;
+    for &s in sizes {
+        for i in 0..s {
+            for j in (i + 1)..s {
+                b.add_canonical_edge_unchecked((base + i) as NodeId, (base + j) as NodeId);
+            }
+        }
+        base += s;
+    }
+    b.build()
+}
+
+/// The explicit graph family from Theorem 1 of the paper: `side` disjoint
+/// copies of the complete graph `K_d`, for **each** `d = 1, …, side`.
+///
+/// With `side = m` the graph has `m · m(m+1)/2` nodes; the paper takes
+/// `m = n^{1/3}` so the family has `O(n)` nodes. On this family, *any*
+/// globally preset probability sequence needs `Ω(log² n)` rounds to finish
+/// with high probability, whereas the feedback algorithm needs only
+/// `O(log n)`.
+///
+/// # Panics
+///
+/// Panics if the total node count exceeds the `u32` index space.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::generators::theorem1_family;
+///
+/// let g = theorem1_family(3);
+/// // 3 copies each of K_1, K_2, K_3: 3·1 + 3·2 + 3·3 = 18 nodes.
+/// assert_eq!(g.node_count(), 18);
+/// ```
+#[must_use]
+pub fn theorem1_family(side: usize) -> Graph {
+    let sizes: Vec<usize> = (1..=side)
+        .flat_map(|d| std::iter::repeat_n(d, side))
+        .collect();
+    disjoint_cliques(&sizes)
+}
+
+/// The largest `side` parameter whose [`theorem1_family`] graph has at most
+/// `max_nodes` nodes (so experiments can be parameterised by total size).
+///
+/// Returns 0 when even `side = 1` (a single node) does not fit.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::generators::{theorem1_family, theorem1_side_for_nodes};
+///
+/// let side = theorem1_side_for_nodes(1000);
+/// assert!(theorem1_family(side).node_count() <= 1000);
+/// assert!(theorem1_family(side + 1).node_count() > 1000);
+/// ```
+#[must_use]
+pub fn theorem1_side_for_nodes(max_nodes: usize) -> usize {
+    let mut side = 0usize;
+    while (side + 1) * (side + 1) * (side + 2) / 2 <= max_nodes {
+        side += 1;
+    }
+    side
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn disjoint_cliques_structure() {
+        let g = disjoint_cliques(&[4, 3]);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 6 + 3);
+        // No edges between components.
+        assert!(!g.has_edge(0, 4));
+        assert!(g.has_edge(0, 3));
+        assert!(g.has_edge(4, 6));
+    }
+
+    #[test]
+    fn empty_and_singleton_sizes() {
+        let g = disjoint_cliques(&[0, 1, 0, 2]);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 0);
+    }
+
+    #[test]
+    fn theorem1_node_count_formula() {
+        for m in 1..=8 {
+            let g = theorem1_family(m);
+            assert_eq!(g.node_count(), m * m * (m + 1) / 2, "side {m}");
+        }
+    }
+
+    #[test]
+    fn theorem1_component_count() {
+        // side m gives m components per clique size, m sizes => m² components.
+        let g = theorem1_family(4);
+        assert_eq!(ops::connected_components(&g).len(), 16);
+    }
+
+    #[test]
+    fn theorem1_max_degree() {
+        let g = theorem1_family(5);
+        assert_eq!(g.max_degree(), 4); // largest clique K_5
+    }
+
+    #[test]
+    fn side_for_nodes_is_tight() {
+        for target in [1, 10, 100, 1_000, 10_000] {
+            let m = theorem1_side_for_nodes(target);
+            if m > 0 {
+                assert!(theorem1_family(m).node_count() <= target);
+            }
+            assert!(theorem1_family(m + 1).node_count() > target);
+        }
+        assert_eq!(theorem1_side_for_nodes(0), 0);
+    }
+}

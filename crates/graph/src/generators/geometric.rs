@@ -1,0 +1,187 @@
+//! Random geometric graphs (ad-hoc wireless / sensor networks).
+
+use rand::{Rng, RngExt};
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Samples a random geometric graph: `n` points uniform in the unit square,
+/// with an edge between any pair at Euclidean distance `≤ radius`.
+///
+/// This is the standard model of an ad-hoc wireless sensor network — the
+/// application domain §6 of the paper highlights for beeping MIS
+/// (clusterhead election with 1-bit radio signals).
+///
+/// Runs in expected `O(n + m)` time using cell bucketing.
+///
+/// # Panics
+///
+/// Panics if `radius` is negative or NaN, or `n` exceeds the `u32` index
+/// space.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::generators::random_geometric;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(5);
+/// let g = random_geometric(200, 0.12, &mut rng);
+/// assert_eq!(g.node_count(), 200);
+/// ```
+pub fn random_geometric<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> Graph {
+    random_geometric_with_positions(n, radius, rng).0
+}
+
+/// Like [`random_geometric`] but also returns the sampled positions, which
+/// examples use for rendering the network.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`random_geometric`].
+pub fn random_geometric_with_positions<R: Rng + ?Sized>(
+    n: usize,
+    radius: f64,
+    rng: &mut R,
+) -> (Graph, Vec<(f64, f64)>) {
+    assert!(
+        radius.is_finite() && radius >= 0.0,
+        "radius must be a non-negative finite number"
+    );
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+        .collect();
+    let mut builder = GraphBuilder::new(n);
+    if n == 0 || radius == 0.0 {
+        return (builder.build(), positions);
+    }
+
+    // Bucket points into cells of side `radius`; only same-or-adjacent cells
+    // can contain neighbours.
+    let cells_per_side = ((1.0 / radius).floor() as usize).clamp(1, n.max(1));
+    let cell_of = |p: (f64, f64)| {
+        let cx = ((p.0 * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        let cy = ((p.1 * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        (cx, cy)
+    };
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); cells_per_side * cells_per_side];
+    for (i, &p) in positions.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        buckets[cy * cells_per_side + cx].push(i as NodeId);
+    }
+    let r2 = radius * radius;
+    let close = |a: NodeId, b: NodeId| {
+        let (xa, ya) = positions[a as usize];
+        let (xb, yb) = positions[b as usize];
+        let (dx, dy) = (xa - xb, ya - yb);
+        dx * dx + dy * dy <= r2
+    };
+    for cy in 0..cells_per_side {
+        for cx in 0..cells_per_side {
+            let here = &buckets[cy * cells_per_side + cx];
+            // Within the cell.
+            for (i, &a) in here.iter().enumerate() {
+                for &b in &here[i + 1..] {
+                    if close(a, b) {
+                        builder.add_canonical_edge_unchecked(a.min(b), a.max(b));
+                    }
+                }
+            }
+            // Against the 4 forward-neighbouring cells (E, SW, S, SE) so each
+            // unordered cell pair is examined once.
+            let forward = [(1i64, 0i64), (-1, 1), (0, 1), (1, 1)];
+            for (dx, dy) in forward {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= cells_per_side as i64 || ny >= cells_per_side as i64
+                {
+                    continue;
+                }
+                let there = &buckets[ny as usize * cells_per_side + nx as usize];
+                for &a in here {
+                    for &b in there {
+                        if close(a, b) {
+                            builder.add_canonical_edge_unchecked(a.min(b), a.max(b));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (builder.build(), positions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    /// Brute-force reference implementation.
+    fn brute(positions: &[(f64, f64)], radius: f64) -> Vec<(NodeId, NodeId)> {
+        let r2 = radius * radius;
+        let mut edges = Vec::new();
+        for i in 0..positions.len() {
+            for j in (i + 1)..positions.len() {
+                let (dx, dy) = (
+                    positions[i].0 - positions[j].0,
+                    positions[i].1 - positions[j].1,
+                );
+                if dx * dx + dy * dy <= r2 {
+                    edges.push((i as NodeId, j as NodeId));
+                }
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        for seed in 0..5 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let (g, pos) = random_geometric_with_positions(150, 0.15, &mut rng);
+            let expected = brute(&pos, 0.15);
+            assert_eq!(g.edge_count(), expected.len(), "seed {seed}");
+            for (u, v) in expected {
+                assert!(g.has_edge(u, v), "missing edge {u}-{v} at seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_radius_has_no_edges() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = random_geometric(50, 0.0, &mut rng);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn huge_radius_is_complete() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = random_geometric(30, 2.0, &mut rng);
+        assert_eq!(g.edge_count(), 30 * 29 / 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (g, pos) = random_geometric_with_positions(0, 0.1, &mut rng);
+        assert!(g.is_empty());
+        assert!(pos.is_empty());
+    }
+
+    #[test]
+    fn positions_are_in_unit_square() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let (_, pos) = random_geometric_with_positions(100, 0.1, &mut rng);
+        for (x, y) in pos {
+            assert!((0.0..1.0).contains(&x));
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn negative_radius_panics() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let _ = random_geometric(10, -0.5, &mut rng);
+    }
+}

@@ -1,0 +1,219 @@
+//! Erdős–Rényi random graphs.
+
+use rand::{Rng, RngExt};
+use std::collections::HashSet;
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Samples an Erdős–Rényi graph `G(n, p)`: each of the `n(n-1)/2` possible
+/// edges is present independently with probability `p`.
+///
+/// Uses the Batagelj–Brandes geometric-skip method, running in
+/// `O(n + m)` expected time rather than `O(n²)`, so the `n = 1000`,
+/// `p = ½` workloads of Figure 3 and sparse graphs alike are cheap.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]` or `n` exceeds the `u32` index space.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::generators::gnp;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let g = gnp(100, 0.5, &mut rng);
+/// assert_eq!(g.node_count(), 100);
+/// // ~2475 edges expected; the bound below fails with negligible probability.
+/// assert!(g.edge_count() > 2000 && g.edge_count() < 3000);
+/// ```
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]");
+    if n == 0 || p == 0.0 {
+        return Graph::empty(n);
+    }
+    if p == 1.0 {
+        return super::complete(n);
+    }
+    let mut builder = GraphBuilder::new(n);
+    let expected = (0.5 * p * n as f64 * (n as f64 - 1.0)) as usize;
+    builder.reserve(expected + 16);
+    let log_q = (1.0 - p).ln();
+    // Iterate over canonical pairs (v, w) with w < v, skipping geometrically.
+    let mut v: usize = 1;
+    let mut w: i64 = -1;
+    while v < n {
+        let r: f64 = rng.random::<f64>();
+        // log(1-r) is safe: r < 1 with probability 1; clamp defensively.
+        let skip = ((1.0 - r).max(f64::MIN_POSITIVE).ln() / log_q).floor() as i64;
+        w += 1 + skip;
+        while w >= v as i64 && v < n {
+            w -= v as i64;
+            v += 1;
+        }
+        if v < n {
+            builder.add_canonical_edge_unchecked(w as NodeId, v as NodeId);
+        }
+    }
+    builder.build()
+}
+
+/// Samples a uniform random graph `G(n, m)` with exactly `m` distinct edges.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds `n(n-1)/2` or `n` exceeds the `u32` index space.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::generators::gnm;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(2);
+/// let g = gnm(10, 15, &mut rng);
+/// assert_eq!(g.edge_count(), 15);
+/// ```
+pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(
+        m <= max_edges,
+        "requested {m} edges but K_{n} has only {max_edges}"
+    );
+    if n == 0 {
+        return Graph::empty(0);
+    }
+    // Dense request: sample the complement instead to keep rejection cheap.
+    if m > max_edges / 2 {
+        let complement = gnm(n, max_edges - m, rng);
+        let mut builder = GraphBuilder::new(n);
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                if !complement.has_edge(u, v) {
+                    builder.add_canonical_edge_unchecked(u, v);
+                }
+            }
+        }
+        return builder.build();
+    }
+    let mut chosen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(m);
+    let mut builder = GraphBuilder::new(n);
+    builder.reserve(m);
+    while chosen.len() < m {
+        let u = rng.random_range(0..n as NodeId);
+        let v = rng.random_range(0..n as NodeId);
+        if u == v {
+            continue;
+        }
+        let e = (u.min(v), u.max(v));
+        if chosen.insert(e) {
+            builder.add_canonical_edge_unchecked(e.0, e.1);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn gnp_zero_probability_is_empty() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = gnp(50, 0.0, &mut rng);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn gnp_one_probability_is_complete() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = gnp(20, 1.0, &mut rng);
+        assert_eq!(g.edge_count(), 190);
+    }
+
+    #[test]
+    fn gnp_zero_nodes() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = gnp(0, 0.5, &mut rng);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn gnp_edge_count_concentrates() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let n = 200;
+        let p = 0.3;
+        let g = gnp(n, p, &mut rng);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        // 6 sigma of Binomial(19900, 0.3): sigma ≈ 64.6
+        assert!((got - expected).abs() < 400.0, "edge count {got} far from {expected}");
+    }
+
+    #[test]
+    fn gnp_sparse_regime() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = gnp(10_000, 0.0005, &mut rng);
+        let expected = 0.0005 * (10_000.0 * 9_999.0) / 2.0; // ≈ 25000
+        assert!((g.edge_count() as f64 - expected).abs() < 2_000.0);
+    }
+
+    #[test]
+    fn gnp_is_simple_graph() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let g = gnp(100, 0.5, &mut rng);
+        for v in g.nodes() {
+            let nbrs = g.neighbors(v);
+            assert!(!nbrs.contains(&v), "self loop at {v}");
+            for w in nbrs.windows(2) {
+                assert!(w[0] < w[1], "unsorted or duplicate neighbour");
+            }
+        }
+    }
+
+    #[test]
+    fn gnp_different_seeds_differ() {
+        let g1 = gnp(60, 0.5, &mut SmallRng::seed_from_u64(1));
+        let g2 = gnp(60, 0.5, &mut SmallRng::seed_from_u64(2));
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn gnp_same_seed_is_deterministic() {
+        let g1 = gnp(60, 0.5, &mut SmallRng::seed_from_u64(9));
+        let g2 = gnp(60, 0.5, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        for m in [0, 1, 10, 44, 45] {
+            let g = gnm(10, m, &mut rng);
+            assert_eq!(g.edge_count(), m);
+        }
+    }
+
+    #[test]
+    fn gnm_dense_path_via_complement() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = gnm(12, 60, &mut rng); // max is 66, so complement path triggers
+        assert_eq!(g.edge_count(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "edges")]
+    fn gnm_too_many_edges_panics() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let _ = gnm(4, 7, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn gnp_bad_probability_panics() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let _ = gnp(4, 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,185 @@
+//! Grid and lattice topologies.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// The `rows × cols` rectangular grid; node `(r, c)` is `r * cols + c` and
+/// is adjacent to its 4-neighbourhood.
+///
+/// §5 of the paper reports ≈1.1 mean beeps per node on rectangular grids
+/// for the feedback algorithm; this is that topology.
+///
+/// # Panics
+///
+/// Panics if `rows * cols` exceeds the `u32` index space.
+///
+/// # Examples
+///
+/// ```
+/// let g = mis_graph::generators::grid2d(3, 4);
+/// assert_eq!(g.node_count(), 12);
+/// assert_eq!(g.edge_count(), 3 * 3 + 2 * 4); // horizontal + vertical
+/// ```
+#[must_use]
+pub fn grid2d(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::new(n);
+    b.reserve(2 * n);
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_canonical_edge_unchecked(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_canonical_edge_unchecked(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `rows × cols` torus: a grid with wrap-around edges, so every node
+/// has degree exactly 4.
+///
+/// # Panics
+///
+/// Panics if `rows < 3` or `cols < 3` (smaller tori are not simple graphs)
+/// or the node count exceeds the `u32` index space.
+#[must_use]
+pub fn torus2d(rows: usize, cols: usize) -> Graph {
+    assert!(
+        rows >= 3 && cols >= 3,
+        "torus requires both dimensions at least 3"
+    );
+    let n = rows * cols;
+    let mut b = GraphBuilder::new(n);
+    b.reserve(2 * n);
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    for r in 0..rows {
+        for c in 0..cols {
+            let right = id(r, (c + 1) % cols);
+            let down = id((r + 1) % rows, c);
+            let me = id(r, c);
+            b.add_edge(me.min(right), me.max(right)).expect("valid edge");
+            b.add_edge(me.min(down), me.max(down)).expect("valid edge");
+        }
+    }
+    b.build()
+}
+
+/// A `rows × cols` hexagonal lattice in odd-r offset coordinates: each
+/// interior cell touches 6 neighbours, as in an epithelial cell sheet.
+///
+/// This models the hexagonally packed proneural cluster of the fly from
+/// which SOP cells are selected (Figure 1B of the paper): running the
+/// feedback algorithm on it yields the biological “fine-grained pattern” —
+/// no two adjacent SOPs, every cell adjacent to an SOP.
+///
+/// # Panics
+///
+/// Panics if `rows * cols` exceeds the `u32` index space.
+///
+/// # Examples
+///
+/// ```
+/// let g = mis_graph::generators::hex_grid(4, 4);
+/// assert_eq!(g.node_count(), 16);
+/// assert_eq!(g.max_degree(), 6);
+/// ```
+#[must_use]
+pub fn hex_grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::new(n);
+    b.reserve(3 * n);
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    for r in 0..rows {
+        for c in 0..cols {
+            // East neighbour.
+            if c + 1 < cols {
+                b.add_canonical_edge_unchecked(id(r, c), id(r, c + 1));
+            }
+            // The two downward neighbours (odd-r offset layout).
+            if r + 1 < rows {
+                b.add_canonical_edge_unchecked(id(r, c), id(r + 1, c));
+                if r % 2 == 1 {
+                    // odd rows are shifted right: second neighbour is c + 1
+                    if c + 1 < cols {
+                        b.add_canonical_edge_unchecked(id(r, c), id(r + 1, c + 1));
+                    }
+                } else if c > 0 {
+                    // even rows: second neighbour is c - 1
+                    b.add_canonical_edge_unchecked(id(r + 1, c - 1).min(id(r, c)), id(r, c).max(id(r + 1, c - 1)));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_edge_count_formula() {
+        for (r, c) in [(1, 1), (1, 5), (3, 3), (4, 7)] {
+            let g = grid2d(r, c);
+            assert_eq!(g.node_count(), r * c);
+            assert_eq!(g.edge_count(), r * (c - 1) + (r - 1) * c);
+        }
+    }
+
+    #[test]
+    fn grid_corner_and_interior_degrees() {
+        let g = grid2d(5, 5);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(2), 3); // edge
+        assert_eq!(g.degree(12), 4); // centre
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus2d(4, 5);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4, "node {v}");
+        }
+        assert_eq!(g.edge_count(), 2 * 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn small_torus_panics() {
+        let _ = torus2d(2, 5);
+    }
+
+    #[test]
+    fn hex_grid_degrees() {
+        // In a big hex grid interior nodes have degree 6.
+        let g = hex_grid(6, 6);
+        assert_eq!(g.max_degree(), 6);
+        // Row 1 (odd, shifted), column 2 is interior.
+        let v = (6 + 2) as u32;
+        assert_eq!(g.degree(v), 6);
+    }
+
+    #[test]
+    fn hex_grid_small_cases() {
+        assert_eq!(hex_grid(1, 1).edge_count(), 0);
+        assert_eq!(hex_grid(1, 4).edge_count(), 3); // just a path
+        let g = hex_grid(2, 2);
+        // Edges: (0,1),(2,3) east; (0,2),(1,3) down; row0 even: (1 -> below-left 2)
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn hex_grid_symmetric_adjacency() {
+        let g = hex_grid(5, 7);
+        for v in g.nodes() {
+            for &u in g.neighbors(v) {
+                assert!(g.has_edge(u, v));
+                assert_ne!(u, v);
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Graph generators for every topology used in the paper's experiments.
+//!
+//! | Generator | Role in the paper |
+//! |-----------|-------------------|
+//! | [`gnp`], [`gnm`] | `G(n, ½)` random graphs of Figures 3 and 5 |
+//! | [`grid2d`], [`torus2d`] | rectangular grids of §5 (“around 1.1 beeps”) |
+//! | [`theorem1_family`], [`disjoint_cliques`] | the Theorem 1 lower-bound family |
+//! | [`hex_grid`] | hexagonally packed fly epithelium (Figure 1B) |
+//! | [`random_geometric`] | ad-hoc sensor networks (§6 applications) |
+//! | [`complete`], [`path`], [`cycle`], [`star`], [`complete_bipartite`], [`wheel`] | classic fixed topologies for tests and edge cases |
+//! | [`random_tree`], [`balanced_tree`] | sparse hierarchical topologies |
+//! | [`random_regular`] | degree-homogeneous graphs |
+//! | [`hypercube`] | structured logarithmic-diameter graphs |
+//! | [`watts_strogatz`], [`barabasi_albert`], [`planted_partition`], [`connected_caveman`] | small-world / scale-free / community workloads for the robustness extensions (§6) |
+//!
+//! All random generators take an explicit `&mut impl Rng` so experiments are
+//! reproducible from a master seed.
+
+mod classic;
+mod clique_union;
+mod geometric;
+mod gnp;
+mod grid;
+mod regular;
+mod social;
+mod trees;
+
+pub use classic::{complete, complete_bipartite, cycle, path, star, wheel};
+pub use clique_union::{disjoint_cliques, theorem1_family, theorem1_side_for_nodes};
+pub use geometric::{random_geometric, random_geometric_with_positions};
+pub use gnp::{gnm, gnp};
+pub use grid::{grid2d, hex_grid, torus2d};
+pub use regular::random_regular;
+pub use social::{barabasi_albert, connected_caveman, planted_partition, watts_strogatz};
+pub use trees::{balanced_tree, random_tree};
+
+pub use classic::hypercube;

@@ -1,0 +1,119 @@
+//! Random regular graphs via the pairing (configuration) model.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Samples a random `d`-regular graph on `n` nodes using the pairing model
+/// with rejection: half-edges are paired uniformly and the pairing is
+/// retried whenever it produces a self-loop or parallel edge.
+///
+/// For constant `d` the acceptance probability is `≈ e^{-(d²-1)/4}`, so the
+/// expected number of retries is modest for `d ≲ 10`; the function aborts
+/// after a large retry budget rather than looping forever.
+///
+/// # Panics
+///
+/// Panics if `n·d` is odd, `d ≥ n`, the retry budget is exhausted
+/// (practically unreachable for `d ≲ 12`), or `n` exceeds the `u32` index
+/// space.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::generators::random_regular;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(3);
+/// let g = random_regular(30, 3, &mut rng);
+/// for v in g.nodes() {
+///     assert_eq!(g.degree(v), 3);
+/// }
+/// ```
+pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!((n * d).is_multiple_of(2), "n·d must be even for a d-regular graph");
+    assert!(d < n || (d == 0 && n == 0), "degree must be below node count");
+    if d == 0 {
+        return Graph::empty(n);
+    }
+    const MAX_ATTEMPTS: usize = 10_000;
+    let mut stubs: Vec<NodeId> = (0..n as NodeId)
+        .flat_map(|v| std::iter::repeat_n(v, d))
+        .collect();
+    'attempt: for _ in 0..MAX_ATTEMPTS {
+        stubs.shuffle(rng);
+        let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
+        let mut builder = GraphBuilder::new(n);
+        builder.reserve(n * d / 2);
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v {
+                continue 'attempt;
+            }
+            let e = (u.min(v), u.max(v));
+            if !seen.insert(e) {
+                continue 'attempt;
+            }
+            builder.add_canonical_edge_unchecked(e.0, e.1);
+        }
+        return builder.build();
+    }
+    panic!("pairing model failed to produce a simple {d}-regular graph on {n} nodes");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn regular_degrees_hold() {
+        for (n, d) in [(10, 2), (20, 3), (16, 4), (50, 5)] {
+            let mut rng = SmallRng::seed_from_u64((n * d) as u64);
+            let g = random_regular(n, d, &mut rng);
+            assert_eq!(g.node_count(), n);
+            for v in g.nodes() {
+                assert_eq!(g.degree(v), d, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_degree() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = random_regular(8, 0, &mut rng);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn two_regular_graphs_are_unions_of_cycles() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = random_regular(24, 2, &mut rng);
+        for comp in ops::connected_components(&g) {
+            assert!(comp.len() >= 3, "2-regular component must be a cycle");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_total_degree_panics() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _ = random_regular(5, 3, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "below node count")]
+    fn degree_too_large_panics() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let _ = random_regular(4, 4, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g1 = random_regular(20, 3, &mut SmallRng::seed_from_u64(5));
+        let g2 = random_regular(20, 3, &mut SmallRng::seed_from_u64(5));
+        assert_eq!(g1, g2);
+    }
+}

@@ -1,0 +1,314 @@
+//! Small-world, scale-free and community-structured generators.
+//!
+//! These families do not appear in the paper's evaluation, but they stress
+//! the feedback algorithm in ways `G(n, p)` cannot: highly skewed degree
+//! distributions (preferential attachment), strong clustering with long
+//! shortcuts (small worlds), and mixed dense/sparse regions (planted
+//! communities). §6 claims robustness across network structure; these are
+//! the workloads the robustness and race extensions exercise it on.
+
+use rand::{Rng, RngExt};
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Watts–Strogatz small-world graph: a ring lattice where every node links
+/// to its `k/2` nearest neighbours on each side, with each edge rewired to
+/// a uniform random endpoint with probability `beta`.
+///
+/// `beta = 0` is the pure lattice, `beta = 1` approaches `G(n, k/n)`.
+/// Self-loops and duplicate edges are skipped during rewiring (leaving the
+/// original edge in place), so the result is always simple with exactly
+/// `n·k/2` edges.
+///
+/// # Panics
+///
+/// Panics if `k` is odd, `k ≥ n`, or `beta` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::generators::watts_strogatz;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let g = watts_strogatz(60, 6, 0.1, &mut rng);
+/// assert_eq!(g.edge_count(), 60 * 3);
+/// ```
+pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
+    assert!(k.is_multiple_of(2), "k must be even (k/2 neighbours per side)");
+    assert!(k < n || (k == 0 && n == 0), "k must be below n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * k / 2);
+    let mut present = std::collections::HashSet::with_capacity(n * k / 2);
+    let canon = |a: NodeId, b: NodeId| (a.min(b), a.max(b));
+    for v in 0..n {
+        for j in 1..=k / 2 {
+            let u = ((v + j) % n) as NodeId;
+            let e = canon(v as NodeId, u);
+            edges.push(e);
+            present.insert(e);
+        }
+    }
+    for edge in &mut edges {
+        if beta > 0.0 && rng.random_bool(beta) {
+            let keep = edge.0;
+            // Try a few times to find a fresh endpoint; give up (keep the
+            // lattice edge) on pathological density.
+            for _ in 0..8 {
+                let candidate = rng.random_range(0..n as NodeId);
+                let e = canon(keep, candidate);
+                if candidate != keep && !present.contains(&e) {
+                    present.remove(edge);
+                    *edge = e;
+                    present.insert(e);
+                    break;
+                }
+            }
+        }
+    }
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in edges {
+        b.add_edge(u, v).expect("rewiring preserves validity");
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: starting from a small clique,
+/// each new node attaches to `m` existing nodes chosen proportionally to
+/// their degree, producing a scale-free (power-law) degree distribution.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n < m + 1`.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::generators::barabasi_albert;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(2);
+/// let g = barabasi_albert(200, 3, &mut rng);
+/// assert_eq!(g.node_count(), 200);
+/// assert!(g.max_degree() > 3 * g.min_degree().max(1));
+/// ```
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(m >= 1, "attachment count must be positive");
+    assert!(n > m, "need at least m + 1 nodes");
+    let mut builder = GraphBuilder::new(n);
+    // Repeated-endpoints list: choosing a uniform element is
+    // degree-proportional sampling.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    // Seed: clique on m + 1 nodes.
+    for u in 0..=(m as NodeId) {
+        for v in (u + 1)..=(m as NodeId) {
+            builder.add_canonical_edge_unchecked(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    let mut targets = std::collections::HashSet::with_capacity(m);
+    for v in (m + 1)..n {
+        targets.clear();
+        while targets.len() < m {
+            let pick = endpoints[rng.random_range(0..endpoints.len())];
+            targets.insert(pick);
+        }
+        for &t in &targets {
+            builder.add_canonical_edge_unchecked(t.min(v as NodeId), t.max(v as NodeId));
+            endpoints.push(t);
+            endpoints.push(v as NodeId);
+        }
+    }
+    builder.build()
+}
+
+/// Planted-partition (symmetric stochastic block model): `communities`
+/// equal groups; within-group edges appear with probability `p_in`,
+/// cross-group edges with `p_out`.
+///
+/// # Panics
+///
+/// Panics if `communities == 0` or either probability is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::generators::planted_partition;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(3);
+/// let g = planted_partition(90, 3, 0.5, 0.02, &mut rng);
+/// assert_eq!(g.node_count(), 90);
+/// ```
+pub fn planted_partition<R: Rng + ?Sized>(
+    n: usize,
+    communities: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> Graph {
+    assert!(communities > 0, "need at least one community");
+    assert!((0.0..=1.0).contains(&p_in), "p_in must be in [0, 1]");
+    assert!((0.0..=1.0).contains(&p_out), "p_out must be in [0, 1]");
+    let group = |v: usize| v * communities / n.max(1);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if group(u) == group(v) { p_in } else { p_out };
+            if p >= 1.0 || (p > 0.0 && rng.random_bool(p)) {
+                b.add_canonical_edge_unchecked(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Connected caveman graph: `cliques` cliques of `size` nodes arranged in
+/// a ring, with one edge between consecutive cliques. A clustered cousin
+/// of the Theorem 1 family where the cliques are *not* independent
+/// components.
+///
+/// # Panics
+///
+/// Panics if `cliques == 0`, `size == 0`, or a ring is requested with
+/// fewer than one clique.
+///
+/// # Examples
+///
+/// ```
+/// let g = mis_graph::generators::connected_caveman(5, 4);
+/// assert_eq!(g.node_count(), 20);
+/// assert!(mis_graph::ops::is_connected(&g));
+/// ```
+#[must_use]
+pub fn connected_caveman(cliques: usize, size: usize) -> Graph {
+    assert!(cliques > 0 && size > 0, "need non-empty cliques");
+    let n = cliques * size;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..cliques {
+        let base = c * size;
+        for i in 0..size {
+            for j in (i + 1)..size {
+                b.add_canonical_edge_unchecked((base + i) as NodeId, (base + j) as NodeId);
+            }
+        }
+    }
+    if cliques > 1 {
+        // Bridge: last node of clique c to first node of clique c + 1.
+        for c in 0..cliques {
+            let from = (c * size + size - 1) as NodeId;
+            let to = (((c + 1) % cliques) * size) as NodeId;
+            if from != to {
+                b.add_edge(from.min(to), from.max(to)).expect("valid bridge");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn watts_strogatz_lattice_base_case() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = watts_strogatz(20, 4, 0.0, &mut rng);
+        assert_eq!(g.edge_count(), 40);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(0, 19));
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_keeps_edge_count() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for beta in [0.1, 0.5, 1.0] {
+            let g = watts_strogatz(50, 6, beta, &mut rng);
+            assert_eq!(g.edge_count(), 150, "beta {beta}");
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_rewired_differs_from_lattice() {
+        let lattice = watts_strogatz(40, 4, 0.0, &mut SmallRng::seed_from_u64(3));
+        let rewired = watts_strogatz(40, 4, 0.5, &mut SmallRng::seed_from_u64(3));
+        assert_ne!(lattice, rewired);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn watts_strogatz_odd_k_panics() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let _ = watts_strogatz(10, 3, 0.1, &mut rng);
+    }
+
+    #[test]
+    fn barabasi_albert_structure() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = barabasi_albert(300, 2, &mut rng);
+        assert_eq!(g.node_count(), 300);
+        // Seed clique K₃ has 3 edges; each later node adds exactly 2.
+        assert_eq!(g.edge_count(), 3 + (300 - 3) * 2);
+        assert!(ops::is_connected(&g));
+        // Scale-free skew: the hub dwarfs the minimum degree.
+        assert!(g.max_degree() >= 10 * g.min_degree());
+    }
+
+    #[test]
+    fn barabasi_albert_min_degree_is_m() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = barabasi_albert(100, 3, &mut rng);
+        assert!(g.min_degree() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "m + 1")]
+    fn barabasi_albert_too_small_panics() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let _ = barabasi_albert(3, 3, &mut rng);
+    }
+
+    #[test]
+    fn planted_partition_density_contrast() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let n = 60;
+        let g = planted_partition(n, 3, 0.8, 0.02, &mut rng);
+        let group = |v: u32| (v as usize) * 3 / n;
+        let (mut inside, mut across) = (0usize, 0usize);
+        for (u, v) in g.edges() {
+            if group(u) == group(v) {
+                inside += 1;
+            } else {
+                across += 1;
+            }
+        }
+        assert!(inside > 5 * across, "inside {inside}, across {across}");
+    }
+
+    #[test]
+    fn planted_partition_extremes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = planted_partition(30, 3, 1.0, 0.0, &mut rng);
+        // Three disjoint K₁₀s.
+        assert_eq!(g.edge_count(), 3 * 45);
+        assert_eq!(ops::connected_components(&g).len(), 3);
+    }
+
+    #[test]
+    fn caveman_structure() {
+        let g = connected_caveman(4, 5);
+        assert_eq!(g.node_count(), 20);
+        // 4 cliques × 10 edges + 4 bridges.
+        assert_eq!(g.edge_count(), 44);
+        assert!(ops::is_connected(&g));
+        let single = connected_caveman(1, 4);
+        assert_eq!(single.edge_count(), 6);
+    }
+}

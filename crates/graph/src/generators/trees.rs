@@ -1,0 +1,154 @@
+//! Tree generators.
+
+use rand::{Rng, RngExt};
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Samples a uniformly random labelled tree on `n` nodes via a random
+/// Prüfer sequence.
+///
+/// # Panics
+///
+/// Panics if `n` exceeds the `u32` index space.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::generators::random_tree;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut rng = SmallRng::seed_from_u64(11);
+/// let t = random_tree(50, &mut rng);
+/// assert_eq!(t.edge_count(), 49);
+/// ```
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+    if n <= 1 {
+        return Graph::empty(n);
+    }
+    if n == 2 {
+        return Graph::from_edges(2, [(0, 1)]).expect("valid edge");
+    }
+    let prufer: Vec<NodeId> = (0..n - 2)
+        .map(|_| rng.random_range(0..n as NodeId))
+        .collect();
+    prufer_decode(n, &prufer)
+}
+
+/// Decodes a Prüfer sequence of length `n - 2` into its tree.
+fn prufer_decode(n: usize, prufer: &[NodeId]) -> Graph {
+    debug_assert_eq!(prufer.len(), n - 2);
+    let mut degree = vec![1u32; n];
+    for &v in prufer {
+        degree[v as usize] += 1;
+    }
+    let mut b = GraphBuilder::new(n);
+    // Min-heap of current leaves.
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<NodeId>> = (0..n as NodeId)
+        .filter(|&v| degree[v as usize] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &v in prufer {
+        let std::cmp::Reverse(leaf) = leaves.pop().expect("tree invariant");
+        b.add_edge(leaf.min(v), leaf.max(v)).expect("valid edge");
+        degree[v as usize] -= 1;
+        if degree[v as usize] == 1 {
+            leaves.push(std::cmp::Reverse(v));
+        }
+    }
+    let std::cmp::Reverse(a) = leaves.pop().expect("two leaves remain");
+    let std::cmp::Reverse(c) = leaves.pop().expect("two leaves remain");
+    b.add_edge(a.min(c), a.max(c)).expect("valid edge");
+    b.build()
+}
+
+/// The complete `arity`-ary tree of the given `depth` (depth 0 is a single
+/// root). Node 0 is the root; children of `v` are contiguous.
+///
+/// # Panics
+///
+/// Panics if `arity == 0` with nonzero depth, or the node count exceeds the
+/// `u32` index space.
+///
+/// # Examples
+///
+/// ```
+/// let t = mis_graph::generators::balanced_tree(2, 3);
+/// assert_eq!(t.node_count(), 15); // 1 + 2 + 4 + 8
+/// assert_eq!(t.edge_count(), 14);
+/// ```
+#[must_use]
+pub fn balanced_tree(arity: usize, depth: usize) -> Graph {
+    if depth > 0 {
+        assert!(arity >= 1, "arity must be positive for non-trivial depth");
+    }
+    // Count nodes: sum of arity^level.
+    let mut count = 1usize;
+    let mut level_size = 1usize;
+    for _ in 0..depth {
+        level_size = level_size
+            .checked_mul(arity)
+            .expect("balanced tree too large");
+        count = count.checked_add(level_size).expect("balanced tree too large");
+    }
+    let mut b = GraphBuilder::new(count);
+    // Parent of node v > 0 in a complete arity-ary tree: (v - 1) / arity.
+    for v in 1..count as NodeId {
+        let parent = (v - 1) / arity as NodeId;
+        b.add_canonical_edge_unchecked(parent, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        for seed in 0..10 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let t = random_tree(40, &mut rng);
+            assert_eq!(t.edge_count(), 39);
+            assert_eq!(ops::connected_components(&t).len(), 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn tiny_trees() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(random_tree(0, &mut rng).node_count(), 0);
+        assert_eq!(random_tree(1, &mut rng).edge_count(), 0);
+        assert_eq!(random_tree(2, &mut rng).edge_count(), 1);
+        assert_eq!(random_tree(3, &mut rng).edge_count(), 2);
+    }
+
+    #[test]
+    fn prufer_decode_known_sequence() {
+        // Prüfer sequence [3, 3, 3, 4] on 6 nodes: star-ish tree.
+        let t = prufer_decode(6, &[3, 3, 3, 4]);
+        assert_eq!(t.degree(3), 4);
+        assert_eq!(t.degree(4), 2);
+        assert_eq!(t.edge_count(), 5);
+    }
+
+    #[test]
+    fn balanced_tree_shapes() {
+        let t = balanced_tree(3, 2);
+        assert_eq!(t.node_count(), 13); // 1 + 3 + 9
+        assert_eq!(t.degree(0), 3);
+        assert_eq!(t.degree(1), 4); // parent + 3 children
+        assert_eq!(t.degree(12), 1); // leaf
+
+        assert_eq!(balanced_tree(5, 0).node_count(), 1);
+        assert_eq!(balanced_tree(1, 4).node_count(), 5); // a path
+    }
+
+    #[test]
+    fn random_trees_vary_with_seed() {
+        let t1 = random_tree(30, &mut SmallRng::seed_from_u64(1));
+        let t2 = random_tree(30, &mut SmallRng::seed_from_u64(2));
+        assert_ne!(t1, t2);
+    }
+}

@@ -1,0 +1,456 @@
+//! Plain-text edge-list serialisation, DIMACS `edge` format, and Graphviz
+//! DOT export.
+//!
+//! The edge-list format is line-oriented:
+//!
+//! ```text
+//! # comments start with '#'
+//! nodes 5
+//! 0 1
+//! 1 2
+//! ```
+//!
+//! A `nodes <n>` header fixes the node count (allowing isolated trailing
+//! nodes); without it, the count is one more than the largest endpoint.
+
+use std::io::{self, Read, Write};
+
+use crate::{Graph, GraphBuilder, GraphError, NodeId};
+
+/// Serialises a graph in the edge-list format.
+///
+/// Accepts any [`Write`] by value; pass `&mut writer` to keep ownership
+/// (mutable references implement `Write` too).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::{io::write_edge_list, Graph};
+///
+/// let g = Graph::from_edges(3, [(0, 1)])?;
+/// let mut buf = Vec::new();
+/// write_edge_list(&mut buf, &g)?;
+/// let text = String::from_utf8(buf).unwrap();
+/// assert!(text.contains("nodes 3"));
+/// assert!(text.contains("0 1"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_edge_list<W: Write>(mut writer: W, g: &Graph) -> io::Result<()> {
+    writeln!(writer, "nodes {}", g.node_count())?;
+    for (u, v) in g.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Renders a graph as a string in the edge-list format.
+#[must_use]
+pub fn to_edge_list_string(g: &Graph) -> String {
+    let mut buf = Vec::new();
+    write_edge_list(&mut buf, g).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("edge list output is ASCII")
+}
+
+/// Parses the edge-list format from a string.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed lines and the usual
+/// construction errors for invalid edges.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::io::parse_edge_list;
+///
+/// let g = parse_edge_list("nodes 4\n0 1\n2 3\n")?;
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), mis_graph::GraphError>(())
+/// ```
+pub fn parse_edge_list(text: &str) -> Result<Graph, GraphError> {
+    let mut declared_nodes: Option<usize> = None;
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut max_node: Option<NodeId> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("nodes ") {
+            let n: usize = rest.trim().parse().map_err(|_| GraphError::Parse {
+                line: line_no,
+                reason: format!("invalid node count {rest:?}"),
+            })?;
+            declared_nodes = Some(n);
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (a, b) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(a), Some(b), None) => (a, b),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    reason: format!("expected two endpoints, got {line:?}"),
+                })
+            }
+        };
+        let parse_node = |s: &str| -> Result<NodeId, GraphError> {
+            s.parse().map_err(|_| GraphError::Parse {
+                line: line_no,
+                reason: format!("invalid node id {s:?}"),
+            })
+        };
+        let (u, v) = (parse_node(a)?, parse_node(b)?);
+        max_node = Some(max_node.map_or(u.max(v), |m| m.max(u).max(v)));
+        edges.push((u, v));
+    }
+    let node_count =
+        declared_nodes.unwrap_or_else(|| max_node.map_or(0, |m| m as usize + 1));
+    Graph::from_edges(node_count, edges)
+}
+
+/// Reads and parses the edge-list format from any [`Read`].
+///
+/// Pass `&mut reader` to keep ownership of the reader.
+///
+/// # Errors
+///
+/// Returns a [`GraphError::Parse`] wrapping I/O failures (line 0) or any
+/// parse/construction error.
+pub fn read_edge_list<R: Read>(mut reader: R) -> Result<Graph, GraphError> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| GraphError::Parse {
+            line: 0,
+            reason: format!("I/O error: {e}"),
+        })?;
+    parse_edge_list(&text)
+}
+
+/// Renders the graph in Graphviz DOT format, optionally highlighting a set
+/// of nodes (used by examples to display the selected MIS).
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::{io::to_dot, Graph};
+///
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)])?;
+/// let dot = to_dot(&g, &[0, 2]);
+/// assert!(dot.starts_with("graph"));
+/// assert!(dot.contains("0 -- 1"));
+/// assert!(dot.contains("style=filled"));
+/// # Ok::<(), mis_graph::GraphError>(())
+/// ```
+#[must_use]
+pub fn to_dot(g: &Graph, highlighted: &[NodeId]) -> String {
+    let mut out = String::from("graph G {\n  node [shape=circle];\n");
+    let special: std::collections::HashSet<NodeId> = highlighted.iter().copied().collect();
+    for v in g.nodes() {
+        if special.contains(&v) {
+            out.push_str(&format!(
+                "  {v} [style=filled, fillcolor=gold, penwidth=2];\n"
+            ));
+        } else {
+            out.push_str(&format!("  {v};\n"));
+        }
+    }
+    for (u, v) in g.edges() {
+        out.push_str(&format!("  {u} -- {v};\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Serialises a graph in DIMACS `edge` format (`p edge n m` header,
+/// `e u v` lines, **1-indexed** endpoints) — the interchange format of
+/// the DIMACS clique/colouring challenges, accepted by most graph tools.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::{io::to_dimacs, Graph};
+///
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)])?;
+/// let text = to_dimacs(&g);
+/// assert!(text.contains("p edge 3 2"));
+/// assert!(text.contains("e 1 2"));
+/// # Ok::<(), mis_graph::GraphError>(())
+/// ```
+#[must_use]
+pub fn to_dimacs(g: &Graph) -> String {
+    let mut out = format!(
+        "c generated by mis-graph\np edge {} {}\n",
+        g.node_count(),
+        g.edge_count()
+    );
+    for (u, v) in g.edges() {
+        out.push_str(&format!("e {} {}\n", u + 1, v + 1));
+    }
+    out
+}
+
+/// Parses DIMACS `edge` format: `c` comment lines, one `p edge <n> <m>`
+/// problem line, and `e <u> <v>` edge lines with 1-indexed endpoints.
+/// Duplicate edges are tolerated (deduplicated), matching common DIMACS
+/// instance files.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] when the problem line is missing,
+/// repeated or malformed, when an edge line is malformed or precedes the
+/// problem line, or when an endpoint is `0`/out of range.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::io::parse_dimacs;
+///
+/// let g = parse_dimacs("c a triangle\np edge 3 3\ne 1 2\ne 2 3\ne 1 3\n")?;
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 3);
+/// # Ok::<(), mis_graph::GraphError>(())
+/// ```
+pub fn parse_dimacs(text: &str) -> Result<Graph, GraphError> {
+    let mut node_count: Option<usize> = None;
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p ") {
+            if node_count.is_some() {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    reason: "duplicate problem line".into(),
+                });
+            }
+            let mut parts = rest.split_whitespace();
+            let format = parts.next();
+            if format != Some("edge") && format != Some("col") {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    reason: format!("unsupported DIMACS format {format:?}"),
+                });
+            }
+            let n: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| GraphError::Parse {
+                    line: line_no,
+                    reason: "problem line needs a node count".into(),
+                })?;
+            node_count = Some(n);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("e ") {
+            let n = node_count.ok_or_else(|| GraphError::Parse {
+                line: line_no,
+                reason: "edge line before problem line".into(),
+            })?;
+            let mut parts = rest.split_whitespace();
+            let mut endpoint = || -> Result<NodeId, GraphError> {
+                let s = parts.next().ok_or_else(|| GraphError::Parse {
+                    line: line_no,
+                    reason: "edge line needs two endpoints".into(),
+                })?;
+                let raw: usize = s.parse().map_err(|_| GraphError::Parse {
+                    line: line_no,
+                    reason: format!("invalid endpoint {s:?}"),
+                })?;
+                if raw == 0 || raw > n {
+                    return Err(GraphError::Parse {
+                        line: line_no,
+                        reason: format!("endpoint {raw} out of range 1..={n}"),
+                    });
+                }
+                Ok((raw - 1) as NodeId)
+            };
+            let (u, v) = (endpoint()?, endpoint()?);
+            edges.push((u, v));
+            continue;
+        }
+        return Err(GraphError::Parse {
+            line: line_no,
+            reason: format!("unrecognised DIMACS line {line:?}"),
+        });
+    }
+    let n = node_count.ok_or_else(|| GraphError::Parse {
+        line: 0,
+        reason: "missing problem line".into(),
+    })?;
+    Graph::from_edges(n, edges)
+}
+
+/// Round-trips a graph through the edge-list format (serialise then parse).
+/// Exposed for tests and as a self-check utility.
+///
+/// # Errors
+///
+/// Returns any parse error; a correct implementation never produces one.
+pub fn round_trip(g: &Graph) -> Result<Graph, GraphError> {
+    parse_edge_list(&to_edge_list_string(g))
+}
+
+/// Builds a graph from an iterator of `(u, v)` pairs without a declared
+/// node count (count = max endpoint + 1). Convenience for hand-written
+/// test fixtures.
+///
+/// # Errors
+///
+/// Returns the usual construction errors.
+pub fn from_pairs<I>(pairs: I) -> Result<Graph, GraphError>
+where
+    I: IntoIterator<Item = (NodeId, NodeId)>,
+{
+    let edges: Vec<(NodeId, NodeId)> = pairs.into_iter().collect();
+    let n = edges
+        .iter()
+        .map(|&(u, v)| u.max(v) as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in edges {
+        b.add_edge(u, v)?;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let g = generators::gnp(40, 0.2, &mut rng);
+        assert_eq!(round_trip(&g).unwrap(), g);
+    }
+
+    #[test]
+    fn dimacs_round_trip_preserves_graph() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = generators::gnp(30, 0.3, &mut rng);
+        assert_eq!(parse_dimacs(&to_dimacs(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn dimacs_round_trip_preserves_isolated_nodes() {
+        let g = Graph::from_edges(8, [(0, 7)]).unwrap();
+        let h = parse_dimacs(&to_dimacs(&g)).unwrap();
+        assert_eq!(h.node_count(), 8);
+        assert_eq!(h.edge_count(), 1);
+    }
+
+    #[test]
+    fn dimacs_tolerates_duplicates_and_col_format() {
+        let g = parse_dimacs("p col 3 4\ne 1 2\ne 2 1\ne 2 3\ne 2 3\n").unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn dimacs_rejects_malformed_input() {
+        assert!(parse_dimacs("").is_err()); // no problem line
+        assert!(parse_dimacs("e 1 2\np edge 3 1\n").is_err()); // edge first
+        assert!(parse_dimacs("p edge 3 1\np edge 3 1\n").is_err()); // duplicate p
+        assert!(parse_dimacs("p matrix 3 1\n").is_err()); // unknown format
+        assert!(parse_dimacs("p edge 3 1\ne 0 2\n").is_err()); // 0 endpoint
+        assert!(parse_dimacs("p edge 3 1\ne 1 4\n").is_err()); // out of range
+        assert!(parse_dimacs("p edge 3 1\ne 1\n").is_err()); // one endpoint
+        assert!(parse_dimacs("p edge 3 1\nx 1 2\n").is_err()); // unknown line
+        assert!(parse_dimacs("p edge x 1\n").is_err()); // bad count
+    }
+
+    #[test]
+    fn dimacs_error_reports_line_number() {
+        let err = parse_dimacs("c fine\np edge 3 1\ne 1 9\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dimacs_empty_graph() {
+        let g = parse_dimacs("p edge 0 0\n").unwrap();
+        assert!(g.is_empty());
+        assert!(to_dimacs(&g).contains("p edge 0 0"));
+    }
+
+    #[test]
+    fn round_trip_preserves_isolated_nodes() {
+        let g = Graph::from_edges(10, [(0, 1)]).unwrap();
+        let h = round_trip(&g).unwrap();
+        assert_eq!(h.node_count(), 10);
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_blanks() {
+        let g = parse_edge_list("# header\n\nnodes 3\n# edge next\n0 2\n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn parse_without_header_infers_count() {
+        let g = parse_edge_list("0 1\n1 4\n").unwrap();
+        assert_eq!(g.node_count(), 5);
+    }
+
+    #[test]
+    fn parse_empty_input() {
+        let g = parse_edge_list("").unwrap();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let err = parse_edge_list("0 x\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = parse_edge_list("1 2 3\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = parse_edge_list("nodes many\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_self_loop() {
+        let err = parse_edge_list("3 3\n").unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: 3 });
+    }
+
+    #[test]
+    fn dot_output_shape() {
+        let g = generators::path(3);
+        let dot = to_dot(&g, &[1]);
+        assert!(dot.contains("1 [style=filled"));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("1 -- 2;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn read_edge_list_from_reader() {
+        let data = b"nodes 2\n0 1\n";
+        let g = read_edge_list(&data[..]).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn from_pairs_infers_size() {
+        let g = from_pairs([(0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert!(from_pairs([]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,564 @@
+//! Graph operations: components, subgraphs, unions, complements, statistics.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Connected components, each a sorted list of node ids; components are
+/// ordered by their smallest node.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::{ops, Graph};
+///
+/// let g = Graph::from_edges(5, [(0, 1), (3, 4)])?;
+/// let comps = ops::connected_components(&g);
+/// assert_eq!(comps, vec![vec![0, 1], vec![2], vec![3, 4]]);
+/// # Ok::<(), mis_graph::GraphError>(())
+/// ```
+#[must_use]
+pub fn connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut visited = vec![false; n];
+    let mut components = Vec::new();
+    let mut stack = Vec::new();
+    for start in 0..n as NodeId {
+        if visited[start as usize] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        visited[start as usize] = true;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            comp.push(v);
+            for &u in g.neighbors(v) {
+                if !visited[u as usize] {
+                    visited[u as usize] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        comp.sort_unstable();
+        components.push(comp);
+    }
+    components
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+#[must_use]
+pub fn is_connected(g: &Graph) -> bool {
+    g.node_count() <= 1 || connected_components(g).len() == 1
+}
+
+/// The subgraph induced by `nodes`, relabelled to `0..nodes.len()` in the
+/// order given.
+///
+/// # Panics
+///
+/// Panics if `nodes` contains duplicates or out-of-range ids.
+#[must_use]
+pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> Graph {
+    let mut remap = vec![u32::MAX; g.node_count()];
+    for (new, &old) in nodes.iter().enumerate() {
+        assert!(
+            (old as usize) < g.node_count(),
+            "node {old} out of range"
+        );
+        assert!(
+            remap[old as usize] == u32::MAX,
+            "duplicate node {old} in selection"
+        );
+        remap[old as usize] = new as NodeId;
+    }
+    let mut b = GraphBuilder::new(nodes.len());
+    for &old in nodes {
+        let nu = remap[old as usize];
+        for &nbr in g.neighbors(old) {
+            let nv = remap[nbr as usize];
+            if nv != u32::MAX && nu < nv {
+                b.add_canonical_edge_unchecked(nu, nv);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The disjoint union of graphs; nodes of later graphs are shifted up.
+///
+/// # Panics
+///
+/// Panics if the total node count exceeds the `u32` index space.
+#[must_use]
+pub fn disjoint_union(graphs: &[Graph]) -> Graph {
+    let total: usize = graphs.iter().map(Graph::node_count).sum();
+    let mut b = GraphBuilder::new(total);
+    let mut base = 0 as NodeId;
+    for g in graphs {
+        for (u, v) in g.edges() {
+            b.add_canonical_edge_unchecked(base + u, base + v);
+        }
+        base += g.node_count() as NodeId;
+    }
+    b.build()
+}
+
+/// The complement graph: same nodes, an edge exactly where `g` has none.
+///
+/// Quadratic in the node count; intended for analysis of small graphs.
+///
+/// # Panics
+///
+/// Panics if the node count exceeds the `u32` index space (inherited from
+/// construction).
+#[must_use]
+pub fn complement(g: &Graph) -> Graph {
+    let n = g.node_count();
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            if !g.has_edge(u, v) {
+                b.add_canonical_edge_unchecked(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Histogram of node degrees: `result[d]` is the number of nodes with
+/// degree `d`; the vector has length `max_degree + 1` (empty for the empty
+/// graph).
+#[must_use]
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    if g.is_empty() {
+        return Vec::new();
+    }
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Breadth-first distances from `start` (`None` for unreachable nodes).
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+#[must_use]
+pub fn bfs_distances(g: &Graph, start: NodeId) -> Vec<Option<u32>> {
+    assert!((start as usize) < g.node_count(), "start node out of range");
+    let mut dist = vec![None; g.node_count()];
+    dist[start as usize] = Some(0);
+    let mut queue = std::collections::VecDeque::from([start]);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize].expect("enqueued nodes have distances");
+        for &u in g.neighbors(v) {
+            if dist[u as usize].is_none() {
+                dist[u as usize] = Some(dv + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Number of triangles in the graph (each counted once).
+///
+/// Uses the standard sorted-adjacency merge over edges `(u, v)` with
+/// `u < v`, counting common neighbours `w > v`; runs in
+/// `O(Σ deg(u) + deg(v))` over edges.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::{generators, ops};
+///
+/// assert_eq!(ops::triangle_count(&generators::complete(4)), 4);
+/// assert_eq!(ops::triangle_count(&generators::cycle(5)), 0);
+/// ```
+#[must_use]
+pub fn triangle_count(g: &Graph) -> u64 {
+    let mut triangles = 0u64;
+    for (u, v) in g.edges() {
+        // Count common neighbours w with w > v (each triangle once, at
+        // its lexicographically smallest edge).
+        let (mut a, mut b) = (g.neighbors(u), g.neighbors(v));
+        // Advance both sorted lists.
+        while let (Some(&x), Some(&y)) = (a.first(), b.first()) {
+            match x.cmp(&y) {
+                std::cmp::Ordering::Less => a = &a[1..],
+                std::cmp::Ordering::Greater => b = &b[1..],
+                std::cmp::Ordering::Equal => {
+                    if x > v {
+                        triangles += 1;
+                    }
+                    a = &a[1..];
+                    b = &b[1..];
+                }
+            }
+        }
+    }
+    triangles
+}
+
+/// Global clustering coefficient: `3·triangles / number of wedges`
+/// (`None` when the graph has no wedge, i.e. no node of degree ≥ 2).
+///
+/// Small-world workloads ([`generators::watts_strogatz`]) are
+/// characterised by a high value at low rewiring; `G(n, p)` sits near `p`.
+///
+/// [`generators::watts_strogatz`]: crate::generators::watts_strogatz
+#[must_use]
+pub fn global_clustering(g: &Graph) -> Option<f64> {
+    let wedges: u64 = g
+        .nodes()
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        return None;
+    }
+    Some(3.0 * triangle_count(g) as f64 / wedges as f64)
+}
+
+/// Local clustering coefficient of `v`: the edge density among its
+/// neighbours (`None` for degree below 2).
+///
+/// # Panics
+///
+/// Panics if `v` is out of range.
+#[must_use]
+pub fn local_clustering(g: &Graph, v: NodeId) -> Option<f64> {
+    let nbrs = g.neighbors(v);
+    let d = nbrs.len();
+    if d < 2 {
+        return None;
+    }
+    let mut links = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if g.has_edge(a, b) {
+                links += 1;
+            }
+        }
+    }
+    Some(2.0 * links as f64 / (d * (d - 1)) as f64)
+}
+
+/// Graph diameter: the largest finite BFS distance, or `None` for a
+/// disconnected or empty graph.
+#[must_use]
+pub fn diameter(g: &Graph) -> Option<u32> {
+    if g.is_empty() || !is_connected(g) {
+        return None;
+    }
+    let mut best = 0;
+    for v in g.nodes() {
+        for d in bfs_distances(g, v).into_iter().flatten() {
+            best = best.max(d);
+        }
+    }
+    Some(best)
+}
+
+/// The line graph `L(g)`: one node per edge of `g`, with two nodes adjacent
+/// exactly when the corresponding edges of `g` share an endpoint.
+///
+/// Returns the line graph together with the edge list that defines the node
+/// numbering: node `i` of `L(g)` corresponds to `edges[i] = (u, v)` with
+/// `u < v`, in the order produced by [`Graph::edges`]. An independent set of
+/// `L(g)` is a matching of `g`, and a *maximal* independent set of `L(g)` is
+/// a *maximal* matching of `g` — the classical reduction that turns any MIS
+/// algorithm into a maximal-matching algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::{generators, ops};
+///
+/// let g = generators::path(4); // edges 0-1, 1-2, 2-3
+/// let (lg, edges) = ops::line_graph(&g);
+/// assert_eq!(lg.node_count(), 3);
+/// assert_eq!(lg.edge_count(), 2); // 0-1 and 1-2 share node 1; 1-2 and 2-3 share node 2
+/// assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+/// ```
+#[must_use]
+pub fn line_graph(g: &Graph) -> (Graph, Vec<(NodeId, NodeId)>) {
+    let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    let m = edges.len();
+    // For each vertex of g, collect the indices of its incident edges; every
+    // pair of edges incident to the same vertex is adjacent in L(g).
+    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); g.node_count()];
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        incident[u as usize].push(i as u32);
+        incident[v as usize].push(i as u32);
+    }
+    let mut builder = GraphBuilder::new(m);
+    for list in &incident {
+        for (a, &i) in list.iter().enumerate() {
+            for &j in &list[a + 1..] {
+                builder.add_canonical_edge_unchecked(i.min(j), i.max(j));
+            }
+        }
+    }
+    (builder.build(), edges)
+}
+
+/// The cartesian product `g □ h`: node set `V(g) × V(h)`, with `(u, a)`
+/// adjacent to `(v, b)` when either `u = v` and `ab ∈ E(h)`, or `a = b` and
+/// `uv ∈ E(g)`.
+///
+/// Node `(u, a)` is numbered `u * h.node_count() + a`. The product
+/// `g □ K_{Δ+1}` is the classical Luby reduction from `(Δ+1)`-colouring to
+/// MIS: a maximal independent set of the product assigns every node of `g`
+/// exactly one colour, and adjacent nodes get distinct colours.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::{generators, ops};
+///
+/// let p2 = generators::path(2);
+/// let square = ops::cartesian_product(&p2, &p2);
+/// assert_eq!(square.node_count(), 4);
+/// assert_eq!(square.edge_count(), 4); // C4
+/// ```
+#[must_use]
+pub fn cartesian_product(g: &Graph, h: &Graph) -> Graph {
+    let hn = h.node_count() as NodeId;
+    let mut builder = GraphBuilder::new(g.node_count() * h.node_count());
+    for u in g.nodes() {
+        for (a, b) in h.edges() {
+            builder.add_canonical_edge_unchecked(u * hn + a, u * hn + b);
+        }
+    }
+    for (u, v) in g.edges() {
+        for a in h.nodes() {
+            builder.add_canonical_edge_unchecked(u * hn + a, v * hn + a);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn components_of_clique_union() {
+        let g = generators::disjoint_cliques(&[3, 2]);
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![3, 4]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn connectivity_of_classics() {
+        assert!(is_connected(&generators::complete(10)));
+        assert!(is_connected(&generators::path(10)));
+        assert!(is_connected(&Graph::empty(1)));
+        assert!(is_connected(&Graph::empty(0)));
+        assert!(!is_connected(&Graph::empty(2)));
+    }
+
+    #[test]
+    fn induced_subgraph_of_cycle_is_path() {
+        let g = generators::cycle(6);
+        let sub = induced_subgraph(&g, &[0, 1, 2, 3]);
+        assert_eq!(sub.node_count(), 4);
+        assert_eq!(sub.edge_count(), 3); // 0-1, 1-2, 2-3; cycle edge 5-0 cut
+    }
+
+    #[test]
+    fn induced_subgraph_relabels_in_order() {
+        let g = generators::path(4); // 0-1-2-3
+        let sub = induced_subgraph(&g, &[3, 2]);
+        assert_eq!(sub.node_count(), 2);
+        assert!(sub.has_edge(0, 1)); // 3-2 became 0-1
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn induced_subgraph_rejects_duplicates() {
+        let g = generators::path(3);
+        let _ = induced_subgraph(&g, &[0, 0]);
+    }
+
+    #[test]
+    fn union_shifts_labels() {
+        let u = disjoint_union(&[generators::complete(3), generators::path(3)]);
+        assert_eq!(u.node_count(), 6);
+        assert_eq!(u.edge_count(), 3 + 2);
+        assert!(u.has_edge(0, 2));
+        assert!(u.has_edge(3, 4));
+        assert!(!u.has_edge(2, 3));
+    }
+
+    #[test]
+    fn union_of_nothing_is_empty() {
+        let u = disjoint_union(&[]);
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn complement_involution() {
+        let g = generators::path(5);
+        let cc = complement(&complement(&g));
+        assert_eq!(cc, g);
+    }
+
+    #[test]
+    fn complement_of_complete_is_empty() {
+        let g = generators::complete(6);
+        assert_eq!(complement(&g).edge_count(), 0);
+    }
+
+    #[test]
+    fn degree_histogram_star() {
+        let g = generators::star(5);
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![0, 4, 0, 0, 1]);
+        assert!(degree_histogram(&Graph::empty(0)).is_empty());
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = generators::path(4);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_none() {
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], None);
+    }
+
+    #[test]
+    fn triangle_counts() {
+        assert_eq!(triangle_count(&generators::complete(3)), 1);
+        assert_eq!(triangle_count(&generators::complete(5)), 10);
+        assert_eq!(triangle_count(&generators::cycle(4)), 0);
+        assert_eq!(triangle_count(&generators::star(6)), 0);
+        assert_eq!(triangle_count(&generators::wheel(6)), 5);
+        assert_eq!(triangle_count(&Graph::empty(3)), 0);
+    }
+
+    #[test]
+    fn global_clustering_values() {
+        assert_eq!(global_clustering(&generators::complete(5)), Some(1.0));
+        assert_eq!(global_clustering(&generators::cycle(6)), Some(0.0));
+        assert_eq!(global_clustering(&Graph::empty(4)), None);
+        // A small-world lattice has high clustering.
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let ws = generators::watts_strogatz(60, 6, 0.0, &mut rng);
+        assert!(global_clustering(&ws).unwrap() > 0.4);
+        use rand::SeedableRng as _;
+    }
+
+    #[test]
+    fn local_clustering_values() {
+        let g = generators::complete(4);
+        assert_eq!(local_clustering(&g, 0), Some(1.0));
+        let path = generators::path(3);
+        assert_eq!(local_clustering(&path, 1), Some(0.0));
+        assert_eq!(local_clustering(&path, 0), None); // degree 1
+        // Wheel hub: neighbours form a cycle => density 2/(n-2).
+        let w = generators::wheel(7);
+        let hub = local_clustering(&w, 0).unwrap();
+        assert!((hub - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_graph_of_path_is_shorter_path() {
+        let g = generators::path(5);
+        let (lg, edges) = line_graph(&g);
+        assert_eq!(lg.node_count(), 4);
+        assert_eq!(lg.edge_count(), 3);
+        assert_eq!(edges.len(), 4);
+        assert_eq!(diameter(&lg), Some(3));
+    }
+
+    #[test]
+    fn line_graph_of_star_is_complete() {
+        let g = generators::star(6); // K_{1,5}: all edges share the hub
+        let (lg, _) = line_graph(&g);
+        assert_eq!(lg.node_count(), 5);
+        assert_eq!(lg.edge_count(), 10); // K5
+    }
+
+    #[test]
+    fn line_graph_of_triangle_is_triangle() {
+        let g = generators::complete(3);
+        let (lg, _) = line_graph(&g);
+        assert_eq!(lg.node_count(), 3);
+        assert_eq!(lg.edge_count(), 3);
+    }
+
+    #[test]
+    fn line_graph_of_edgeless_graph_is_empty() {
+        let (lg, edges) = line_graph(&Graph::empty(4));
+        assert!(lg.is_empty());
+        assert!(edges.is_empty());
+    }
+
+    #[test]
+    fn line_graph_edge_count_formula() {
+        // |E(L(G))| = sum_v C(deg v, 2).
+        let g = generators::wheel(8);
+        let (lg, edges) = line_graph(&g);
+        assert_eq!(edges.len(), g.edge_count());
+        let expected: usize = g.nodes().map(|v| g.degree(v) * (g.degree(v) - 1) / 2).sum();
+        assert_eq!(lg.edge_count(), expected);
+    }
+
+    #[test]
+    fn cartesian_product_of_paths_is_grid() {
+        let p3 = generators::path(3);
+        let p4 = generators::path(4);
+        let prod = cartesian_product(&p3, &p4);
+        let grid = generators::grid2d(3, 4);
+        assert_eq!(prod.node_count(), grid.node_count());
+        assert_eq!(prod.edge_count(), grid.edge_count());
+        assert_eq!(prod, grid);
+    }
+
+    #[test]
+    fn cartesian_product_degrees_add() {
+        let g = generators::cycle(5);
+        let h = generators::complete(4);
+        let prod = cartesian_product(&g, &h);
+        assert_eq!(prod.node_count(), 20);
+        for v in prod.nodes() {
+            assert_eq!(prod.degree(v), 2 + 3);
+        }
+    }
+
+    #[test]
+    fn cartesian_product_with_single_node_is_identity() {
+        let g = generators::wheel(6);
+        let prod = cartesian_product(&g, &Graph::empty(1));
+        assert_eq!(prod, g);
+    }
+
+    #[test]
+    fn cartesian_product_with_empty_graph_is_empty() {
+        let g = generators::path(3);
+        let prod = cartesian_product(&g, &Graph::empty(0));
+        assert!(prod.is_empty());
+    }
+
+    #[test]
+    fn diameters() {
+        assert_eq!(diameter(&generators::path(5)), Some(4));
+        assert_eq!(diameter(&generators::cycle(6)), Some(3));
+        assert_eq!(diameter(&generators::complete(4)), Some(1));
+        assert_eq!(diameter(&Graph::empty(2)), None);
+        assert_eq!(diameter(&Graph::empty(0)), None);
+    }
+}

@@ -1,0 +1,92 @@
+//! MIS as a building block: matching, colouring and a routing backbone.
+//!
+//! The paper's conclusion notes that MIS selection “can also be used as a
+//! fundamental building block in algorithms for many other problems in
+//! distributed computing”. This example elects, on one ad-hoc wireless
+//! network, (1) a maximal matching for pairwise link scheduling, (2) a
+//! `(Δ+1)`-colouring for TDMA slot assignment, and (3) a connected
+//! dominating backbone for routing — each powered solely by the paper's
+//! feedback beeping MIS.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example building_blocks
+//! ```
+
+use beeping_mis::apps::{clustering, coloring, dominating, matching};
+use beeping_mis::core::Algorithm;
+use beeping_mis::graph::{generators, ops};
+use rand::{rngs::SmallRng, SeedableRng};
+
+const SENSORS: usize = 150;
+const RADIO_RANGE: f64 = 0.16;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SmallRng::seed_from_u64(2013);
+    let graph = loop {
+        let g = generators::random_geometric(SENSORS, RADIO_RANGE, &mut rng);
+        if ops::is_connected(&g) {
+            break g;
+        }
+    };
+    println!(
+        "network: {SENSORS} sensors, {} links, Δ = {}, mean degree {:.1}\n",
+        graph.edge_count(),
+        graph.max_degree(),
+        graph.mean_degree()
+    );
+    let algorithm = Algorithm::feedback();
+
+    // 1. Link scheduling: a maximal matching lets matched pairs exchange
+    //    simultaneously without interference at either endpoint.
+    let m = matching::maximal_matching(&graph, &algorithm, 1)?;
+    matching::check_matching(&graph, m.edges())?;
+    let covered = m.covered(graph.node_count()).iter().filter(|&&c| c).count();
+    println!(
+        "matching: {} link pairs active ({covered}/{SENSORS} sensors busy), \
+         elected in {} beeping rounds on the line graph",
+        m.len(),
+        m.rounds()
+    );
+
+    // 2. TDMA slots: a proper (Δ+1)-colouring gives every sensor a slot in
+    //    which no neighbour transmits.
+    let tdma = coloring::product_coloring(&graph, &algorithm, 2)?;
+    coloring::check_coloring(&graph, tdma.colors())?;
+    println!(
+        "tdma: {} slots assigned (palette bound Δ+1 = {}), one product-MIS \
+         run of {} rounds",
+        tdma.color_count(),
+        graph.max_degree() + 1,
+        tdma.rounds()
+    );
+    let mut slot_load: Vec<usize> = (0..tdma.color_count())
+        .map(|c| tdma.class(c).len())
+        .collect();
+    slot_load.sort_unstable_by(|a, b| b.cmp(a));
+    println!("      busiest slots: {:?} sensors", &slot_load[..slot_load.len().min(5)]);
+
+    // 3. Routing backbone: clusterheads (the MIS) plus connectors form a
+    //    connected dominating set every sensor can reach in one hop.
+    let clusters = clustering::cluster_via_mis(&graph, &algorithm, 3)?;
+    clustering::check_clustering(&graph, &clusters)?;
+    let cds = dominating::connected_dominating_set(&graph, &algorithm, 3)?;
+    assert!(dominating::is_connected_dominating_set(&graph, &cds.nodes()));
+    println!(
+        "backbone: {} clusterheads + {} connectors = {} backbone nodes \
+         ({:.0}% of the network), largest cluster {} sensors, {} rounds",
+        cds.heads().len(),
+        cds.connectors().len(),
+        cds.len(),
+        100.0 * cds.len() as f64 / SENSORS as f64,
+        clusters.max_cluster_size(),
+        cds.rounds()
+    );
+
+    println!(
+        "\nall three structures verified; every election used only one-bit \
+         beeps and the paper's local feedback rule"
+    );
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! From biology to algorithm: Notch–Delta ODEs vs the feedback MIS.
+//!
+//! Runs the continuous Collier et al. lateral-inhibition model (§2 /
+//! Figure 4 of the paper) and the discrete feedback algorithm on the same
+//! hexagonal cell sheet, then compares the two “fine-grained patterns”:
+//! both must be sets of mutually non-adjacent sender cells covering the
+//! tissue.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example notch_delta
+//! ```
+
+use beeping_mis::biology::{CollierModel, CollierParams};
+use beeping_mis::core::{solve_mis, verify, Algorithm};
+use beeping_mis::graph::generators;
+use rand::{rngs::SmallRng, SeedableRng};
+
+const ROWS: usize = 8;
+const COLS: usize = 14;
+
+fn render(rows: usize, cols: usize, members: &std::collections::HashSet<u32>) -> String {
+    let mut out = String::new();
+    for r in 0..rows {
+        out.push_str("  ");
+        if r % 2 == 1 {
+            out.push(' ');
+        }
+        for c in 0..cols {
+            out.push(if members.contains(&((r * cols + c) as u32)) {
+                'O'
+            } else {
+                '.'
+            });
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tissue = generators::hex_grid(ROWS, COLS);
+    println!(
+        "hexagonal tissue: {ROWS}×{COLS} cells, {} contacts\n",
+        tissue.edge_count()
+    );
+
+    // Continuous model: integrate the ODEs to steady state.
+    let mut rng = SmallRng::seed_from_u64(4);
+    let outcome =
+        CollierModel::new(&tissue, CollierParams::default()).run_to_steady_state(&mut rng);
+    let senders: std::collections::HashSet<u32> =
+        outcome.high_delta_cells().into_iter().collect();
+    println!(
+        "Collier ODE model: {} ({} integration steps, ambiguous fates {:.1}%)",
+        outcome,
+        outcome.steps(),
+        outcome.ambiguous_fraction() * 100.0
+    );
+    println!("{}", render(ROWS, COLS, &senders));
+
+    // Independence check on the continuous pattern.
+    let mut adjacent_senders = 0;
+    for &s in &senders {
+        adjacent_senders += tissue
+            .neighbors(s)
+            .iter()
+            .filter(|u| senders.contains(u))
+            .count();
+    }
+    println!("adjacent sender pairs in the ODE pattern: {adjacent_senders}");
+
+    // Discrete abstraction: the paper's feedback algorithm.
+    let result = solve_mis(&tissue, &Algorithm::feedback(), 4)?;
+    verify::check_mis(&tissue, result.mis())?;
+    let mis: std::collections::HashSet<u32> = result.mis().iter().copied().collect();
+    println!(
+        "\nfeedback algorithm: {} SOPs in {} rounds, {:.2} beeps/cell",
+        mis.len(),
+        result.rounds(),
+        result.mean_beeps_per_node()
+    );
+    println!("{}", render(ROWS, COLS, &mis));
+
+    println!(
+        "pattern densities — ODE: {:.1}% senders, algorithm: {:.1}% SOPs \
+         (both in the fine-grained-pattern band; exact sets differ because \
+         both processes are symmetry-breaking)",
+        100.0 * senders.len() as f64 / tissue.node_count() as f64,
+        100.0 * mis.len() as f64 / tissue.node_count() as f64,
+    );
+    Ok(())
+}

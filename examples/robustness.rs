@@ -1,0 +1,64 @@
+//! §6 robustness: the feedback constants are not magic numbers.
+//!
+//! Varies the up/down factors and initial probabilities — including
+//! per-node random ones — and shows the round count barely moves while
+//! every run stays a verified MIS.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example robustness
+//! ```
+
+use beeping_mis::beeping::rng::{node_seed, splitmix64};
+use beeping_mis::beeping::{FnFactory, SimConfig, Simulator};
+use beeping_mis::core::{verify, FeedbackConfig, FeedbackProcess};
+use beeping_mis::graph::generators;
+use beeping_mis::stats::OnlineStats;
+use rand::{rngs::SmallRng, SeedableRng};
+
+const N: usize = 250;
+const TRIALS: u64 = 20;
+
+fn measure(name: &str, make_config: impl Fn(u32) -> FeedbackConfig + Copy) {
+    let mut rounds = OnlineStats::new();
+    let mut beeps = OnlineStats::new();
+    for trial in 0..TRIALS {
+        let mut rng = SmallRng::seed_from_u64(trial);
+        let g = generators::gnp(N, 0.5, &mut rng);
+        let factory = FnFactory(move |v, _, _: &_| FeedbackProcess::new(make_config(v)));
+        let outcome = Simulator::new(&g, &factory, trial ^ 0x0B0B, SimConfig::default()).run();
+        assert!(outcome.terminated());
+        verify::check_mis(&g, &outcome.mis()).expect("robust variants stay correct");
+        rounds.push(f64::from(outcome.rounds()));
+        beeps.push(outcome.metrics().mean_beeps_per_node());
+    }
+    println!(
+        "{name:<42} {:>6.1} ± {:<5.1} {:>7.2}",
+        rounds.mean(),
+        rounds.std_dev(),
+        beeps.mean()
+    );
+}
+
+fn main() {
+    println!("feedback variants on G({N}, ½), {TRIALS} trials each\n");
+    println!("{:<42} {:>13} {:>8}", "variant", "rounds", "beeps");
+    let base = FeedbackConfig::default();
+    measure("paper default (×2 / ÷2, p₀ = ½)", move |_| base);
+    for gamma in [1.25f64, 1.5, 3.0, 4.0] {
+        measure(&format!("symmetric factor {gamma}"), move |_| {
+            base.with_factors(gamma, gamma)
+        });
+    }
+    measure("asymmetric ×2 / ÷4", move |_| base.with_factors(2.0, 4.0));
+    measure("initial p₀ = 1/16", move |_| base.with_initial_p(1.0 / 16.0));
+    measure("per-node random factor ∈ [1.3, 4]", move |v| {
+        let u = (splitmix64(node_seed(9, v)) >> 11) as f64 / (1u64 << 53) as f64;
+        base.with_factors(1.3 + 2.7 * u, 1.3 + 2.7 * u)
+    });
+    println!(
+        "\nAll variants terminate in O(log n)-scale rounds and pass MIS \
+         verification — the §6 robustness claim."
+    );
+}

@@ -1,0 +1,54 @@
+//! # beeping-mis
+//!
+//! A full reproduction of *“Feedback from nature: an optimal distributed
+//! algorithm for maximal independent set selection”* (Alex Scott, Peter
+//! Jeavons & Lei Xu, PODC 2013): the feedback-adaptive beeping MIS
+//! algorithm, the global-schedule algorithms of Afek et al. it improves on,
+//! classical baselines (Luby, Métivier et al.), a synchronous beeping-model
+//! simulator, and the experiment harness that regenerates every figure of
+//! the paper.
+//!
+//! This umbrella crate re-exports the workspace crates under stable module
+//! names:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`graph`] | `mis-graph` | CSR graphs, generators, ops, I/O |
+//! | [`beeping`] | `mis-beeping` | the beeping-model simulator |
+//! | [`core`] | `mis-core` | feedback MIS, global schedules, verification |
+//! | [`baselines`] | `mis-baselines` | Luby, Métivier, sequential greedy |
+//! | [`apps`] | `mis-apps` | matching, colouring, dominating sets, clustering via MIS |
+//! | [`biology`] | `mis-biology` | Notch–Delta lateral-inhibition ODE model |
+//! | [`stats`] | `mis-stats` | summaries, fits, tables, plots |
+//! | [`experiments`] | `mis-experiments` | per-figure experiment harness |
+//!
+//! # Quick start
+//!
+//! Select a maximal independent set on a random graph with the paper's
+//! feedback algorithm:
+//!
+//! ```
+//! use beeping_mis::core::{solve_mis, Algorithm};
+//! use beeping_mis::graph::generators::gnp;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(20);
+//! let g = gnp(20, 0.5, &mut rng);
+//! let result = solve_mis(&g, &Algorithm::feedback(), 7).expect("terminates");
+//! assert!(beeping_mis::core::verify::is_maximal_independent_set(
+//!     &g,
+//!     result.mis()
+//! ));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mis_apps as apps;
+pub use mis_baselines as baselines;
+pub use mis_beeping as beeping;
+pub use mis_biology as biology;
+pub use mis_core as core;
+pub use mis_experiments as experiments;
+pub use mis_graph as graph;
+pub use mis_stats as stats;

@@ -1,0 +1,160 @@
+//! Integration tests for the MIS-based applications across the full stack:
+//! real graph families, both beeping algorithm classes, and cross-checks
+//! against the sequential baselines.
+
+use beeping_mis::apps::{clustering, coloring, dominating, matching};
+use beeping_mis::core::Algorithm;
+use beeping_mis::graph::{generators, ops};
+use rand::{rngs::SmallRng, SeedableRng};
+
+#[test]
+fn matching_on_every_family() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let families = vec![
+        ("gnp", generators::gnp(60, 0.2, &mut rng)),
+        ("grid", generators::grid2d(8, 8)),
+        ("hex", generators::hex_grid(6, 6)),
+        ("rgg", generators::random_geometric(60, 0.2, &mut rng)),
+        ("tree", generators::random_tree(50, &mut rng)),
+        ("ba", generators::barabasi_albert(60, 3, &mut rng)),
+        ("cliques", generators::disjoint_cliques(&[5, 4, 3, 2, 1])),
+    ];
+    for (name, g) in families {
+        for (algo_name, algo) in [("feedback", Algorithm::feedback()), ("sweep", Algorithm::sweep())]
+        {
+            let m = matching::maximal_matching(&g, &algo, 11).unwrap();
+            assert!(
+                matching::check_matching(&g, m.edges()).is_ok(),
+                "invalid matching on {name} under {algo_name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn matching_feedback_uses_fewer_rounds_than_sweep_on_dense_graphs() {
+    // The paper's headline comparison carries over to the line graph: the
+    // feedback algorithm needs asymptotically fewer rounds than the global
+    // sweep. Compare means over several seeds on a moderately dense graph.
+    let mut rng = SmallRng::seed_from_u64(3);
+    let g = generators::gnp(70, 0.3, &mut rng);
+    let trials = 10;
+    let mean = |algo: &Algorithm| -> f64 {
+        (0..trials)
+            .map(|s| matching::maximal_matching(&g, algo, s).unwrap().rounds() as f64)
+            .sum::<f64>()
+            / trials as f64
+    };
+    let feedback = mean(&Algorithm::feedback());
+    let sweep = mean(&Algorithm::sweep());
+    assert!(
+        feedback < sweep,
+        "expected feedback ({feedback:.1} rounds) below sweep ({sweep:.1} rounds)"
+    );
+}
+
+#[test]
+fn coloring_on_structured_graphs_matches_known_chromatic_numbers() {
+    // Bipartite graphs need ≥2 colours, odd cycles exactly 3, cliques n.
+    let grid = generators::grid2d(5, 6);
+    let c = coloring::product_coloring(&grid, &Algorithm::feedback(), 2).unwrap();
+    assert!(coloring::is_proper_coloring(&grid, c.colors()));
+    assert!(c.color_count() >= 2 && c.color_count() <= 5);
+
+    let odd_cycle = generators::cycle(9);
+    let c = coloring::product_coloring(&odd_cycle, &Algorithm::feedback(), 4).unwrap();
+    assert!(c.color_count() == 3);
+
+    let clique = generators::complete(8);
+    let c = coloring::iterated_mis_coloring(&clique, &Algorithm::feedback(), 6).unwrap();
+    assert_eq!(c.color_count(), 8);
+}
+
+#[test]
+fn both_coloring_reductions_agree_on_bounds() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    for seed in 0..4 {
+        let g = generators::gnp(40, 0.15, &mut rng);
+        let bound = g.max_degree() as u32 + 1;
+        let product = coloring::product_coloring(&g, &Algorithm::feedback(), seed).unwrap();
+        let iterated = coloring::iterated_mis_coloring(&g, &Algorithm::feedback(), seed).unwrap();
+        assert!(coloring::is_proper_coloring(&g, product.colors()));
+        assert!(coloring::is_proper_coloring(&g, iterated.colors()));
+        assert!(product.color_count() <= bound);
+        assert!(iterated.color_count() <= bound);
+        // First-fit greedy is the sequential reference; both distributed
+        // colourings obey the same Δ+1 bound it does.
+        let greedy = coloring::greedy_coloring(&g);
+        assert!(greedy.iter().max().copied().unwrap_or(0) < bound);
+    }
+}
+
+#[test]
+fn backbone_election_on_sensor_network() {
+    // The motivating scenario: an ad-hoc wireless deployment (random
+    // geometric graph). Elect clusterheads, then a connected backbone.
+    let mut rng = SmallRng::seed_from_u64(8);
+    let g = generators::random_geometric(120, 0.22, &mut rng);
+    if !ops::is_connected(&g) {
+        return; // rare at this density; nothing to assert
+    }
+    let clusters = clustering::cluster_via_mis(&g, &Algorithm::feedback(), 13).unwrap();
+    assert!(clustering::check_clustering(&g, &clusters).is_ok());
+
+    let cds = dominating::connected_dominating_set(&g, &Algorithm::feedback(), 13).unwrap();
+    assert!(dominating::is_connected_dominating_set(&g, &cds.nodes()));
+    // Clusterheads and CDS heads come from the same MIS election and seed.
+    assert_eq!(clusters.heads(), cds.heads());
+    // The backbone is a small fraction of the network.
+    assert!(cds.len() * 2 < g.node_count());
+}
+
+#[test]
+fn cluster_sizes_respect_degree_bound_on_grids() {
+    let g = generators::torus2d(8, 8); // 4-regular
+    let c = clustering::cluster_via_mis(&g, &Algorithm::feedback(), 4).unwrap();
+    assert!(c.max_cluster_size() <= 5);
+    let total: usize = c.sizes().iter().sum();
+    assert_eq!(total, 64);
+}
+
+#[test]
+fn application_rounds_inherit_logarithmic_scaling() {
+    // Rounds for the matching election should grow slowly (logarithmically)
+    // with n: going from n=20 to n=160 (8x nodes) should much less than
+    // double the mean rounds on sparse graphs.
+    let mut rng = SmallRng::seed_from_u64(10);
+    let mean_rounds = |n: usize, rng: &mut SmallRng| -> f64 {
+        let trials = 8;
+        (0..trials)
+            .map(|s| {
+                let g = generators::gnp(n, 4.0 / n as f64, rng);
+                matching::maximal_matching(&g, &Algorithm::feedback(), s)
+                    .unwrap()
+                    .rounds() as f64
+            })
+            .sum::<f64>()
+            / trials as f64
+    };
+    let small = mean_rounds(20, &mut rng);
+    let large = mean_rounds(160, &mut rng);
+    assert!(
+        large < small * 3.0,
+        "rounds grew too fast: {small:.1} -> {large:.1}"
+    );
+}
+
+#[test]
+fn disconnected_network_yields_per_component_structures() {
+    let g = generators::disjoint_cliques(&[6, 5, 4]);
+    let m = matching::maximal_matching(&g, &Algorithm::feedback(), 3).unwrap();
+    assert!(matching::is_maximal_matching(&g, m.edges()));
+    // Perfect-or-near-perfect inside each clique: 3 + 2 + 2 edges.
+    assert_eq!(m.len(), 7);
+
+    let ds = dominating::dominating_set_via_mis(&g, &Algorithm::feedback(), 3).unwrap();
+    assert_eq!(ds.len(), 3); // exactly one dominator per clique
+
+    let err = dominating::connected_dominating_set(&g, &Algorithm::feedback(), 3).unwrap_err();
+    assert_eq!(err, dominating::DominatingSetError::Disconnected);
+}

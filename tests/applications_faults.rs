@@ -1,0 +1,88 @@
+//! Fault injection through the application reductions: the robustness
+//! story of §6 extends to the structures built on top of MIS. Because
+//! `solve_mis_with_config` verifies the selected set before the reductions
+//! reinterpret it, a faulty election can never silently hand out an
+//! invalid matching, clustering or dominating set — it either succeeds
+//! with a verified structure or reports a `SolveError`.
+
+use beeping_mis::apps::{clustering, dominating, matching};
+use beeping_mis::beeping::{FaultPlan, SimConfig};
+use beeping_mis::core::{Algorithm, FeedbackConfig};
+use beeping_mis::graph::generators;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn lossy(loss: f64) -> SimConfig {
+    SimConfig::default()
+        .with_max_rounds(50_000)
+        .with_faults(FaultPlan { message_loss: loss, wake_rounds: vec![] })
+        .with_mis_keeps_beeping(true)
+}
+
+fn repaired() -> Algorithm {
+    Algorithm::feedback_with(FeedbackConfig::default().with_cautious_join(true))
+}
+
+#[test]
+fn lossy_matching_never_returns_an_invalid_structure() {
+    let g = generators::gnp(40, 0.2, &mut SmallRng::seed_from_u64(2));
+    for seed in 0..20 {
+        match matching::maximal_matching_with_config(&g, &repaired(), seed, lossy(0.05)) {
+            Ok(m) => assert!(
+                matching::check_matching(&g, m.edges()).is_ok(),
+                "seed {seed}: returned matching fails verification"
+            ),
+            Err(e) => {
+                // Acceptable: the fault was detected and reported.
+                let _ = e.to_string();
+            }
+        }
+    }
+}
+
+#[test]
+fn repaired_matching_mostly_succeeds_under_light_loss() {
+    let g = generators::gnp(40, 0.2, &mut SmallRng::seed_from_u64(3));
+    let trials = 20;
+    let successes = (0..trials)
+        .filter(|&seed| {
+            matching::maximal_matching_with_config(&g, &repaired(), seed, lossy(0.02)).is_ok()
+        })
+        .count();
+    assert!(
+        successes >= trials as usize / 2,
+        "only {successes}/{trials} repaired runs succeeded at 2% loss"
+    );
+}
+
+#[test]
+fn lossy_clustering_never_returns_an_invalid_structure() {
+    let g = generators::grid2d(7, 7);
+    for seed in 0..20 {
+        if let Ok(c) = clustering::cluster_via_mis_with_config(&g, &repaired(), seed, lossy(0.05))
+        {
+            assert!(clustering::check_clustering(&g, &c).is_ok());
+        }
+    }
+}
+
+#[test]
+fn lossy_dominating_set_never_returns_an_invalid_structure() {
+    let g = generators::random_geometric(50, 0.25, &mut SmallRng::seed_from_u64(5));
+    for seed in 0..20 {
+        if let Ok(ds) =
+            dominating::dominating_set_via_mis_with_config(&g, &repaired(), seed, lossy(0.05))
+        {
+            assert!(dominating::is_dominating_set(&g, ds.nodes()));
+        }
+    }
+}
+
+#[test]
+fn fault_free_config_matches_default_entry_points() {
+    let g = generators::gnp(30, 0.3, &mut SmallRng::seed_from_u64(8));
+    let via_default = matching::maximal_matching(&g, &Algorithm::feedback(), 4).unwrap();
+    let via_config =
+        matching::maximal_matching_with_config(&g, &Algorithm::feedback(), 4, SimConfig::default())
+            .unwrap();
+    assert_eq!(via_default, via_config);
+}

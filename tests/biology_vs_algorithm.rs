@@ -1,0 +1,91 @@
+//! The continuous and discrete faces of lateral inhibition agree.
+//!
+//! §2 of the paper derives the feedback algorithm as an abstraction of
+//! Notch–Delta signalling; these tests run the Collier et al. ODE model
+//! (`mis-biology`) and the discrete algorithm (`mis-core`) on the same
+//! tissues and check they produce the same *class* of pattern.
+
+use beeping_mis::biology::{CollierModel, CollierParams};
+use beeping_mis::core::{solve_mis, verify, Algorithm};
+use beeping_mis::graph::{generators, Graph};
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn ode_senders(g: &Graph, seed: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    CollierModel::new(g, CollierParams::default())
+        .run_to_steady_state(&mut rng)
+        .high_delta_cells()
+}
+
+#[test]
+fn both_models_produce_independent_sender_sets() {
+    for (name, g) in [
+        ("cycle 10", generators::cycle(10)),
+        ("hex 4x5", generators::hex_grid(4, 5)),
+        ("grid 4x4", generators::grid2d(4, 4)),
+        ("path 9", generators::path(9)),
+    ] {
+        // Continuous.
+        let senders = ode_senders(&g, 3);
+        assert!(
+            verify::is_independent_set(&g, &senders),
+            "{name}: ODE senders not independent"
+        );
+        assert!(!senders.is_empty(), "{name}: ODE selected nobody");
+        // Discrete.
+        let mis = solve_mis(&g, &Algorithm::feedback(), 3).unwrap();
+        verify::check_mis(&g, mis.mis()).unwrap();
+    }
+}
+
+#[test]
+fn pattern_densities_are_comparable() {
+    // On a hex patch both processes should commit a similar fraction of
+    // cells to the sending fate (the packing is geometry-limited).
+    let g = generators::hex_grid(6, 6);
+    let ode = ode_senders(&g, 5).len() as f64 / g.node_count() as f64;
+    let mut algo_total = 0.0;
+    let trials = 5;
+    for seed in 0..trials {
+        algo_total += solve_mis(&g, &Algorithm::feedback(), seed)
+            .unwrap()
+            .mis()
+            .len() as f64;
+    }
+    let algo = algo_total / trials as f64 / g.node_count() as f64;
+    assert!(
+        (ode - algo).abs() < 0.2,
+        "densities diverge: ODE {ode:.2} vs algorithm {algo:.2}"
+    );
+    assert!((0.15..0.55).contains(&ode), "ODE density {ode}");
+}
+
+#[test]
+fn ode_pattern_is_near_maximal_on_small_tissues() {
+    // Lateral inhibition should not leave big uninhibited holes: on small
+    // tissues, most non-senders must touch a sender.
+    let g = generators::hex_grid(4, 4);
+    let senders: std::collections::HashSet<u32> =
+        ode_senders(&g, 7).into_iter().collect();
+    let uncovered = g
+        .nodes()
+        .filter(|v| {
+            !senders.contains(v) && !g.neighbors(*v).iter().any(|u| senders.contains(u))
+        })
+        .count();
+    assert!(
+        uncovered <= g.node_count() / 8,
+        "{uncovered} cells escaped inhibition entirely"
+    );
+}
+
+#[test]
+fn two_cell_switch_matches_figure_4() {
+    // Figure 4's scenario: two coupled cells, one becomes sender, one
+    // receiver — and the discrete algorithm picks exactly one of K₂ too.
+    let g = generators::complete(2);
+    let senders = ode_senders(&g, 11);
+    assert_eq!(senders.len(), 1);
+    let mis = solve_mis(&g, &Algorithm::feedback(), 11).unwrap();
+    assert_eq!(mis.mis().len(), 1);
+}

@@ -1,0 +1,131 @@
+//! Theorem 6 and §5: message/bit complexity across algorithms.
+
+use beeping_mis::baselines::{LubyPriorityFactory, MessageSimulator, MetivierFactory};
+use beeping_mis::core::{solve_mis, Algorithm};
+use beeping_mis::graph::generators;
+use beeping_mis::stats::OnlineStats;
+use rand::{rngs::SmallRng, SeedableRng};
+
+/// Theorem 6: expected beeps per node is O(1) — and the constant is small
+/// (the proof gives ≤ 8; simulations show ≈ 1.1).
+#[test]
+fn feedback_beeps_per_node_bounded_across_sizes() {
+    for n in [50usize, 150, 400] {
+        let mut beeps = OnlineStats::new();
+        for seed in 0..10 {
+            let g = generators::gnp(n, 0.5, &mut SmallRng::seed_from_u64(seed));
+            let r = solve_mis(&g, &Algorithm::feedback(), seed ^ 0xBEE).unwrap();
+            beeps.push(r.mean_beeps_per_node());
+        }
+        assert!(
+            beeps.mean() < 2.0,
+            "n = {n}: mean beeps/node {} exceeds the empirical band",
+            beeps.mean()
+        );
+        assert!(
+            beeps.mean() > 0.5,
+            "n = {n}: suspiciously few beeps ({})",
+            beeps.mean()
+        );
+    }
+}
+
+/// Theorem 6's proof bound: expected beeps < 8 per node; even the maximum
+/// over nodes stays small in practice.
+#[test]
+fn feedback_max_beeps_stay_small() {
+    for seed in 0..5 {
+        let g = generators::gnp(300, 0.5, &mut SmallRng::seed_from_u64(seed));
+        let r = solve_mis(&g, &Algorithm::feedback(), seed).unwrap();
+        let max = r.outcome().metrics().max_beeps_per_node();
+        assert!(max <= 12, "a node beeped {max} times");
+    }
+}
+
+/// §5 observation: sweep beeps grow with n, feedback beeps do not.
+#[test]
+fn sweep_beeps_grow_feedback_beeps_flat() {
+    let measure = |algo: &Algorithm, n: usize| {
+        let mut stats = OnlineStats::new();
+        for seed in 0..8 {
+            let g = generators::gnp(n, 0.5, &mut SmallRng::seed_from_u64(seed + 100));
+            stats.push(
+                solve_mis(&g, algo, seed ^ 0x5EED)
+                    .unwrap()
+                    .mean_beeps_per_node(),
+            );
+        }
+        stats.mean()
+    };
+    let sweep_small = measure(&Algorithm::sweep(), 30);
+    let sweep_large = measure(&Algorithm::sweep(), 300);
+    assert!(
+        sweep_large > sweep_small * 1.3,
+        "sweep beeps did not grow: {sweep_small} -> {sweep_large}"
+    );
+    let feedback_small = measure(&Algorithm::feedback(), 30);
+    let feedback_large = measure(&Algorithm::feedback(), 300);
+    assert!(
+        (feedback_large - feedback_small).abs() < 0.4,
+        "feedback beeps drifted: {feedback_small} -> {feedback_large}"
+    );
+}
+
+/// The channel-bits hierarchy on a shared workload:
+/// feedback (O(1)) < Métivier (O(log n)) < Luby priority (64 bits/round).
+#[test]
+fn channel_bits_hierarchy() {
+    let g = generators::gnp(150, 0.3, &mut SmallRng::seed_from_u64(1));
+    let mut feedback = OnlineStats::new();
+    let mut metivier = OnlineStats::new();
+    let mut luby = OnlineStats::new();
+    for seed in 0..5 {
+        let r = solve_mis(&g, &Algorithm::feedback(), seed).unwrap();
+        feedback.push(r.outcome().metrics().channel_bit_stats(&g).0);
+        let o = MessageSimulator::new(&g, &MetivierFactory::new(), seed).run(100_000);
+        metivier.push(o.metrics().mean_bits_per_channel(g.edge_count()));
+        let o = MessageSimulator::new(&g, &LubyPriorityFactory::new(), seed).run(100_000);
+        luby.push(o.metrics().mean_bits_per_channel(g.edge_count()));
+    }
+    assert!(
+        feedback.mean() < metivier.mean(),
+        "feedback {} !< metivier {}",
+        feedback.mean(),
+        metivier.mean()
+    );
+    assert!(
+        metivier.mean() < luby.mean(),
+        "metivier {} !< luby {}",
+        metivier.mean(),
+        luby.mean()
+    );
+}
+
+/// The Science'11 informed schedule also keeps beeps bounded (§5).
+#[test]
+fn science_schedule_beeps_bounded() {
+    let mut small = OnlineStats::new();
+    let mut large = OnlineStats::new();
+    for seed in 0..8 {
+        let g = generators::gnp(40, 0.5, &mut SmallRng::seed_from_u64(seed));
+        small.push(
+            solve_mis(&g, &Algorithm::science(), seed)
+                .unwrap()
+                .mean_beeps_per_node(),
+        );
+        let g = generators::gnp(250, 0.5, &mut SmallRng::seed_from_u64(seed + 50));
+        large.push(
+            solve_mis(&g, &Algorithm::science(), seed)
+                .unwrap()
+                .mean_beeps_per_node(),
+        );
+    }
+    assert!(large.mean() < 4.0, "science beeps/node {}", large.mean());
+    // Bounded means no strong growth with n.
+    assert!(
+        large.mean() < small.mean() * 2.5,
+        "science beeps grew {} -> {}",
+        small.mean(),
+        large.mean()
+    );
+}

@@ -1,0 +1,79 @@
+//! Reproducibility: everything is a pure function of its seeds.
+
+use beeping_mis::baselines::{LubyPriorityFactory, MessageSimulator};
+use beeping_mis::core::{solve_mis, Algorithm};
+use beeping_mis::experiments::{fig5, run_trials};
+use beeping_mis::graph::generators;
+use rand::{rngs::SmallRng, SeedableRng};
+
+#[test]
+fn graph_generators_are_seed_deterministic() {
+    for seed in [0u64, 1, 99] {
+        let a = generators::gnp(50, 0.4, &mut SmallRng::seed_from_u64(seed));
+        let b = generators::gnp(50, 0.4, &mut SmallRng::seed_from_u64(seed));
+        assert_eq!(a, b);
+        let a = generators::random_geometric(50, 0.2, &mut SmallRng::seed_from_u64(seed));
+        let b = generators::random_geometric(50, 0.2, &mut SmallRng::seed_from_u64(seed));
+        assert_eq!(a, b);
+        let a = generators::random_tree(50, &mut SmallRng::seed_from_u64(seed));
+        let b = generators::random_tree(50, &mut SmallRng::seed_from_u64(seed));
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn solver_outcomes_repeat_exactly() {
+    let g = generators::gnp(60, 0.5, &mut SmallRng::seed_from_u64(8));
+    for algo in [Algorithm::feedback(), Algorithm::sweep(), Algorithm::science()] {
+        let a = solve_mis(&g, &algo, 31).unwrap();
+        let b = solve_mis(&g, &algo, 31).unwrap();
+        assert_eq!(a.mis(), b.mis(), "{}", algo.name());
+        assert_eq!(a.rounds(), b.rounds());
+        assert_eq!(a.outcome().metrics(), b.outcome().metrics());
+    }
+}
+
+#[test]
+fn message_runtime_repeats_exactly() {
+    let g = generators::gnp(40, 0.3, &mut SmallRng::seed_from_u64(9));
+    let a = MessageSimulator::new(&g, &LubyPriorityFactory::new(), 17).run(10_000);
+    let b = MessageSimulator::new(&g, &LubyPriorityFactory::new(), 17).run(10_000);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn trial_runner_is_order_stable() {
+    // Identical results regardless of how threads interleave.
+    let a = run_trials(20, 3, |seed, idx| seed.wrapping_mul(idx as u64 + 1));
+    let b = run_trials(20, 3, |seed, idx| seed.wrapping_mul(idx as u64 + 1));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn experiments_repeat_exactly() {
+    let config = fig5::Fig5Config {
+        sizes: vec![20, 40],
+        trials: 5,
+        edge_probability: 0.5,
+        include_science: false,
+        seed: 77,
+    };
+    let a = fig5::run(&config);
+    let b = fig5::run(&config);
+    for (pa, pb) in a.feedback.iter().zip(&b.feedback) {
+        assert_eq!(pa.mean(), pb.mean());
+        assert_eq!(pa.std_dev(), pb.std_dev());
+    }
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let g = generators::gnp(60, 0.5, &mut SmallRng::seed_from_u64(10));
+    let a = solve_mis(&g, &Algorithm::feedback(), 1).unwrap();
+    let b = solve_mis(&g, &Algorithm::feedback(), 2).unwrap();
+    // Either the set or the metrics must differ for a 60-node dense graph.
+    assert!(
+        a.mis() != b.mis() || a.outcome().metrics() != b.outcome().metrics(),
+        "independent seeds produced identical runs"
+    );
+}

@@ -1,0 +1,137 @@
+//! Fault-injection behaviour: the paper's algorithm on unreliable
+//! networks, with and without the local repairs.
+
+use beeping_mis::beeping::{FaultPlan, SimConfig};
+use beeping_mis::core::{
+    run_algorithm, solve_mis_with_config, verify::check_mis, Algorithm, FeedbackConfig,
+};
+use beeping_mis::graph::generators;
+use rand::{rngs::SmallRng, RngExt, SeedableRng};
+
+fn repaired() -> Algorithm {
+    Algorithm::feedback_with(FeedbackConfig::default().with_cautious_join(true))
+}
+
+fn lossy(loss: f64) -> SimConfig {
+    SimConfig::default()
+        .with_max_rounds(50_000)
+        .with_faults(FaultPlan {
+            message_loss: loss,
+            wake_rounds: vec![],
+        })
+}
+
+#[test]
+fn fault_free_control_never_violates() {
+    let g = generators::gnp(80, 0.4, &mut SmallRng::seed_from_u64(1));
+    for seed in 0..10 {
+        let r = solve_mis_with_config(&g, &Algorithm::feedback(), seed, SimConfig::default());
+        assert!(r.is_ok(), "fault-free run failed: {:?}", r.err());
+    }
+}
+
+#[test]
+fn repaired_variant_survives_late_wakeups() {
+    let n = 70;
+    for seed in 0..10u64 {
+        let g = generators::gnp(n, 0.3, &mut SmallRng::seed_from_u64(seed));
+        let mut wake_rng = SmallRng::seed_from_u64(seed ^ 0x57A9);
+        let wake_rounds: Vec<u32> = (0..n)
+            .map(|_| {
+                if wake_rng.random_bool(0.4) {
+                    wake_rng.random_range(1..40)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let cfg = SimConfig::default()
+            .with_max_rounds(50_000)
+            .with_mis_keeps_beeping(true)
+            .with_faults(FaultPlan {
+                message_loss: 0.0,
+                wake_rounds,
+            });
+        let outcome = run_algorithm(&g, &repaired(), seed, cfg);
+        assert!(outcome.terminated(), "seed {seed} hit the round cap");
+        check_mis(&g, &outcome.mis())
+            .unwrap_or_else(|e| panic!("seed {seed}: repaired run violated MIS: {e}"));
+    }
+}
+
+#[test]
+fn plain_variant_can_violate_under_wakeups() {
+    // Statistical sanity for the experiment's premise: with many sleepers
+    // and no repair, at least one violation appears across seeds.
+    let n = 70;
+    let mut violations = 0;
+    for seed in 0..10u64 {
+        let g = generators::gnp(n, 0.3, &mut SmallRng::seed_from_u64(seed));
+        let mut wake_rng = SmallRng::seed_from_u64(seed ^ 0x57A9);
+        let wake_rounds: Vec<u32> = (0..n)
+            .map(|_| {
+                if wake_rng.random_bool(0.4) {
+                    wake_rng.random_range(10..60)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let cfg = SimConfig::default()
+            .with_max_rounds(50_000)
+            .with_faults(FaultPlan {
+                message_loss: 0.0,
+                wake_rounds,
+            });
+        let outcome = run_algorithm(&g, &Algorithm::feedback(), seed, cfg);
+        if outcome.terminated() && check_mis(&g, &outcome.mis()).is_err() {
+            violations += 1;
+        }
+    }
+    assert!(
+        violations > 0,
+        "expected the unrepaired algorithm to break under heavy wake-up faults"
+    );
+}
+
+#[test]
+fn moderate_message_loss_slows_but_terminates() {
+    let g = generators::gnp(60, 0.4, &mut SmallRng::seed_from_u64(3));
+    for seed in 0..5 {
+        let outcome = run_algorithm(&g, &repaired(), seed, lossy(0.1).with_mis_keeps_beeping(true));
+        assert!(outcome.terminated(), "loss run hit round cap at seed {seed}");
+        // Rounds may grow, but not explode.
+        assert!(outcome.rounds() < 5_000, "rounds {} too large", outcome.rounds());
+    }
+}
+
+#[test]
+fn repair_reduces_violations_under_loss() {
+    let trials = 20u64;
+    let mut plain_violations = 0;
+    let mut repaired_violations = 0;
+    for seed in 0..trials {
+        let g = generators::gnp(60, 0.4, &mut SmallRng::seed_from_u64(seed + 100));
+        let plain_outcome = run_algorithm(&g, &Algorithm::feedback(), seed, lossy(0.15));
+        if plain_outcome.terminated() && check_mis(&g, &plain_outcome.mis()).is_err() {
+            plain_violations += 1;
+        }
+        let repaired_outcome = run_algorithm(
+            &g,
+            &repaired(),
+            seed,
+            lossy(0.15).with_mis_keeps_beeping(true),
+        );
+        if repaired_outcome.terminated() && check_mis(&g, &repaired_outcome.mis()).is_err() {
+            repaired_violations += 1;
+        }
+    }
+    assert!(
+        repaired_violations <= plain_violations,
+        "repair made things worse: {repaired_violations} > {plain_violations}"
+    );
+    assert!(
+        plain_violations > 0,
+        "15% loss should break the plain algorithm at least once in {trials} trials"
+    );
+}

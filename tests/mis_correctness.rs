@@ -1,0 +1,121 @@
+//! Cross-crate correctness: every algorithm selects a valid MIS on every
+//! graph family, across seeds.
+
+use beeping_mis::baselines::{
+    LubyMarkingFactory, LubyPriorityFactory, MessageSimulator, MetivierFactory,
+};
+use beeping_mis::core::{solve_mis, verify::check_mis, Algorithm};
+use beeping_mis::graph::{generators, Graph};
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn families() -> Vec<(&'static str, Graph)> {
+    let mut rng = SmallRng::seed_from_u64(0xFA71);
+    vec![
+        ("single node", Graph::empty(1)),
+        ("empty graph", Graph::empty(0)),
+        ("isolated nodes", Graph::empty(7)),
+        ("K2", generators::complete(2)),
+        ("K25", generators::complete(25)),
+        ("path 40", generators::path(40)),
+        ("cycle 41", generators::cycle(41)),
+        ("star 30", generators::star(30)),
+        ("wheel 20", generators::wheel(20)),
+        ("grid 7x8", generators::grid2d(7, 8)),
+        ("torus 6x6", generators::torus2d(6, 6)),
+        ("hex 6x6", generators::hex_grid(6, 6)),
+        ("hypercube 6", generators::hypercube(6)),
+        ("bipartite 10+12", generators::complete_bipartite(10, 12)),
+        ("gnp dense", generators::gnp(70, 0.5, &mut rng)),
+        ("gnp sparse", generators::gnp(90, 0.04, &mut rng)),
+        ("tree", generators::random_tree(60, &mut rng)),
+        ("3-regular", generators::random_regular(40, 3, &mut rng)),
+        ("geometric", generators::random_geometric(80, 0.18, &mut rng)),
+        ("theorem1 m=5", generators::theorem1_family(5)),
+        ("balanced tree", generators::balanced_tree(3, 3)),
+    ]
+}
+
+#[test]
+fn beeping_algorithms_are_correct_everywhere() {
+    let algorithms = [
+        Algorithm::feedback(),
+        Algorithm::sweep(),
+        Algorithm::science(),
+        Algorithm::constant(0.25),
+    ];
+    for (name, g) in families() {
+        for algo in &algorithms {
+            for seed in [1, 2, 3] {
+                let result = solve_mis(&g, algo, seed)
+                    .unwrap_or_else(|e| panic!("{} on {name} seed {seed}: {e}", algo.name()));
+                check_mis(&g, result.mis()).unwrap_or_else(|e| {
+                    panic!("{} on {name} seed {seed}: invalid MIS: {e}", algo.name())
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn message_baselines_are_correct_everywhere() {
+    for (name, g) in families() {
+        for seed in [4, 5] {
+            let o = MessageSimulator::new(&g, &LubyPriorityFactory::new(), seed).run(100_000);
+            assert!(o.terminated(), "luby-priority on {name}");
+            check_mis(&g, &o.mis()).unwrap_or_else(|e| panic!("luby-priority {name}: {e}"));
+
+            let o = MessageSimulator::new(&g, &LubyMarkingFactory::new(), seed).run(100_000);
+            assert!(o.terminated(), "luby-marking on {name}");
+            check_mis(&g, &o.mis()).unwrap_or_else(|e| panic!("luby-marking {name}: {e}"));
+
+            let o = MessageSimulator::new(&g, &MetivierFactory::new(), seed).run(100_000);
+            assert!(o.terminated(), "metivier on {name}");
+            check_mis(&g, &o.mis()).unwrap_or_else(|e| panic!("metivier {name}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn mis_sizes_are_within_known_bounds() {
+    // On a star the MIS is either the hub alone or all leaves.
+    let star = generators::star(20);
+    for seed in 0..10 {
+        let mis = solve_mis(&star, &Algorithm::feedback(), seed).unwrap();
+        let size = mis.mis().len();
+        assert!(size == 1 || size == 19, "star MIS of size {size}");
+    }
+    // On K_n any MIS has exactly one node.
+    let complete = generators::complete(12);
+    for seed in 0..5 {
+        assert_eq!(
+            solve_mis(&complete, &Algorithm::feedback(), seed)
+                .unwrap()
+                .mis()
+                .len(),
+            1
+        );
+    }
+    // On C_n an MIS has between ⌈n/3⌉ and ⌊n/2⌋ nodes.
+    let cycle = generators::cycle(30);
+    for seed in 0..5 {
+        let size = solve_mis(&cycle, &Algorithm::feedback(), seed)
+            .unwrap()
+            .mis()
+            .len();
+        assert!((10..=15).contains(&size), "cycle MIS of size {size}");
+    }
+}
+
+#[test]
+fn distributed_mis_never_beats_exact_maximum() {
+    use beeping_mis::baselines::exact::maximum_independent_set;
+    let mut rng = SmallRng::seed_from_u64(0x3147);
+    for _ in 0..5 {
+        let g = generators::gnp(26, 0.35, &mut rng);
+        let alpha = maximum_independent_set(&g).len();
+        for seed in 0..4 {
+            let mis = solve_mis(&g, &Algorithm::feedback(), seed).unwrap();
+            assert!(mis.mis().len() <= alpha);
+        }
+    }
+}

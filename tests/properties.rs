@@ -1,0 +1,204 @@
+//! Property-based tests over the whole stack.
+
+use beeping_mis::core::{solve_mis, verify, Algorithm, FeedbackConfig};
+use beeping_mis::graph::{generators, io, ops, Graph};
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The feedback algorithm returns a valid MIS on arbitrary G(n, p).
+    #[test]
+    fn feedback_mis_on_random_graphs(
+        n in 1usize..80,
+        p in 0.0f64..1.0,
+        graph_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+    ) {
+        let g = generators::gnp(n, p, &mut SmallRng::seed_from_u64(graph_seed));
+        let result = solve_mis(&g, &Algorithm::feedback(), run_seed).unwrap();
+        prop_assert!(verify::check_mis(&g, result.mis()).is_ok());
+    }
+
+    /// Any valid feedback configuration still yields a valid MIS (§6).
+    #[test]
+    fn feedback_mis_with_arbitrary_factors(
+        up in 1.05f64..8.0,
+        down in 1.05f64..8.0,
+        p0_exp in 1i32..7,
+        graph_seed in any::<u64>(),
+    ) {
+        let cfg = FeedbackConfig::default()
+            .with_initial_p(0.5f64.powi(p0_exp))
+            .with_factors(up, down);
+        let g = generators::gnp(40, 0.3, &mut SmallRng::seed_from_u64(graph_seed));
+        let result = solve_mis(&g, &Algorithm::feedback_with(cfg), 5).unwrap();
+        prop_assert!(verify::check_mis(&g, result.mis()).is_ok());
+    }
+
+    /// Edge-list serialisation round-trips any random graph.
+    #[test]
+    fn edge_list_round_trip(
+        n in 0usize..60,
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::gnp(n, p, &mut SmallRng::seed_from_u64(seed));
+        let back = io::parse_edge_list(&io::to_edge_list_string(&g)).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    /// CSR invariants: sorted unique neighbours, symmetric adjacency,
+    /// degree sum = 2m.
+    #[test]
+    fn graph_invariants(
+        n in 0usize..60,
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::gnp(n, p, &mut SmallRng::seed_from_u64(seed));
+        let mut degree_sum = 0usize;
+        for v in g.nodes() {
+            let nbrs = g.neighbors(v);
+            degree_sum += nbrs.len();
+            for w in nbrs.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            for &u in nbrs {
+                prop_assert!(g.has_edge(u, v));
+                prop_assert_ne!(u, v);
+            }
+        }
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    /// The greedy scan always yields a valid MIS under any ordering.
+    #[test]
+    fn greedy_valid_for_any_order(
+        n in 1usize..40,
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+        order_seed in any::<u64>(),
+    ) {
+        let g = generators::gnp(n, p, &mut SmallRng::seed_from_u64(seed));
+        let mis = verify::random_greedy_mis(&g, &mut SmallRng::seed_from_u64(order_seed));
+        prop_assert!(verify::check_mis(&g, &mis).is_ok());
+    }
+
+    /// Disjoint unions preserve per-component MIS structure: an MIS of the
+    /// union restricted to a component is an MIS of that component.
+    #[test]
+    fn mis_restricts_to_components(
+        a in 1usize..12,
+        b in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let g = ops::disjoint_union(&[
+            generators::complete(a),
+            generators::cycle(b.max(3)),
+        ]);
+        let result = solve_mis(&g, &Algorithm::feedback(), seed).unwrap();
+        let first: Vec<u32> = result
+            .mis()
+            .iter()
+            .copied()
+            .filter(|&v| (v as usize) < a)
+            .collect();
+        let component = ops::induced_subgraph(&g, &(0..a as u32).collect::<Vec<_>>());
+        prop_assert!(verify::check_mis(&component, &first).is_ok());
+    }
+
+    /// Sweep-schedule probabilities always lie in (0, 1].
+    #[test]
+    fn sweep_probabilities_in_range(step in 0u32..100_000) {
+        use beeping_mis::core::{ProbabilitySchedule, SweepSchedule};
+        let p = SweepSchedule::new().probability(step);
+        prop_assert!(p > 0.0 && p <= 1.0);
+    }
+
+    /// Theorem-1 family node counts follow the closed form.
+    #[test]
+    fn theorem1_family_size_formula(m in 1usize..15) {
+        let g = generators::theorem1_family(m);
+        prop_assert_eq!(g.node_count(), m * m * (m + 1) / 2);
+        prop_assert_eq!(ops::connected_components(&g).len(), m * m);
+    }
+
+    /// Grid MIS density: an MIS of a grid covers every node, so it needs at
+    /// least n/5 nodes (each MIS node covers itself + ≤ 4 neighbours).
+    #[test]
+    fn grid_mis_density(r in 1usize..8, c in 1usize..8, seed in any::<u64>()) {
+        let g = generators::grid2d(r, c);
+        let result = solve_mis(&g, &Algorithm::feedback(), seed).unwrap();
+        let n = r * c;
+        prop_assert!(result.mis().len() * 5 >= n);
+        prop_assert!(result.mis().len() <= n.div_ceil(2).max(1));
+    }
+
+    /// Every stochastic accumulation model produces an MIS pattern on
+    /// arbitrary tissues (the Science'11 models solve the same problem).
+    #[test]
+    fn sop_models_produce_mis_patterns(
+        n in 1usize..40,
+        p in 0.0f64..0.5,
+        graph_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+        model_idx in 0usize..3,
+    ) {
+        use beeping_mis::biology::sop::{run_sop_selection, AccumulationModel, SopParams};
+        let g = generators::gnp(n, p, &mut SmallRng::seed_from_u64(graph_seed));
+        let model = AccumulationModel::all()[model_idx];
+        let outcome = run_sop_selection(
+            &g,
+            SopParams::for_model(model),
+            &mut SmallRng::seed_from_u64(run_seed),
+        );
+        prop_assert!(outcome.completed(), "{} hit the step cap", model.name());
+        prop_assert!(verify::check_mis(&g, outcome.selected()).is_ok());
+    }
+
+    /// DIMACS serialisation round-trips any random graph.
+    #[test]
+    fn dimacs_round_trip(
+        n in 0usize..60,
+        p in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::gnp(n, p, &mut SmallRng::seed_from_u64(seed));
+        let back = io::parse_dimacs(&io::to_dimacs(&g)).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    /// Theorem 1 instrumentation invariants: the survival bound is a
+    /// probability, the potential is additive and non-negative, and the
+    /// single-beep probability is a probability.
+    #[test]
+    fn lower_bound_quantities_are_well_formed(
+        d in 1usize..200,
+        p in 0.0f64..=1.0,
+        steps in 0u32..200,
+    ) {
+        use beeping_mis::core::theory::lower_bound as lb;
+        use beeping_mis::core::ConstantSchedule;
+        let term = lb::potential_term(d, p);
+        prop_assert!(term >= 0.0);
+        prop_assert!(term <= 6.0 / std::f64::consts::E + 1e-12); // 6·max(x·e^{−x})
+        let single = lb::single_beep_probability(d, p);
+        prop_assert!((0.0..=1.0).contains(&single));
+        let s = ConstantSchedule::new(0.3);
+        let phi = lb::potential(&s, d, steps);
+        prop_assert!((phi - f64::from(steps) * lb::potential_term(d, 0.3)).abs() < 1e-9);
+        let survival = lb::clique_survival_lower_bound(&s, d, steps);
+        prop_assert!((0.0..=1.0).contains(&survival));
+    }
+}
+
+/// Non-proptest sanity: an empty graph yields an empty MIS instantly.
+#[test]
+fn empty_graph_edge_case() {
+    let g = Graph::empty(0);
+    let result = solve_mis(&g, &Algorithm::feedback(), 0).unwrap();
+    assert!(result.mis().is_empty());
+    assert_eq!(result.rounds(), 0);
+}

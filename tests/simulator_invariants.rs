@@ -1,0 +1,134 @@
+//! Engine-level invariants that must hold for every algorithm, graph and
+//! seed: metric consistency, stepping/running equivalence, trace
+//! accounting.
+
+use beeping_mis::beeping::{NodeStatus, SimConfig, Simulator, TraceLevel};
+use beeping_mis::core::{run_algorithm, Algorithm, FeedbackFactory};
+use beeping_mis::graph::generators;
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Signals ≥ beeps per node (a beep is a step with ≥1 signal, and a
+    /// step emits at most 2 signals), and the MIS equals the InMis nodes.
+    #[test]
+    fn metric_consistency(
+        n in 1usize..60,
+        p in 0.0f64..1.0,
+        graph_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+    ) {
+        let g = generators::gnp(n, p, &mut SmallRng::seed_from_u64(graph_seed));
+        let outcome = run_algorithm(&g, &Algorithm::feedback(), run_seed, SimConfig::default());
+        prop_assert!(outcome.terminated());
+        let metrics = outcome.metrics();
+        for v in 0..n {
+            prop_assert!(metrics.signals[v] >= metrics.beeps[v]);
+            prop_assert!(metrics.signals[v] <= 2 * metrics.beeps[v]);
+        }
+        let mis = outcome.mis();
+        let from_status: Vec<u32> = outcome
+            .statuses()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == NodeStatus::InMis)
+            .map(|(v, _)| v as u32)
+            .collect();
+        prop_assert_eq!(mis, from_status);
+        // Every MIS member beeped at least once (it had to claim).
+        for (v, s) in outcome.statuses().iter().enumerate() {
+            if *s == NodeStatus::InMis {
+                prop_assert!(metrics.beeps[v] >= 1, "silent joiner {v}");
+            }
+        }
+        prop_assert_eq!(metrics.heartbeat_signals, 0); // repair off by default
+    }
+
+    /// Trace accounting: join events equal the MIS size; the active-after
+    /// sequence is non-increasing and ends at zero.
+    #[test]
+    fn trace_accounting(
+        n in 1usize..50,
+        graph_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+    ) {
+        let g = generators::gnp(n, 0.3, &mut SmallRng::seed_from_u64(graph_seed));
+        let cfg = SimConfig::default().with_trace(TraceLevel::Rounds);
+        let outcome = run_algorithm(&g, &Algorithm::feedback(), run_seed, cfg);
+        prop_assert!(outcome.terminated());
+        prop_assert_eq!(outcome.trace().total_joins(), outcome.mis().len());
+        let actives: Vec<u32> = outcome
+            .trace()
+            .records()
+            .iter()
+            .map(|r| r.active_after)
+            .collect();
+        prop_assert!(actives.windows(2).all(|w| w[1] <= w[0]));
+        prop_assert_eq!(actives.last().copied(), Some(0));
+        // Candidate counts never exceed the previous round's active count.
+        let mut prev_active = n as u32;
+        for r in outcome.trace().records() {
+            prop_assert!(r.candidates <= prev_active);
+            prev_active = r.active_after;
+        }
+    }
+
+    /// Stepping the engine one round at a time gives the identical outcome
+    /// to a one-shot run, for every seed.
+    #[test]
+    fn stepper_equals_run(
+        n in 1usize..40,
+        graph_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+    ) {
+        let g = generators::gnp(n, 0.4, &mut SmallRng::seed_from_u64(graph_seed));
+        let factory = FeedbackFactory::new();
+        let run = Simulator::new(&g, &factory, run_seed, SimConfig::default()).run();
+        let mut stepper =
+            Simulator::new(&g, &factory, run_seed, SimConfig::default()).into_stepper();
+        while !stepper.is_done() {
+            stepper.step();
+        }
+        prop_assert_eq!(stepper.finish(), run);
+    }
+
+    /// Rounds-metric equals the outcome's round count and is at least 1
+    /// for any non-empty graph.
+    #[test]
+    fn round_counters_agree(
+        n in 1usize..40,
+        run_seed in any::<u64>(),
+    ) {
+        let g = generators::cycle(n.max(3));
+        let outcome = run_algorithm(&g, &Algorithm::sweep(), run_seed, SimConfig::default());
+        prop_assert_eq!(outcome.metrics().rounds, outcome.rounds());
+        prop_assert!(outcome.rounds() >= 1);
+    }
+}
+
+/// Heartbeat signals are charged to the heartbeat counter, never to the
+/// per-node algorithm metrics.
+#[test]
+fn heartbeats_do_not_pollute_beep_metrics() {
+    let g = generators::star(10);
+    let plain = run_algorithm(
+        &g,
+        &Algorithm::feedback(),
+        5,
+        SimConfig::default(),
+    );
+    let with_repair = run_algorithm(
+        &g,
+        &Algorithm::feedback(),
+        5,
+        SimConfig::default().with_mis_keeps_beeping(true),
+    );
+    // Identical randomness, identical algorithm decisions: per-node beep
+    // metrics match exactly; only the heartbeat counter differs.
+    assert_eq!(plain.metrics().beeps, with_repair.metrics().beeps);
+    assert_eq!(plain.metrics().signals, with_repair.metrics().signals);
+    assert_eq!(plain.metrics().heartbeat_signals, 0);
+    assert!(with_repair.metrics().heartbeat_signals > 0);
+}

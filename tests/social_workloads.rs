@@ -1,0 +1,133 @@
+//! The §6 robustness story on structured topologies: small-world,
+//! scale-free, community and caveman graphs. The feedback algorithm's
+//! guarantees are graph-agnostic; these workloads stress skewed degrees,
+//! heavy clustering and mixed densities.
+
+use beeping_mis::core::{solve_mis, verify::check_mis, Algorithm};
+use beeping_mis::graph::{generators, ops, Graph};
+use beeping_mis::stats::OnlineStats;
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn workloads(seed: u64) -> Vec<(&'static str, Graph)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    vec![
+        (
+            "watts-strogatz",
+            generators::watts_strogatz(120, 6, 0.1, &mut rng),
+        ),
+        (
+            "barabasi-albert",
+            generators::barabasi_albert(150, 3, &mut rng),
+        ),
+        (
+            "planted partition",
+            generators::planted_partition(90, 3, 0.4, 0.02, &mut rng),
+        ),
+        ("caveman", generators::connected_caveman(8, 6)),
+    ]
+}
+
+#[test]
+fn all_algorithms_correct_on_social_graphs() {
+    for (name, g) in workloads(0x50C1) {
+        for algo in [Algorithm::feedback(), Algorithm::sweep(), Algorithm::science()] {
+            for seed in [1u64, 2] {
+                let result = solve_mis(&g, &algo, seed)
+                    .unwrap_or_else(|e| panic!("{} on {name}: {e}", algo.name()));
+                check_mis(&g, result.mis())
+                    .unwrap_or_else(|e| panic!("{} on {name}: {e}", algo.name()));
+            }
+        }
+    }
+}
+
+#[test]
+fn beeps_stay_constant_on_skewed_degrees() {
+    // Theorem 6 is degree-distribution agnostic: even the hubs of a
+    // scale-free graph beep O(1) times.
+    let mut beeps = OnlineStats::new();
+    let mut hub_beeps = OnlineStats::new();
+    for seed in 0..8u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::barabasi_albert(200, 3, &mut rng);
+        let hub = g.nodes().max_by_key(|&v| g.degree(v)).unwrap();
+        let result = solve_mis(&g, &Algorithm::feedback(), seed ^ 0xBA).unwrap();
+        beeps.push(result.mean_beeps_per_node());
+        hub_beeps.push(f64::from(result.outcome().metrics().beeps[hub as usize]));
+    }
+    assert!(beeps.mean() < 2.0, "mean beeps {}", beeps.mean());
+    assert!(
+        hub_beeps.mean() < 4.0,
+        "hub beeps {} — degree should not inflate beeps",
+        hub_beeps.mean()
+    );
+}
+
+#[test]
+fn rounds_stay_logarithmic_on_clustered_graphs() {
+    // High clustering (caveman, low-beta small world) does not break the
+    // O(log n) behaviour.
+    for (name, g) in workloads(0x50C2) {
+        let mut rounds = OnlineStats::new();
+        for seed in 0..6u64 {
+            rounds.push(f64::from(
+                solve_mis(&g, &Algorithm::feedback(), seed).unwrap().rounds(),
+            ));
+        }
+        let budget = 8.0 * (g.node_count() as f64).log2();
+        assert!(
+            rounds.mean() < budget,
+            "{name}: {} rounds vs budget {budget}",
+            rounds.mean()
+        );
+    }
+}
+
+#[test]
+fn caveman_mis_hits_every_cave() {
+    // Each clique ("cave") must contribute exactly one MIS member, except
+    // caves whose candidates are blocked through a bridge — so at least
+    // cliques/2 members and at most one per clique + bridges slack.
+    let cliques = 10;
+    let size = 5;
+    let g = generators::connected_caveman(cliques, size);
+    for seed in 0..5 {
+        let result = solve_mis(&g, &Algorithm::feedback(), seed).unwrap();
+        let mis = result.mis();
+        // Upper bound: one per clique is the theoretical max for cliques
+        // (bridge endpoints could allow one extra in rare layouts, but an
+        // MIS still cannot take two nodes of the same clique).
+        assert!(mis.len() <= cliques, "MIS too large: {}", mis.len());
+        assert!(mis.len() >= cliques / 2, "MIS too small: {}", mis.len());
+        // No two MIS members share a clique.
+        let mut per_cave = vec![0; cliques];
+        for &v in mis {
+            per_cave[v as usize / size] += 1;
+        }
+        assert!(per_cave.iter().all(|&c| c <= 1));
+    }
+}
+
+#[test]
+fn small_world_clustering_sanity() {
+    // The workload itself behaves as advertised: clustering drops as the
+    // rewiring probability rises.
+    let lattice = generators::watts_strogatz(
+        200,
+        8,
+        0.0,
+        &mut SmallRng::seed_from_u64(1),
+    );
+    let rewired = generators::watts_strogatz(
+        200,
+        8,
+        0.7,
+        &mut SmallRng::seed_from_u64(1),
+    );
+    let c_lattice = ops::global_clustering(&lattice).unwrap();
+    let c_rewired = ops::global_clustering(&rewired).unwrap();
+    assert!(
+        c_lattice > 2.0 * c_rewired,
+        "clustering {c_lattice} vs {c_rewired}"
+    );
+}
