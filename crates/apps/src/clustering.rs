@@ -200,7 +200,11 @@ pub fn cluster_via_mis_with_config(
                 .expect("an MIS dominates every node")
         };
     }
-    Ok(Clustering { heads, assignment, rounds: result.rounds() })
+    Ok(Clustering {
+        heads,
+        assignment,
+        rounds: result.rounds(),
+    })
 }
 
 /// Checks the one-hop clustering conditions, reporting the first violation.
@@ -314,7 +318,7 @@ mod tests {
     #[test]
     fn checker_rejects_bad_affiliations() {
         let g = generators::path(4); // 0-1-2-3
-        // Heads {0, 3}; node 1 must go to 0, node 2 to 3.
+                                     // Heads {0, 3}; node 1 must go to 0, node 2 to 3.
         let good = Clustering {
             heads: vec![0, 3],
             assignment: vec![0, 0, 3, 3],

@@ -135,7 +135,10 @@ impl fmt::Display for ColoringViolation {
                 write!(f, "adjacent nodes {u} and {v} share a colour")
             }
             ColoringViolation::WrongLength { got, expected } => {
-                write!(f, "colour vector has length {got}, graph has {expected} nodes")
+                write!(
+                    f,
+                    "colour vector has length {got}, graph has {expected} nodes"
+                )
             }
         }
     }
@@ -195,7 +198,11 @@ pub fn product_coloring_with_colors(
 ) -> Result<Coloring, ColoringError> {
     let n = g.node_count();
     if n == 0 {
-        return Ok(Coloring { colors: Vec::new(), color_count: 0, rounds: 0 });
+        return Ok(Coloring {
+            colors: Vec::new(),
+            color_count: 0,
+            rounds: 0,
+        });
     }
     assert!(k > 0, "palette must contain at least one colour");
     let palette = generators::complete(k as usize);
@@ -212,7 +219,11 @@ pub fn product_coloring_with_colors(
         return Err(ColoringError::PaletteExhausted { node: v as NodeId });
     }
     let color_count = distinct_colors(&colors);
-    Ok(Coloring { colors, color_count, rounds: result.rounds() })
+    Ok(Coloring {
+        colors,
+        color_count,
+        rounds: result.rounds(),
+    })
 }
 
 /// Colours `g` by iterated MIS: phase `i` selects an MIS among the nodes
@@ -246,7 +257,11 @@ pub fn iterated_mis_coloring(
         active.retain(|&v| colors[v as usize] == u32::MAX);
         color += 1;
     }
-    Ok(Coloring { colors, color_count: color, rounds })
+    Ok(Coloring {
+        colors,
+        color_count: color,
+        rounds,
+    })
 }
 
 /// Checks that `colors` is a proper colouring of `g`.
@@ -291,8 +306,10 @@ pub fn greedy_coloring(g: &Graph) -> Vec<u32> {
                 blocked[c as usize] = true;
             }
         }
-        colors[v as usize] = blocked.iter().position(|&b| !b).expect("Δ+1 colours suffice")
-            as u32;
+        colors[v as usize] = blocked
+            .iter()
+            .position(|&b| !b)
+            .expect("Δ+1 colours suffice") as u32;
     }
     colors
 }
@@ -442,7 +459,10 @@ mod tests {
         let g = generators::path(3);
         assert_eq!(
             check_coloring(&g, &[0, 1]),
-            Err(ColoringViolation::WrongLength { got: 2, expected: 3 })
+            Err(ColoringViolation::WrongLength {
+                got: 2,
+                expected: 3
+            })
         );
     }
 

@@ -73,8 +73,12 @@ impl ConnectedDominatingSet {
     /// All backbone nodes (heads and connectors), sorted ascending.
     #[must_use]
     pub fn nodes(&self) -> Vec<NodeId> {
-        let mut all: Vec<NodeId> =
-            self.heads.iter().chain(self.connectors.iter()).copied().collect();
+        let mut all: Vec<NodeId> = self
+            .heads
+            .iter()
+            .chain(self.connectors.iter())
+            .copied()
+            .collect();
         all.sort_unstable();
         all
     }
@@ -175,7 +179,10 @@ pub fn dominating_set_via_mis_with_config(
     config: SimConfig,
 ) -> Result<DominatingSet, SolveError> {
     let result = solve_mis_with_config(g, algorithm, seed, config)?;
-    Ok(DominatingSet { nodes: result.mis().to_vec(), rounds: result.rounds() })
+    Ok(DominatingSet {
+        nodes: result.mis().to_vec(),
+        rounds: result.rounds(),
+    })
 }
 
 /// Elects a connected dominating set: MIS heads plus, for every pair of
@@ -201,7 +208,11 @@ pub fn connected_dominating_set(
     let heads = result.mis().to_vec();
     let rounds = result.rounds();
     if heads.len() <= 1 {
-        return Ok(ConnectedDominatingSet { heads, connectors: Vec::new(), rounds });
+        return Ok(ConnectedDominatingSet {
+            heads,
+            connectors: Vec::new(),
+            rounds,
+        });
     }
 
     let n = g.node_count();
@@ -256,7 +267,11 @@ pub fn connected_dominating_set(
         }
     }
     connectors.sort_unstable();
-    Ok(ConnectedDominatingSet { heads, connectors, rounds })
+    Ok(ConnectedDominatingSet {
+        heads,
+        connectors,
+        rounds,
+    })
 }
 
 /// Whether `set` dominates `g`: every node is in `set` or adjacent to it.
@@ -270,9 +285,8 @@ pub fn is_dominating_set(g: &Graph, set: &[NodeId]) -> bool {
         }
         member[v as usize] = true;
     }
-    g.nodes().all(|v| {
-        member[v as usize] || g.neighbors(v).iter().any(|&u| member[u as usize])
-    })
+    g.nodes()
+        .all(|v| member[v as usize] || g.neighbors(v).iter().any(|&u| member[u as usize]))
 }
 
 /// Whether `set` is a *connected* dominating set of `g`: dominating, and

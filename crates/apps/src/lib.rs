@@ -46,8 +46,7 @@ pub mod matching;
 
 pub use clustering::{cluster_via_mis, cluster_via_mis_with_config, Clustering};
 pub use coloring::{
-    iterated_mis_coloring, product_coloring, product_coloring_with_colors, Coloring,
-    ColoringError,
+    iterated_mis_coloring, product_coloring, product_coloring_with_colors, Coloring, ColoringError,
 };
 pub use dominating::{
     connected_dominating_set, dominating_set_via_mis, dominating_set_via_mis_with_config,

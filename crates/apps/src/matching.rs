@@ -165,11 +165,8 @@ pub fn maximal_matching_with_config(
 ) -> Result<Matching, SolveError> {
     let (lg, edge_of) = ops::line_graph(g);
     let result = solve_mis_with_config(&lg, algorithm, seed, config)?;
-    let mut edges: Vec<(NodeId, NodeId)> = result
-        .mis()
-        .iter()
-        .map(|&i| edge_of[i as usize])
-        .collect();
+    let mut edges: Vec<(NodeId, NodeId)> =
+        result.mis().iter().map(|&i| edge_of[i as usize]).collect();
     edges.sort_unstable();
     Ok(Matching {
         edges,

@@ -148,7 +148,10 @@ mod tests {
         assert_eq!(independence_number(&generators::cycle(6)), 3);
         assert_eq!(independence_number(&generators::cycle(7)), 3);
         assert_eq!(independence_number(&generators::path(6)), 3);
-        assert_eq!(independence_number(&generators::complete_bipartite(4, 6)), 6);
+        assert_eq!(
+            independence_number(&generators::complete_bipartite(4, 6)),
+            6
+        );
         assert_eq!(independence_number(&mis_graph::Graph::empty(5)), 5);
         assert_eq!(independence_number(&mis_graph::Graph::empty(0)), 0);
         // Petersen-like: hypercube Q3 is bipartite with α = 4.

@@ -1,7 +1,7 @@
 //! Luby's algorithm in both classic forms.
 
 use rand::rngs::SmallRng;
-use rand::RngExt;
+use rand::Rng;
 
 use mis_beeping::{NetworkInfo, Verdict};
 use mis_graph::NodeId;
@@ -178,8 +178,7 @@ impl MessageProcess for LubyMarkingProcess {
             && inbox.iter().all(|m| match *m {
                 MarkMsg::State { marked, degree, id } => {
                     // Unmark if a marked neighbour dominates us.
-                    !(marked
-                        && (degree, id) > (self.degree_estimate, self.id))
+                    !(marked && (degree, id) > (self.degree_estimate, self.id))
                 }
                 MarkMsg::Join => true,
             });
@@ -319,9 +318,7 @@ mod tests {
         // bits per channel overall.
         let g = generators::gnp(100, 0.3, &mut SmallRng::seed_from_u64(2));
         let luby = MessageSimulator::new(&g, &LubyPriorityFactory::new(), 3).run(100_000);
-        let bits_per_channel = luby
-            .metrics()
-            .mean_bits_per_channel(g.edge_count());
+        let bits_per_channel = luby.metrics().mean_bits_per_channel(g.edge_count());
         assert!(
             bits_per_channel > 64.0,
             "unexpectedly few bits: {bits_per_channel}"

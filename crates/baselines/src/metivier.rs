@@ -1,7 +1,7 @@
 //! The optimal-bit-complexity MIS algorithm of Métivier et al. (2011).
 
 use rand::rngs::SmallRng;
-use rand::RngExt;
+use rand::Rng;
 
 use mis_beeping::{NetworkInfo, Verdict};
 use mis_graph::NodeId;
@@ -197,9 +197,7 @@ mod tests {
         let g = generators::gnp(200, 0.3, &mut SmallRng::seed_from_u64(5));
         let outcome = MessageSimulator::new(&g, &MetivierFactory::new(), 9).run(50_000);
         assert!(outcome.terminated());
-        let per_channel = outcome
-            .metrics()
-            .mean_bits_per_channel(g.edge_count());
+        let per_channel = outcome.metrics().mean_bits_per_channel(g.edge_count());
         assert!(
             per_channel < 16.0,
             "Métivier used {per_channel} bits per channel"

@@ -32,7 +32,7 @@
 //! use mis_beeping::{
 //!     BeepingProcess, FnFactory, NetworkInfo, SimConfig, Simulator, Verdict,
 //! };
-//! use rand::{rngs::SmallRng, RngExt};
+//! use rand::{rngs::SmallRng, Rng};
 //!
 //! struct Coin {
 //!     beeped: bool,

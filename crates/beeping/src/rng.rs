@@ -55,7 +55,7 @@ pub fn trial_seed(master: u64, trial: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::RngExt;
+    use rand::Rng;
 
     #[test]
     fn splitmix_is_deterministic_and_mixing() {

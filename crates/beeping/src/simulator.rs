@@ -1,7 +1,7 @@
 //! The synchronous two-exchange round engine.
 
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use mis_graph::{Graph, NodeId};
 
@@ -142,7 +142,7 @@ impl<'g, F: ProcessFactory> Simulator<'g, F> {
 /// ```
 /// use mis_beeping::{SimConfig, Simulator, NodeStatus};
 /// # use mis_beeping::{BeepingProcess, FnFactory, NetworkInfo, Verdict};
-/// # use rand::{rngs::SmallRng, RngExt};
+/// # use rand::{rngs::SmallRng, Rng};
 /// # struct Coin { beeped: bool, heard: bool }
 /// # impl BeepingProcess for Coin {
 /// #     fn exchange1(&mut self, rng: &mut SmallRng) -> bool {
@@ -211,9 +211,8 @@ impl<'g, F: ProcessFactory> Stepper<'g, F> {
             })
             .collect();
         let rngs: Vec<SmallRng> = (0..n as NodeId).map(|v| node_rng(master_seed, v)).collect();
-        let fault_rng = SmallRng::seed_from_u64(crate::rng::splitmix64(
-            master_seed ^ 0xFA17_FA17_FA17_FA17,
-        ));
+        let fault_rng =
+            SmallRng::seed_from_u64(crate::rng::splitmix64(master_seed ^ 0xFA17_FA17_FA17_FA17));
         let remaining = status.iter().filter(|s| !s.is_inactive()).count();
         Self {
             graph,
@@ -674,10 +673,7 @@ mod tests {
         assert_eq!(partial.rounds(), 1);
         // After one round at p = 0.2 on C₂₀ some nodes are usually still
         // active, but either way the flag must agree with the statuses.
-        let active_left = partial
-            .statuses()
-            .iter()
-            .any(|s| !s.is_inactive());
+        let active_left = partial.statuses().iter().any(|s| !s.is_inactive());
         assert_eq!(partial.terminated(), !active_left);
     }
 

@@ -13,9 +13,8 @@ fn ablations(c: &mut Criterion) {
     group.sample_size(30);
     for (wname, g) in &workloads {
         for gamma in [1.5f64, 2.0, 4.0] {
-            let algo = Algorithm::feedback_with(
-                FeedbackConfig::default().with_factors(gamma, gamma),
-            );
+            let algo =
+                Algorithm::feedback_with(FeedbackConfig::default().with_factors(gamma, gamma));
             group.bench_with_input(
                 BenchmarkId::new(format!("factor_{gamma}"), wname),
                 g,
@@ -28,9 +27,8 @@ fn ablations(c: &mut Criterion) {
                 },
             );
         }
-        let low_start = Algorithm::feedback_with(
-            FeedbackConfig::default().with_initial_p(1.0 / 16.0),
-        );
+        let low_start =
+            Algorithm::feedback_with(FeedbackConfig::default().with_initial_p(1.0 / 16.0));
         group.bench_with_input(BenchmarkId::new("initial_p_1_16", wname), g, |b, g| {
             let mut seed = 0u64;
             b.iter(|| {

@@ -24,8 +24,10 @@ fn bench_matching(c: &mut Criterion) {
     let mut group = c.benchmark_group("apps_matching");
     group.sample_size(20);
     for (wname, g) in workloads() {
-        for (aname, algo) in [("feedback", Algorithm::feedback()), ("sweep", Algorithm::sweep())]
-        {
+        for (aname, algo) in [
+            ("feedback", Algorithm::feedback()),
+            ("sweep", Algorithm::sweep()),
+        ] {
             group.bench_with_input(BenchmarkId::new(aname, wname), &g, |b, g| {
                 let mut seed = 0u64;
                 b.iter(|| {

@@ -4,9 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use mis_baselines::{
-    LubyMarkingFactory, LubyPriorityFactory, MessageSimulator, MetivierFactory,
-};
+use mis_baselines::{LubyMarkingFactory, LubyPriorityFactory, MessageSimulator, MetivierFactory};
 use mis_bench::gnp_sparse;
 use mis_core::{solve_mis, Algorithm};
 
@@ -19,7 +17,11 @@ fn baselines(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed = seed.wrapping_add(1);
-            black_box(solve_mis(&g, &Algorithm::feedback(), seed).unwrap().rounds())
+            black_box(
+                solve_mis(&g, &Algorithm::feedback(), seed)
+                    .unwrap()
+                    .rounds(),
+            )
         });
     });
     group.bench_function("sweep", |b| {

@@ -13,7 +13,11 @@ fn fig5_beeps(c: &mut Criterion) {
     group.sample_size(30);
     for n in [50usize, 200] {
         let g = gnp_half(n);
-        for algo in [Algorithm::feedback(), Algorithm::sweep(), Algorithm::science()] {
+        for algo in [
+            Algorithm::feedback(),
+            Algorithm::sweep(),
+            Algorithm::science(),
+        ] {
             group.bench_with_input(BenchmarkId::new(algo.name(), n), &g, |b, g| {
                 let mut seed = 0u64;
                 b.iter(|| {

@@ -21,9 +21,7 @@ fn graph_gen(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("geometric", n), &n, |b, &n| {
             let mut rng = SmallRng::seed_from_u64(3);
             let radius = (5.0 / n as f64).sqrt();
-            b.iter(|| {
-                black_box(generators::random_geometric(n, radius, &mut rng).edge_count())
-            });
+            b.iter(|| black_box(generators::random_geometric(n, radius, &mut rng).edge_count()));
         });
         group.bench_with_input(BenchmarkId::new("random_tree", n), &n, |b, &n| {
             let mut rng = SmallRng::seed_from_u64(4);

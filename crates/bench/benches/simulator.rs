@@ -25,7 +25,11 @@ fn simulator(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed = seed.wrapping_add(1);
-            black_box(solve_mis(&g, &Algorithm::feedback(), seed).unwrap().rounds())
+            black_box(
+                solve_mis(&g, &Algorithm::feedback(), seed)
+                    .unwrap()
+                    .rounds(),
+            )
         });
     });
     group.finish();

@@ -33,13 +33,17 @@ fn sop_models(c: &mut Criterion) {
                 },
             );
         }
-        group.bench_with_input(BenchmarkId::new("feedback_algorithm", side), &tissue, |b, t| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed = seed.wrapping_add(1);
-                black_box(solve_mis(t, &Algorithm::feedback(), seed).unwrap().rounds())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("feedback_algorithm", side),
+            &tissue,
+            |b, t| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    black_box(solve_mis(t, &Algorithm::feedback(), seed).unwrap().rounds())
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use mis_graph::{Graph, NodeId};
 
@@ -261,7 +261,11 @@ impl fmt::Display for PatternOutcome {
             self.cells.len(),
             self.high_delta_cells().len(),
             self.steps,
-            if self.converged { "" } else { " (not converged)" }
+            if self.converged {
+                ""
+            } else {
+                " (not converged)"
+            }
         )
     }
 }
@@ -302,10 +306,7 @@ mod tests {
             assert!(!senders.is_empty(), "no senders on C{n}");
             for &s in &senders {
                 for &u in g.neighbors(s) {
-                    assert!(
-                        !senders.contains(&u),
-                        "adjacent senders {s}, {u} on C{n}"
-                    );
+                    assert!(!senders.contains(&u), "adjacent senders {s}, {u} on C{n}");
                 }
             }
         }

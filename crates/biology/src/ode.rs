@@ -26,7 +26,13 @@ where
 {
     let n = y.len();
     scratch.resize(n);
-    let Rk4Scratch { k1, k2, k3, k4, tmp } = scratch;
+    let Rk4Scratch {
+        k1,
+        k2,
+        k3,
+        k4,
+        tmp,
+    } = scratch;
 
     f(y, k1);
     for i in 0..n {

@@ -28,7 +28,7 @@
 //! distribution) rather than its absolute scale — see `DESIGN.md` §4.
 
 use mis_graph::{Graph, NodeId};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// How a cell's Delta accumulation rate behaves over time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,7 +86,12 @@ impl SopParams {
     /// Defaults tuned so typical selection happens within tens of steps.
     #[must_use]
     pub fn for_model(model: AccumulationModel) -> Self {
-        Self { model, rate: 0.05, change_prob: 0.15, max_steps: 100_000 }
+        Self {
+            model,
+            rate: 0.05,
+            change_prob: 0.15,
+            max_steps: 100_000,
+        }
     }
 
     /// Validates parameter ranges.
@@ -96,10 +101,16 @@ impl SopParams {
     /// Returns a description of the first invalid field.
     pub fn validate(&self) -> Result<(), String> {
         if !self.rate.is_finite() || self.rate <= 0.0 {
-            return Err(format!("rate must be positive and finite, got {}", self.rate));
+            return Err(format!(
+                "rate must be positive and finite, got {}",
+                self.rate
+            ));
         }
         if !(0.0..=1.0).contains(&self.change_prob) {
-            return Err(format!("change_prob must be in [0, 1], got {}", self.change_prob));
+            return Err(format!(
+                "change_prob must be in [0, 1], got {}",
+                self.change_prob
+            ));
         }
         if self.max_steps == 0 {
             return Err("max_steps must be positive".into());
@@ -141,7 +152,10 @@ impl SopOutcome {
     /// The selection steps alone, as floats, for distribution tests.
     #[must_use]
     pub fn times(&self) -> Vec<f64> {
-        self.selection_times.iter().map(|&(_, t)| f64::from(t)).collect()
+        self.selection_times
+            .iter()
+            .map(|&(_, t)| f64::from(t))
+            .collect()
     }
 
     /// Number of collision events (two adjacent cells crossing the
@@ -293,7 +307,13 @@ pub fn run_sop_selection<R: Rng + ?Sized>(
         }
     }
     selected.sort_unstable();
-    SopOutcome { selected, selection_times, collisions, steps: step, completed: active == 0 }
+    SopOutcome {
+        selected,
+        selection_times,
+        collisions,
+        steps: step,
+        completed: active == 0,
+    }
 }
 
 #[cfg(test)]
@@ -303,7 +323,11 @@ mod tests {
     use rand::{rngs::SmallRng, SeedableRng};
 
     fn run(model: AccumulationModel, g: &Graph, seed: u64) -> SopOutcome {
-        run_sop_selection(g, SopParams::for_model(model), &mut SmallRng::seed_from_u64(seed))
+        run_sop_selection(
+            g,
+            SopParams::for_model(model),
+            &mut SmallRng::seed_from_u64(seed),
+        )
     }
 
     #[test]
@@ -330,9 +354,9 @@ mod tests {
         let independent = set
             .iter()
             .all(|&v| g.neighbors(v).iter().all(|&u| !member[u as usize]));
-        let dominating = g.nodes().all(|v| {
-            member[v as usize] || g.neighbors(v).iter().any(|&u| member[u as usize])
-        });
+        let dominating = g
+            .nodes()
+            .all(|v| member[v as usize] || g.neighbors(v).iter().any(|&u| member[u as usize]));
         independent && dominating
     }
 
@@ -358,9 +382,7 @@ mod tests {
             if let Some(cv) = run(AccumulationModel::FixedRate, &g, seed).selection_time_cv() {
                 fixed_cv.push(cv);
             }
-            if let Some(cv) =
-                run(AccumulationModel::RandomRateOnce, &g, seed).selection_time_cv()
-            {
+            if let Some(cv) = run(AccumulationModel::RandomRateOnce, &g, seed).selection_time_cv() {
                 random_cv.push(cv);
             }
         }
@@ -410,11 +432,20 @@ mod tests {
 
     #[test]
     fn params_validation_rejects_bad_values() {
-        let bad_rate = SopParams { rate: 0.0, ..SopParams::default() };
+        let bad_rate = SopParams {
+            rate: 0.0,
+            ..SopParams::default()
+        };
         assert!(bad_rate.validate().is_err());
-        let bad_prob = SopParams { change_prob: 1.5, ..SopParams::default() };
+        let bad_prob = SopParams {
+            change_prob: 1.5,
+            ..SopParams::default()
+        };
         assert!(bad_prob.validate().is_err());
-        let bad_steps = SopParams { max_steps: 0, ..SopParams::default() };
+        let bad_steps = SopParams {
+            max_steps: 0,
+            ..SopParams::default()
+        };
         assert!(bad_steps.validate().is_err());
         assert!(SopParams::default().validate().is_ok());
     }
@@ -422,7 +453,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid SOP parameters")]
     fn run_panics_on_invalid_params() {
-        let p = SopParams { rate: -1.0, ..SopParams::default() };
+        let p = SopParams {
+            rate: -1.0,
+            ..SopParams::default()
+        };
         let _ = run_sop_selection(&generators::path(3), p, &mut SmallRng::seed_from_u64(0));
     }
 
@@ -444,6 +478,9 @@ mod tests {
             assert!(outcome.completed());
             any_collision |= outcome.collisions() > 0;
         }
-        assert!(any_collision, "expected at least one collision across seeds");
+        assert!(
+            any_collision,
+            "expected at least one collision across seeds"
+        );
     }
 }

@@ -3,7 +3,7 @@
 use core::fmt;
 
 use rand::rngs::SmallRng;
-use rand::RngExt;
+use rand::Rng;
 
 use mis_beeping::{BeepingProcess, NetworkInfo, ProcessFactory, Verdict};
 use mis_graph::NodeId;
@@ -84,10 +84,7 @@ impl FeedbackConfig {
             ));
         }
         if !(self.min_p >= 0.0 && self.min_p <= self.initial_p) {
-            return Err(format!(
-                "min_p {} must be in [0, initial_p]",
-                self.min_p
-            ));
+            return Err(format!("min_p {} must be in [0, initial_p]", self.min_p));
         }
         // `is_nan` checks are explicit so NaN inputs are rejected rather
         // than slipping past a plain `<=` comparison.

@@ -3,7 +3,7 @@
 use core::fmt;
 
 use rand::rngs::SmallRng;
-use rand::RngExt;
+use rand::Rng;
 
 use mis_beeping::{BeepingProcess, NetworkInfo, ProcessFactory, Verdict};
 use mis_graph::NodeId;
@@ -203,10 +203,9 @@ mod tests {
 
     #[test]
     fn science_uses_network_info() {
-        let factory =
-            GlobalScheduleFactory::new(|info: &NetworkInfo| {
-                ScienceSchedule::for_network(info.node_count, info.max_degree, 2)
-            });
+        let factory = GlobalScheduleFactory::new(|info: &NetworkInfo| {
+            ScienceSchedule::for_network(info.node_count, info.max_degree, 2)
+        });
         let g = generators::gnp(40, 0.5, &mut rand::rngs::SmallRng::seed_from_u64(8));
         let outcome = Simulator::new(&g, &factory, 5, SimConfig::default()).run();
         assert!(outcome.terminated());
@@ -215,8 +214,7 @@ mod tests {
 
     #[test]
     fn cautious_join_yields() {
-        let mut p =
-            GlobalScheduleProcess::new(ConstantSchedule::new(1.0)).with_cautious_join(true);
+        let mut p = GlobalScheduleProcess::new(ConstantSchedule::new(1.0)).with_cautious_join(true);
         let mut rng = node_rng(3, 0);
         assert!(p.exchange1(&mut rng));
         assert!(p.exchange2(false));

@@ -322,8 +322,7 @@ mod tests {
         // Constant p = 1 on K₂ can never terminate.
         let g = generators::complete(2);
         let cfg = SimConfig::default().with_max_rounds(25);
-        let err =
-            solve_mis_with_config(&g, &Algorithm::constant(1.0), 1, cfg).unwrap_err();
+        let err = solve_mis_with_config(&g, &Algorithm::constant(1.0), 1, cfg).unwrap_err();
         assert_eq!(err, SolveError::RoundLimitReached { rounds: 25 });
         assert!(err.to_string().contains("25"));
     }

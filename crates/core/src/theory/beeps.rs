@@ -185,10 +185,8 @@ mod tests {
     use rand::{rngs::SmallRng, SeedableRng};
 
     fn account_all(g: &mis_graph::Graph, seed: u64) -> Vec<BeepBreakdown> {
-        let mut accountants: Vec<BeepAccountant> = g
-            .nodes()
-            .map(|v| BeepAccountant::new(v, 0.5))
-            .collect();
+        let mut accountants: Vec<BeepAccountant> =
+            g.nodes().map(|v| BeepAccountant::new(v, 0.5)).collect();
         let outcome = Simulator::new(g, &FeedbackFactory::new(), seed, SimConfig::default())
             .run_with_observer(|view| {
                 for acct in &mut accountants {

@@ -21,7 +21,7 @@
 
 use mis_graph::NodeId;
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::schedule::ProbabilitySchedule;
 
@@ -47,7 +47,9 @@ pub fn potential_term(d: usize, p: f64) -> f64 {
 /// `schedule` against clique size `d`.
 #[must_use]
 pub fn potential<S: ProbabilitySchedule + ?Sized>(schedule: &S, d: usize, steps: u32) -> f64 {
-    (0..steps).map(|t| potential_term(d, schedule.probability(t))).sum()
+    (0..steps)
+        .map(|t| potential_term(d, schedule.probability(t)))
+        .sum()
 }
 
 /// The proof's lower bound on the probability that a `K_d` is still fully

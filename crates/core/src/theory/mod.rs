@@ -60,10 +60,7 @@ pub fn mu<I>(probabilities: &[f64], nodes: I) -> f64
 where
     I: IntoIterator<Item = NodeId>,
 {
-    nodes
-        .into_iter()
-        .map(|v| probabilities[v as usize])
-        .sum()
+    nodes.into_iter().map(|v| probabilities[v as usize]).sum()
 }
 
 /// `µ_t(Γ(v))`: total weight of `v`'s neighbourhood.
@@ -280,13 +277,7 @@ impl<'g> TheoryTracker<'g> {
             return;
         }
         if let Some(prev) = self.previous.take() {
-            let event = classify_round(
-                self.graph,
-                self.vertex,
-                &prev,
-                probabilities,
-                &self.consts,
-            );
+            let event = classify_round(self.graph, self.vertex, &prev, probabilities, &self.consts);
             match event {
                 RoundEvent::E1 => self.counts.e1 += 1,
                 RoundEvent::E2 => self.counts.e2 += 1,
@@ -383,10 +374,7 @@ mod tests {
             RoundEvent::E3
         );
         let grown = vec![0.95; 10];
-        assert_eq!(
-            classify_round(&g, 0, &now, &grown, &consts),
-            RoundEvent::E4
-        );
+        assert_eq!(classify_round(&g, 0, &now, &grown, &consts), RoundEvent::E4);
     }
 
     #[test]

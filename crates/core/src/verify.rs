@@ -82,7 +82,10 @@ pub fn check_mis(g: &Graph, set: &[NodeId]) -> Result<(), MisViolation> {
     for &v in set {
         for &u in g.neighbors(v) {
             if member[u as usize] {
-                return Err(MisViolation::AdjacentMembers { u: u.min(v), v: u.max(v) });
+                return Err(MisViolation::AdjacentMembers {
+                    u: u.min(v),
+                    v: u.max(v),
+                });
             }
         }
     }

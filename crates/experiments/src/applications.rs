@@ -28,13 +28,19 @@ impl AppsConfig {
     /// Full-scale settings.
     #[must_use]
     pub fn paper() -> Self {
-        Self { trials: 30, seed: 2013 }
+        Self {
+            trials: 30,
+            seed: 2013,
+        }
     }
 
     /// A fast smoke-test variant.
     #[must_use]
     pub fn quick() -> Self {
-        Self { trials: 5, seed: 2013 }
+        Self {
+            trials: 5,
+            seed: 2013,
+        }
     }
 }
 
@@ -147,9 +153,8 @@ pub fn run(config: &AppsConfig) -> AppsResults {
 
         let samples = run_trials(config.trials, master, |trial_seed, _| {
             let g = make_graph(trial_seed);
-            let feedback =
-                matching::maximal_matching(&g, &Algorithm::feedback(), trial_seed ^ 0xA)
-                    .expect("terminates");
+            let feedback = matching::maximal_matching(&g, &Algorithm::feedback(), trial_seed ^ 0xA)
+                .expect("terminates");
             let sweep = matching::maximal_matching(&g, &Algorithm::sweep(), trial_seed ^ 0xB)
                 .expect("terminates");
             let greedy = matching::greedy_matching(&g).len() as f64;
@@ -172,9 +177,8 @@ pub fn run(config: &AppsConfig) -> AppsResults {
             let g = make_graph(trial_seed);
             let product = coloring::product_coloring(&g, &Algorithm::feedback(), trial_seed)
                 .expect("Δ+1 palette cannot be exhausted");
-            let iterated =
-                coloring::iterated_mis_coloring(&g, &Algorithm::feedback(), trial_seed)
-                    .expect("terminates");
+            let iterated = coloring::iterated_mis_coloring(&g, &Algorithm::feedback(), trial_seed)
+                .expect("terminates");
             let greedy = coloring::greedy_coloring(&g);
             let greedy_colors = greedy.iter().max().map_or(0, |&c| c + 1);
             (
@@ -203,9 +207,8 @@ pub fn run(config: &AppsConfig) -> AppsResults {
             }
             let clusters = clustering::cluster_via_mis(&g, &Algorithm::feedback(), trial_seed)
                 .expect("terminates");
-            let cds =
-                dominating::connected_dominating_set(&g, &Algorithm::feedback(), trial_seed)
-                    .expect("connected");
+            let cds = dominating::connected_dominating_set(&g, &Algorithm::feedback(), trial_seed)
+                .expect("connected");
             Some((
                 clusters.cluster_count() as f64,
                 cds.connectors().len() as f64,
@@ -224,7 +227,11 @@ pub fn run(config: &AppsConfig) -> AppsResults {
             });
         }
     }
-    AppsResults { matching: matching_rows, coloring: coloring_rows, backbone: backbone_rows }
+    AppsResults {
+        matching: matching_rows,
+        coloring: coloring_rows,
+        backbone: backbone_rows,
+    }
 }
 
 impl AppsResults {
@@ -281,13 +288,8 @@ impl AppsResults {
     /// The backbone table.
     #[must_use]
     pub fn backbone_table(&self) -> Table {
-        let mut t = Table::with_columns(&[
-            "workload",
-            "heads",
-            "connectors",
-            "max cluster",
-            "rounds",
-        ]);
+        let mut t =
+            Table::with_columns(&["workload", "heads", "connectors", "max cluster", "rounds"]);
         t.numeric();
         for row in &self.backbone {
             t.push_row(vec![
@@ -347,14 +349,22 @@ mod tests {
     #[test]
     fn grid_palette_is_five() {
         let results = run(&AppsConfig { trials: 2, seed: 3 });
-        let grid = results.coloring.iter().find(|r| r.name == "grid 8×8").unwrap();
+        let grid = results
+            .coloring
+            .iter()
+            .find(|r| r.name == "grid 8×8")
+            .unwrap();
         assert_eq!(grid.palette.mean(), 5.0); // Δ = 4 on an interior-heavy grid
     }
 
     #[test]
     fn backbone_heads_dominate_grid() {
         let results = run(&AppsConfig { trials: 2, seed: 5 });
-        let grid = results.backbone.iter().find(|r| r.name == "grid 8×8").unwrap();
+        let grid = results
+            .backbone
+            .iter()
+            .find(|r| r.name == "grid 8×8")
+            .unwrap();
         // An MIS on an 8×8 grid has between 16 (perfect spacing) and 32 nodes.
         assert!(grid.heads.mean() >= 16.0 - 1e-9);
         assert!(grid.heads.mean() <= 32.0 + 1e-9);

@@ -6,8 +6,8 @@
 //! a short warm-up; for the sweep it decays in bursts, once per phase
 //! visit to the “right” probability. This experiment records both curves.
 
-use mis_core::{run_algorithm, Algorithm};
 use mis_beeping::SimConfig;
+use mis_core::{run_algorithm, Algorithm};
 use mis_graph::generators;
 use mis_stats::{AsciiPlot, Series, Table};
 use rand::{rngs::SmallRng, SeedableRng};
@@ -203,10 +203,7 @@ mod tests {
         );
         // Curves start at (close to) n and are non-increasing.
         assert!(results.feedback[0] <= 80.0);
-        assert!(results
-            .feedback
-            .windows(2)
-            .all(|w| w[1] <= w[0] + 1e-9));
+        assert!(results.feedback.windows(2).all(|w| w[1] <= w[0] + 1e-9));
     }
 
     #[test]

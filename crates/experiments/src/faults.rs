@@ -19,7 +19,7 @@ use mis_core::verify::check_mis;
 use mis_core::{run_algorithm, Algorithm, FeedbackConfig};
 use mis_graph::generators;
 use mis_stats::{OnlineStats, Table};
-use rand::{rngs::SmallRng, RngExt, SeedableRng};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
 
 use crate::run_trials;
 
@@ -126,10 +126,9 @@ pub fn run(config: &FaultsConfig) -> FaultsResults {
     );
     let mut rows = Vec::new();
     for (i, &loss) in config.loss_rates.iter().enumerate() {
-        for (variant_name, algorithm, repair) in [
-            ("plain", plain(), false),
-            ("repaired", repaired(), true),
-        ] {
+        for (variant_name, algorithm, repair) in
+            [("plain", plain(), false), ("repaired", repaired(), true)]
+        {
             rows.push(measure(
                 config,
                 format!("loss ε = {loss}"),
@@ -145,10 +144,9 @@ pub fn run(config: &FaultsConfig) -> FaultsResults {
         }
     }
     // Late wake-up scenario.
-    for (variant_name, algorithm, repair) in [
-        ("plain", plain(), false),
-        ("repaired", repaired(), true),
-    ] {
+    for (variant_name, algorithm, repair) in
+        [("plain", plain(), false), ("repaired", repaired(), true)]
+    {
         let sleeper_fraction = config.sleeper_fraction;
         let max_wake = config.max_wake_round;
         let n = config.n;
@@ -202,11 +200,7 @@ fn measure(
             .with_faults(plan(trial_seed, idx));
         let outcome = run_algorithm(&g, algorithm, trial_seed ^ 0xFA01, sim);
         let violated = outcome.terminated() && check_mis(&g, &outcome.mis()).is_err();
-        (
-            outcome.terminated(),
-            violated,
-            f64::from(outcome.rounds()),
-        )
+        (outcome.terminated(), violated, f64::from(outcome.rounds()))
     });
     let terminated = samples.iter().filter(|&&(t, _, _)| t).count();
     let violations = samples.iter().filter(|&&(_, v, _)| v).count();
@@ -310,11 +304,7 @@ mod tests {
             seed: 4,
         };
         let results = run(&config);
-        let plain = results
-            .rows
-            .iter()
-            .find(|r| r.variant == "plain")
-            .unwrap();
+        let plain = results.rows.iter().find(|r| r.variant == "plain").unwrap();
         let repaired = results
             .rows
             .iter()

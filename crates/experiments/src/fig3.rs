@@ -7,7 +7,9 @@
 
 use mis_core::{solve_mis, Algorithm};
 use mis_graph::generators;
-use mis_stats::{log2_squared, mann_whitney_u, AsciiPlot, MannWhitney, ModelCurve, ModelFit, Series};
+use mis_stats::{
+    log2_squared, mann_whitney_u, AsciiPlot, MannWhitney, ModelCurve, ModelFit, Series,
+};
 use rand::{rngs::SmallRng, SeedableRng};
 
 use crate::report::series_table;
@@ -218,8 +220,7 @@ mod tests {
             results.sweep_fit.coefficient()
         );
         assert!(
-            results.feedback_fit.coefficient() > 1.2
-                && results.feedback_fit.coefficient() < 5.0,
+            results.feedback_fit.coefficient() > 1.2 && results.feedback_fit.coefficient() < 5.0,
             "feedback coefficient {}",
             results.feedback_fit.coefficient()
         );

@@ -82,8 +82,7 @@ pub fn run(config: &GridBeepsConfig) -> GridBeepsResults {
             let g = generators::grid2d(r, c);
             let master = config.seed ^ ((i as u64 + 1) << 16);
             let samples = run_trials(config.trials, master, |trial_seed, _| {
-                let result =
-                    solve_mis(&g, &Algorithm::feedback(), trial_seed).expect("terminates");
+                let result = solve_mis(&g, &Algorithm::feedback(), trial_seed).expect("terminates");
                 (
                     result.mean_beeps_per_node(),
                     f64::from(result.outcome().metrics().max_beeps_per_node()),

@@ -39,8 +39,8 @@ pub mod quality;
 pub mod race;
 pub mod report;
 pub mod robustness;
-pub mod sop;
 mod runner;
+pub mod sop;
 pub mod tails;
 
 pub use report::Report;

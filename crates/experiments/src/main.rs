@@ -306,7 +306,10 @@ fn run_sop(opts: &Options) -> (String, String) {
     if let Some(t) = opts.trials {
         config.trials = t;
     }
-    eprintln!("sop: {} trials per model on a {}x{} hex tissue", config.trials, config.side, config.side);
+    eprintln!(
+        "sop: {} trials per model on a {}x{} hex tissue",
+        config.trials, config.side, config.side
+    );
     (
         "Extension — SOP selection-time statistics".into(),
         sop::run(&config).render(),
@@ -319,7 +322,11 @@ fn run_potential(opts: &Options) -> (String, String) {
     } else {
         potential::PotentialConfig::paper()
     };
-    eprintln!("potential: {} sizes, cap {}", config.log_sizes.len(), config.cap);
+    eprintln!(
+        "potential: {} sizes, cap {}",
+        config.log_sizes.len(),
+        config.cap
+    );
     (
         "Extension — Theorem 1 potential coverage".into(),
         potential::run(&config).render(),
@@ -450,8 +457,20 @@ mod tests {
     #[test]
     fn usage_lists_every_experiment() {
         for name in [
-            "fig3", "fig5", "grid", "lower-bound", "tails", "robustness", "faults", "race",
-            "quality", "decay", "apps", "sop", "potential", "all",
+            "fig3",
+            "fig5",
+            "grid",
+            "lower-bound",
+            "tails",
+            "robustness",
+            "faults",
+            "race",
+            "quality",
+            "decay",
+            "apps",
+            "sop",
+            "potential",
+            "all",
         ] {
             assert!(usage().contains(name), "usage is missing {name}");
         }

@@ -29,13 +29,19 @@ impl PotentialConfig {
     /// Full-scale settings.
     #[must_use]
     pub fn paper() -> Self {
-        Self { log_sizes: vec![6, 9, 12, 15, 18, 21, 24], cap: 10_000_000 }
+        Self {
+            log_sizes: vec![6, 9, 12, 15, 18, 21, 24],
+            cap: 10_000_000,
+        }
     }
 
     /// A fast smoke-test variant.
     #[must_use]
     pub fn quick() -> Self {
-        Self { log_sizes: vec![6, 12, 18], cap: 1_000_000 }
+        Self {
+            log_sizes: vec![6, 12, 18],
+            cap: 1_000_000,
+        }
     }
 }
 
@@ -203,7 +209,11 @@ mod tests {
         let results = run(&PotentialConfig::quick());
         for row in &results.rows {
             if row.max_d >= 32 {
-                assert_eq!(row.constant_half, None, "p = ½ covered log n = {}", row.log_n);
+                assert_eq!(
+                    row.constant_half, None,
+                    "p = ½ covered log n = {}",
+                    row.log_n
+                );
             }
         }
     }

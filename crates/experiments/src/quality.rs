@@ -97,14 +97,8 @@ fn workloads() -> Vec<(String, QualityGen)> {
             "G(24, 0.5)".into(),
             Box::new(|seed| generators::gnp(24, 0.5, &mut SmallRng::seed_from_u64(seed))),
         ),
-        (
-            "grid 5×5".into(),
-            Box::new(|_| generators::grid2d(5, 5)),
-        ),
-        (
-            "cycle 25".into(),
-            Box::new(|_| generators::cycle(25)),
-        ),
+        ("grid 5×5".into(), Box::new(|_| generators::grid2d(5, 5))),
+        ("cycle 25".into(), Box::new(|_| generators::cycle(25))),
         (
             "RGG(25, 0.3)".into(),
             Box::new(|seed| {
@@ -142,11 +136,9 @@ pub fn run(config: &QualityConfig) -> QualityResults {
                     .expect("terminates")
                     .mis()
                     .len() as f64;
-                let greedy = random_greedy_mis(
-                    &g,
-                    &mut SmallRng::seed_from_u64(trial_seed ^ 0x9EED),
-                )
-                .len() as f64;
+                let greedy =
+                    random_greedy_mis(&g, &mut SmallRng::seed_from_u64(trial_seed ^ 0x9EED)).len()
+                        as f64;
                 (alpha, feedback, sweep, greedy)
             });
             QualityRow {
@@ -235,20 +227,14 @@ mod tests {
 
     #[test]
     fn cycle_alpha_is_exact() {
-        let results = run(&QualityConfig {
-            trials: 2,
-            seed: 1,
-        });
+        let results = run(&QualityConfig { trials: 2, seed: 1 });
         let cycle_row = results.rows.iter().find(|r| r.name == "cycle 25").unwrap();
         assert_eq!(cycle_row.alpha.mean(), 12.0); // ⌊25/2⌋
     }
 
     #[test]
     fn render_mentions_optimum() {
-        let results = run(&QualityConfig {
-            trials: 2,
-            seed: 2,
-        });
+        let results = run(&QualityConfig { trials: 2, seed: 2 });
         assert!(results.render().contains("α"));
     }
 }

@@ -8,8 +8,7 @@
 //! per channel.
 
 use mis_baselines::{
-    GreedyLocalFactory, LubyMarkingFactory, LubyPriorityFactory, MessageSimulator,
-    MetivierFactory,
+    GreedyLocalFactory, LubyMarkingFactory, LubyPriorityFactory, MessageSimulator, MetivierFactory,
 };
 use mis_core::verify::{check_mis, greedy_mis};
 use mis_core::{solve_mis, Algorithm};
@@ -188,9 +187,8 @@ fn workloads(scale: usize) -> Vec<(String, WorkloadGen)> {
     vec![
         (
             format!("G({gnp_n}, 0.5)"),
-            Box::new(move |seed| {
-                generators::gnp(gnp_n, 0.5, &mut SmallRng::seed_from_u64(seed))
-            }) as WorkloadGen,
+            Box::new(move |seed| generators::gnp(gnp_n, 0.5, &mut SmallRng::seed_from_u64(seed)))
+                as WorkloadGen,
         ),
         (
             format!("G({sparse_n}, 0.1)"),
@@ -229,8 +227,7 @@ pub fn run(config: &RaceConfig) -> RaceResults {
         let per_trial = run_trials(config.trials, master, |trial_seed, _| {
             let g = make_graph(trial_seed);
             let mut rng = SmallRng::seed_from_u64(trial_seed ^ 0x9EED);
-            let greedy =
-                mis_core::verify::random_greedy_mis(&g, &mut rng).len() as f64;
+            let greedy = mis_core::verify::random_greedy_mis(&g, &mut rng).len() as f64;
             let _ = greedy_mis(&g); // exercised for parity; random order reported
             let runs: Vec<(f64, f64, f64)> = Contender::all()
                 .iter()
@@ -310,9 +307,11 @@ impl RaceResults {
     /// Convenience lookup of one contender's mean rounds on workload `w`.
     #[must_use]
     pub fn mean_rounds(&self, workload: usize, contender: Contender) -> Option<f64> {
-        self.workloads.get(workload)?.contenders.iter().find_map(|c| {
-            (c.contender == contender).then(|| c.rounds.mean())
-        })
+        self.workloads
+            .get(workload)?
+            .contenders
+            .iter()
+            .find_map(|c| (c.contender == contender).then(|| c.rounds.mean()))
     }
 }
 
@@ -335,7 +334,12 @@ mod tests {
         for w in &results.workloads {
             assert_eq!(w.contenders.len(), 7);
             for c in &w.contenders {
-                assert!(c.rounds.mean() >= 1.0, "{} on {}", c.contender.name(), w.name);
+                assert!(
+                    c.rounds.mean() >= 1.0,
+                    "{} on {}",
+                    c.contender.name(),
+                    w.name
+                );
                 assert!(c.mis_size.mean() >= 1.0);
             }
             assert!(w.greedy_size.mean() >= 1.0);

@@ -170,8 +170,8 @@ pub fn run(config: &RobustnessConfig) -> RobustnessResults {
                 };
                 FeedbackProcess::new(cfg)
             });
-            let outcome = Simulator::new(&g, &factory, trial_seed ^ 0xAB1A, SimConfig::default())
-                .run();
+            let outcome =
+                Simulator::new(&g, &factory, trial_seed ^ 0xAB1A, SimConfig::default()).run();
             assert!(outcome.terminated(), "variant failed to terminate");
             check_mis(&g, &outcome.mis()).expect("variant produced an invalid MIS");
             (
@@ -192,12 +192,8 @@ impl RobustnessResults {
     /// The data table.
     #[must_use]
     pub fn table(&self) -> Table {
-        let mut t = Table::with_columns(&[
-            "variant",
-            "rounds mean",
-            "rounds sd",
-            "beeps/node mean",
-        ]);
+        let mut t =
+            Table::with_columns(&["variant", "rounds mean", "rounds sd", "beeps/node mean"]);
         t.numeric();
         for v in &self.variants {
             t.push_row(vec![

@@ -34,13 +34,21 @@ impl SopConfig {
     /// Full-scale settings.
     #[must_use]
     pub fn paper() -> Self {
-        Self { trials: 40, side: 10, seed: 2013 }
+        Self {
+            trials: 40,
+            side: 10,
+            seed: 2013,
+        }
     }
 
     /// A fast smoke-test variant.
     #[must_use]
     pub fn quick() -> Self {
-        Self { trials: 6, side: 6, seed: 2013 }
+        Self {
+            trials: 6,
+            side: 6,
+            seed: 2013,
+        }
     }
 }
 
@@ -125,7 +133,10 @@ pub fn run(config: &SopConfig) -> SopResults {
 
     let alg = run_trials(config.trials, config.seed ^ 0xA16, |trial_seed, _| {
         let result = solve_mis(&tissue, &Algorithm::feedback(), trial_seed).expect("terminates");
-        (result.mis().len() as f64 / cells, f64::from(result.rounds()))
+        (
+            result.mis().len() as f64 / cells,
+            f64::from(result.rounds()),
+        )
     });
     SopResults {
         rows,
@@ -211,10 +222,18 @@ mod tests {
 
     #[test]
     fn sop_experiment_is_sane() {
-        let results = run(&SopConfig { trials: 4, side: 6, seed: 3 });
+        let results = run(&SopConfig {
+            trials: 4,
+            side: 6,
+            seed: 3,
+        });
         assert_eq!(results.rows.len(), 3);
         for row in &results.rows {
-            assert!(row.density.mean() > 0.1 && row.density.mean() < 0.5, "{}", row.name);
+            assert!(
+                row.density.mean() > 0.1 && row.density.mean() < 0.5,
+                "{}",
+                row.name
+            );
             assert!(!row.pooled_times.is_empty());
         }
         // Pattern density agrees with the discrete algorithm's ballpark.
@@ -225,9 +244,21 @@ mod tests {
 
     #[test]
     fn fixed_rate_is_least_dispersed() {
-        let results = run(&SopConfig { trials: 6, side: 8, seed: 7 });
-        let fixed = results.rows.iter().find(|r| r.name == "fixed rate").unwrap();
-        let once = results.rows.iter().find(|r| r.name == "random rate (once)").unwrap();
+        let results = run(&SopConfig {
+            trials: 6,
+            side: 8,
+            seed: 7,
+        });
+        let fixed = results
+            .rows
+            .iter()
+            .find(|r| r.name == "fixed rate")
+            .unwrap();
+        let once = results
+            .rows
+            .iter()
+            .find(|r| r.name == "random rate (once)")
+            .unwrap();
         assert!(
             fixed.cv.mean() < once.cv.mean(),
             "fixed CV {} should be below random-once CV {}",
@@ -238,7 +269,11 @@ mod tests {
 
     #[test]
     fn ks_separates_fixed_from_random_once() {
-        let results = run(&SopConfig { trials: 6, side: 8, seed: 9 });
+        let results = run(&SopConfig {
+            trials: 6,
+            side: 8,
+            seed: 9,
+        });
         let fixed = &results.rows[0].pooled_times;
         let once = &results.rows[1].pooled_times;
         let ks = ks_test(fixed, once);
@@ -247,7 +282,11 @@ mod tests {
 
     #[test]
     fn render_has_both_tables() {
-        let results = run(&SopConfig { trials: 3, side: 5, seed: 1 });
+        let results = run(&SopConfig {
+            trials: 3,
+            side: 5,
+            seed: 1,
+        });
         let text = results.render();
         assert!(text.contains("KS"));
         assert!(text.contains("feedback algorithm"));

@@ -173,7 +173,12 @@ impl TailsResults {
     pub fn render(&self) -> String {
         let hist = self
             .histogram()
-            .map(|h| format!("\nDistribution at the largest n:\n\n```text\n{}```\n", h.render(40)))
+            .map(|h| {
+                format!(
+                    "\nDistribution at the largest n:\n\n```text\n{}```\n",
+                    h.render(40)
+                )
+            })
             .unwrap_or_default();
         format!(
             "{}\nTheorem 2 predicts exponentially decaying tails: the \

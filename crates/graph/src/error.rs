@@ -38,7 +38,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::SelfLoop { node } => {
-                write!(f, "self-loop at node {node} is not allowed in a simple graph")
+                write!(
+                    f,
+                    "self-loop at node {node} is not allowed in a simple graph"
+                )
             }
             GraphError::NodeOutOfRange { node, node_count } => write!(
                 f,

@@ -1,6 +1,6 @@
 //! Random geometric graphs (ad-hoc wireless / sensor networks).
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::{Graph, GraphBuilder, NodeId};
 
@@ -92,8 +92,7 @@ pub fn random_geometric_with_positions<R: Rng + ?Sized>(
             for (dx, dy) in forward {
                 let nx = cx as i64 + dx;
                 let ny = cy as i64 + dy;
-                if nx < 0 || ny < 0 || nx >= cells_per_side as i64 || ny >= cells_per_side as i64
-                {
+                if nx < 0 || ny < 0 || nx >= cells_per_side as i64 || ny >= cells_per_side as i64 {
                     continue;
                 }
                 let there = &buckets[ny as usize * cells_per_side + nx as usize];

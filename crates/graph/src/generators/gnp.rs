@@ -1,6 +1,6 @@
 //! Erdős–Rényi random graphs.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 use std::collections::HashSet;
 
 use crate::{Graph, GraphBuilder, NodeId};
@@ -29,7 +29,10 @@ use crate::{Graph, GraphBuilder, NodeId};
 /// assert!(g.edge_count() > 2000 && g.edge_count() < 3000);
 /// ```
 pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
-    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0, 1]"
+    );
     if n == 0 || p == 0.0 {
         return Graph::empty(n);
     }
@@ -149,7 +152,10 @@ mod tests {
         let expected = p * (n * (n - 1) / 2) as f64;
         let got = g.edge_count() as f64;
         // 6 sigma of Binomial(19900, 0.3): sigma ≈ 64.6
-        assert!((got - expected).abs() < 400.0, "edge count {got} far from {expected}");
+        assert!(
+            (got - expected).abs() < 400.0,
+            "edge count {got} far from {expected}"
+        );
     }
 
     #[test]

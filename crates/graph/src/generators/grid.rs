@@ -60,7 +60,8 @@ pub fn torus2d(rows: usize, cols: usize) -> Graph {
             let right = id(r, (c + 1) % cols);
             let down = id((r + 1) % rows, c);
             let me = id(r, c);
-            b.add_edge(me.min(right), me.max(right)).expect("valid edge");
+            b.add_edge(me.min(right), me.max(right))
+                .expect("valid edge");
             b.add_edge(me.min(down), me.max(down)).expect("valid edge");
         }
     }
@@ -108,7 +109,10 @@ pub fn hex_grid(rows: usize, cols: usize) -> Graph {
                     }
                 } else if c > 0 {
                     // even rows: second neighbour is c - 1
-                    b.add_canonical_edge_unchecked(id(r + 1, c - 1).min(id(r, c)), id(r, c).max(id(r + 1, c - 1)));
+                    b.add_canonical_edge_unchecked(
+                        id(r + 1, c - 1).min(id(r, c)),
+                        id(r, c).max(id(r + 1, c - 1)),
+                    );
                 }
             }
         }

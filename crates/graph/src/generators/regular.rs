@@ -32,8 +32,14 @@ use crate::{Graph, GraphBuilder, NodeId};
 /// }
 /// ```
 pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
-    assert!((n * d).is_multiple_of(2), "n·d must be even for a d-regular graph");
-    assert!(d < n || (d == 0 && n == 0), "degree must be below node count");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n·d must be even for a d-regular graph"
+    );
+    assert!(
+        d < n || (d == 0 && n == 0),
+        "degree must be below node count"
+    );
     if d == 0 {
         return Graph::empty(n);
     }

@@ -7,7 +7,7 @@
 //! communities). §6 claims robustness across network structure; these are
 //! the workloads the robustness and race extensions exercise it on.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::{Graph, GraphBuilder, NodeId};
 
@@ -35,7 +35,10 @@ use crate::{Graph, GraphBuilder, NodeId};
 /// assert_eq!(g.edge_count(), 60 * 3);
 /// ```
 pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
-    assert!(k.is_multiple_of(2), "k must be even (k/2 neighbours per side)");
+    assert!(
+        k.is_multiple_of(2),
+        "k must be even (k/2 neighbours per side)"
+    );
     assert!(k < n || (k == 0 && n == 0), "k must be below n");
     assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
     let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * k / 2);
@@ -200,7 +203,8 @@ pub fn connected_caveman(cliques: usize, size: usize) -> Graph {
             let from = (c * size + size - 1) as NodeId;
             let to = (((c + 1) % cliques) * size) as NodeId;
             if from != to {
-                b.add_edge(from.min(to), from.max(to)).expect("valid bridge");
+                b.add_edge(from.min(to), from.max(to))
+                    .expect("valid bridge");
             }
         }
     }

@@ -1,6 +1,6 @@
 //! Tree generators.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::{Graph, GraphBuilder, NodeId};
 
@@ -88,7 +88,9 @@ pub fn balanced_tree(arity: usize, depth: usize) -> Graph {
         level_size = level_size
             .checked_mul(arity)
             .expect("balanced tree too large");
-        count = count.checked_add(level_size).expect("balanced tree too large");
+        count = count
+            .checked_add(level_size)
+            .expect("balanced tree too large");
     }
     let mut b = GraphBuilder::new(count);
     // Parent of node v > 0 in a complete arity-ary tree: (v - 1) / arity.

@@ -78,10 +78,7 @@ impl Graph {
     /// Builds a graph from edges already normalised (`u < v`), sorted and
     /// deduplicated. Used internally by generators that construct edges in
     /// canonical order and by [`GraphBuilder`](crate::GraphBuilder).
-    pub(crate) fn from_sorted_dedup_edges(
-        node_count: usize,
-        edges: &[(NodeId, NodeId)],
-    ) -> Self {
+    pub(crate) fn from_sorted_dedup_edges(node_count: usize, edges: &[(NodeId, NodeId)]) -> Self {
         let mut degrees = vec![0usize; node_count];
         for &(u, v) in edges {
             degrees[u as usize] += 1;

@@ -110,8 +110,7 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, GraphError> {
         max_node = Some(max_node.map_or(u.max(v), |m| m.max(u).max(v)));
         edges.push((u, v));
     }
-    let node_count =
-        declared_nodes.unwrap_or_else(|| max_node.map_or(0, |m| m as usize + 1));
+    let node_count = declared_nodes.unwrap_or_else(|| max_node.map_or(0, |m| m as usize + 1));
     Graph::from_edges(node_count, edges)
 }
 
@@ -242,13 +241,14 @@ pub fn parse_dimacs(text: &str) -> Result<Graph, GraphError> {
                     reason: format!("unsupported DIMACS format {format:?}"),
                 });
             }
-            let n: usize = parts
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| GraphError::Parse {
-                    line: line_no,
-                    reason: "problem line needs a node count".into(),
-                })?;
+            let n: usize =
+                parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| GraphError::Parse {
+                        line: line_no,
+                        reason: "problem line needs a node count".into(),
+                    })?;
             node_count = Some(n);
             continue;
         }

@@ -59,10 +59,7 @@ pub fn is_connected(g: &Graph) -> bool {
 pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> Graph {
     let mut remap = vec![u32::MAX; g.node_count()];
     for (new, &old) in nodes.iter().enumerate() {
-        assert!(
-            (old as usize) < g.node_count(),
-            "node {old} out of range"
-        );
+        assert!((old as usize) < g.node_count(), "node {old} out of range");
         assert!(
             remap[old as usize] == u32::MAX,
             "duplicate node {old} in selection"
@@ -468,6 +465,7 @@ mod tests {
         let path = generators::path(3);
         assert_eq!(local_clustering(&path, 1), Some(0.0));
         assert_eq!(local_clustering(&path, 0), None); // degree 1
+
         // Wheel hub: neighbours form a cycle => density 2/(n-2).
         let w = generators::wheel(7);
         let hub = local_clustering(&w, 0).unwrap();

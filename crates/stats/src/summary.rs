@@ -274,9 +274,7 @@ impl Summary {
         if self.sorted.is_empty() {
             return 0.0;
         }
-        let above = self
-            .sorted
-            .partition_point(|&x| x <= threshold);
+        let above = self.sorted.partition_point(|&x| x <= threshold);
         (self.sorted.len() - above) as f64 / self.sorted.len() as f64
     }
 

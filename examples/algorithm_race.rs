@@ -67,7 +67,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Sequential anchor.
     let greedy = verify::greedy_mis(&g);
-    println!("{:<26} {:>7} {:>9} {:>14}", "greedy (sequential)", "-", greedy.len(), "-");
+    println!(
+        "{:<26} {:>7} {:>9} {:>14}",
+        "greedy (sequential)",
+        "-",
+        greedy.len(),
+        "-"
+    );
 
     println!(
         "\nfeedback matches Luby's round count with one-bit messages and \

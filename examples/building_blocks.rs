@@ -65,14 +65,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|c| tdma.class(c).len())
         .collect();
     slot_load.sort_unstable_by(|a, b| b.cmp(a));
-    println!("      busiest slots: {:?} sensors", &slot_load[..slot_load.len().min(5)]);
+    println!(
+        "      busiest slots: {:?} sensors",
+        &slot_load[..slot_load.len().min(5)]
+    );
 
     // 3. Routing backbone: clusterheads (the MIS) plus connectors form a
     //    connected dominating set every sensor can reach in one hop.
     let clusters = clustering::cluster_via_mis(&graph, &algorithm, 3)?;
     clustering::check_clustering(&graph, &clusters)?;
     let cds = dominating::connected_dominating_set(&graph, &algorithm, 3)?;
-    assert!(dominating::is_connected_dominating_set(&graph, &cds.nodes()));
+    assert!(dominating::is_connected_dominating_set(
+        &graph,
+        &cds.nodes()
+    ));
     println!(
         "backbone: {} clusterheads + {} connectors = {} backbone nodes \
          ({:.0}% of the network), largest cluster {} sensors, {} rounds",

@@ -17,13 +17,7 @@ use beeping_mis::stats::OnlineStats;
 
 fn measure(g: &beeping_mis::graph::Graph, algo: &Algorithm, trials: u64) -> OnlineStats {
     (0..trials)
-        .map(|seed| {
-            f64::from(
-                solve_mis(g, algo, seed)
-                    .expect("terminates")
-                    .rounds(),
-            )
-        })
+        .map(|seed| f64::from(solve_mis(g, algo, seed).expect("terminates").rounds()))
         .collect()
 }
 

@@ -51,8 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SmallRng::seed_from_u64(4);
     let outcome =
         CollierModel::new(&tissue, CollierParams::default()).run_to_steady_state(&mut rng);
-    let senders: std::collections::HashSet<u32> =
-        outcome.high_delta_cells().into_iter().collect();
+    let senders: std::collections::HashSet<u32> = outcome.high_delta_cells().into_iter().collect();
     println!(
         "Collier ODE model: {} ({} integration steps, ambiguous fates {:.1}%)",
         outcome,

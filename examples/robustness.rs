@@ -52,7 +52,9 @@ fn main() {
         });
     }
     measure("asymmetric ×2 / ÷4", move |_| base.with_factors(2.0, 4.0));
-    measure("initial p₀ = 1/16", move |_| base.with_initial_p(1.0 / 16.0));
+    measure("initial p₀ = 1/16", move |_| {
+        base.with_initial_p(1.0 / 16.0)
+    });
     measure("per-node random factor ∈ [1.3, 4]", move |v| {
         let u = (splitmix64(node_seed(9, v)) >> 11) as f64 / (1u64 << 53) as f64;
         base.with_factors(1.3 + 2.7 * u, 1.3 + 2.7 * u)

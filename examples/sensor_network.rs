@@ -48,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, &(x, y)) in positions.iter().enumerate() {
         let col = ((x * GRID as f64) as usize).min(GRID - 1);
         let row = ((y * (GRID / 2) as f64) as usize).min(GRID / 2 - 1);
-        let glyph = if heads.contains(&(i as u32)) { '#' } else { '.' };
+        let glyph = if heads.contains(&(i as u32)) {
+            '#'
+        } else {
+            '.'
+        };
         // Clusterheads win the cell.
         if canvas[row][col] != '#' {
             canvas[row][col] = glyph;

@@ -21,8 +21,7 @@ fn main() {
     println!("legend: '*' joined MIS, 'o' covered, '!' beeped, '.' silent\n");
 
     let mut stepper =
-        Simulator::new(&graph, &FeedbackFactory::new(), 2013, SimConfig::default())
-            .into_stepper();
+        Simulator::new(&graph, &FeedbackFactory::new(), 2013, SimConfig::default()).into_stepper();
     while !stepper.is_done() {
         stepper.step();
         let view = stepper.last_round_view();

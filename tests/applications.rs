@@ -20,8 +20,10 @@ fn matching_on_every_family() {
         ("cliques", generators::disjoint_cliques(&[5, 4, 3, 2, 1])),
     ];
     for (name, g) in families {
-        for (algo_name, algo) in [("feedback", Algorithm::feedback()), ("sweep", Algorithm::sweep())]
-        {
+        for (algo_name, algo) in [
+            ("feedback", Algorithm::feedback()),
+            ("sweep", Algorithm::sweep()),
+        ] {
             let m = matching::maximal_matching(&g, &algo, 11).unwrap();
             assert!(
                 matching::check_matching(&g, m.edges()).is_ok(),

@@ -14,7 +14,10 @@ use rand::{rngs::SmallRng, SeedableRng};
 fn lossy(loss: f64) -> SimConfig {
     SimConfig::default()
         .with_max_rounds(50_000)
-        .with_faults(FaultPlan { message_loss: loss, wake_rounds: vec![] })
+        .with_faults(FaultPlan {
+            message_loss: loss,
+            wake_rounds: vec![],
+        })
         .with_mis_keeps_beeping(true)
 }
 
@@ -58,8 +61,7 @@ fn repaired_matching_mostly_succeeds_under_light_loss() {
 fn lossy_clustering_never_returns_an_invalid_structure() {
     let g = generators::grid2d(7, 7);
     for seed in 0..20 {
-        if let Ok(c) = clustering::cluster_via_mis_with_config(&g, &repaired(), seed, lossy(0.05))
-        {
+        if let Ok(c) = clustering::cluster_via_mis_with_config(&g, &repaired(), seed, lossy(0.05)) {
             assert!(clustering::check_clustering(&g, &c).is_ok());
         }
     }

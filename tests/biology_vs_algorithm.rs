@@ -65,13 +65,10 @@ fn ode_pattern_is_near_maximal_on_small_tissues() {
     // Lateral inhibition should not leave big uninhibited holes: on small
     // tissues, most non-senders must touch a sender.
     let g = generators::hex_grid(4, 4);
-    let senders: std::collections::HashSet<u32> =
-        ode_senders(&g, 7).into_iter().collect();
+    let senders: std::collections::HashSet<u32> = ode_senders(&g, 7).into_iter().collect();
     let uncovered = g
         .nodes()
-        .filter(|v| {
-            !senders.contains(v) && !g.neighbors(*v).iter().any(|u| senders.contains(u))
-        })
+        .filter(|v| !senders.contains(v) && !g.neighbors(*v).iter().any(|u| senders.contains(u)))
         .count();
     assert!(
         uncovered <= g.node_count() / 8,

@@ -24,13 +24,35 @@ fn graph_generators_are_seed_deterministic() {
 #[test]
 fn solver_outcomes_repeat_exactly() {
     let g = generators::gnp(60, 0.5, &mut SmallRng::seed_from_u64(8));
-    for algo in [Algorithm::feedback(), Algorithm::sweep(), Algorithm::science()] {
+    for algo in [
+        Algorithm::feedback(),
+        Algorithm::sweep(),
+        Algorithm::science(),
+    ] {
         let a = solve_mis(&g, &algo, 31).unwrap();
         let b = solve_mis(&g, &algo, 31).unwrap();
         assert_eq!(a.mis(), b.mis(), "{}", algo.name());
         assert_eq!(a.rounds(), b.rounds());
         assert_eq!(a.outcome().metrics(), b.outcome().metrics());
     }
+}
+
+#[test]
+fn same_seed_yields_identical_run_outcome() {
+    // The fixed-seed reproduction story: rebuilding the graph and rerunning
+    // `solve_mis` with the same seeds must reproduce the *entire*
+    // `RunOutcome` — beep schedule metrics, round count, final states —
+    // not just the selected set.
+    let a = {
+        let g = generators::gnp(80, 0.2, &mut SmallRng::seed_from_u64(42));
+        solve_mis(&g, &Algorithm::feedback(), 1234).unwrap()
+    };
+    let b = {
+        let g = generators::gnp(80, 0.2, &mut SmallRng::seed_from_u64(42));
+        solve_mis(&g, &Algorithm::feedback(), 1234).unwrap()
+    };
+    assert_eq!(a.outcome(), b.outcome());
+    assert_eq!(a.mis(), b.mis());
 }
 
 #[test]

@@ -6,7 +6,7 @@ use beeping_mis::core::{
     run_algorithm, solve_mis_with_config, verify::check_mis, Algorithm, FeedbackConfig,
 };
 use beeping_mis::graph::generators;
-use rand::{rngs::SmallRng, RngExt, SeedableRng};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
 
 fn repaired() -> Algorithm {
     Algorithm::feedback_with(FeedbackConfig::default().with_cautious_join(true))
@@ -98,10 +98,22 @@ fn plain_variant_can_violate_under_wakeups() {
 fn moderate_message_loss_slows_but_terminates() {
     let g = generators::gnp(60, 0.4, &mut SmallRng::seed_from_u64(3));
     for seed in 0..5 {
-        let outcome = run_algorithm(&g, &repaired(), seed, lossy(0.1).with_mis_keeps_beeping(true));
-        assert!(outcome.terminated(), "loss run hit round cap at seed {seed}");
+        let outcome = run_algorithm(
+            &g,
+            &repaired(),
+            seed,
+            lossy(0.1).with_mis_keeps_beeping(true),
+        );
+        assert!(
+            outcome.terminated(),
+            "loss run hit round cap at seed {seed}"
+        );
         // Rounds may grow, but not explode.
-        assert!(outcome.rounds() < 5_000, "rounds {} too large", outcome.rounds());
+        assert!(
+            outcome.rounds() < 5_000,
+            "rounds {} too large",
+            outcome.rounds()
+        );
     }
 }
 

@@ -29,7 +29,10 @@ fn families() -> Vec<(&'static str, Graph)> {
         ("gnp sparse", generators::gnp(90, 0.04, &mut rng)),
         ("tree", generators::random_tree(60, &mut rng)),
         ("3-regular", generators::random_regular(40, 3, &mut rng)),
-        ("geometric", generators::random_geometric(80, 0.18, &mut rng)),
+        (
+            "geometric",
+            generators::random_geometric(80, 0.18, &mut rng),
+        ),
         ("theorem1 m=5", generators::theorem1_family(5)),
         ("balanced tree", generators::balanced_tree(3, 3)),
     ]

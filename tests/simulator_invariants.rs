@@ -113,12 +113,7 @@ proptest! {
 #[test]
 fn heartbeats_do_not_pollute_beep_metrics() {
     let g = generators::star(10);
-    let plain = run_algorithm(
-        &g,
-        &Algorithm::feedback(),
-        5,
-        SimConfig::default(),
-    );
+    let plain = run_algorithm(&g, &Algorithm::feedback(), 5, SimConfig::default());
     let with_repair = run_algorithm(
         &g,
         &Algorithm::feedback(),

@@ -30,7 +30,11 @@ fn workloads(seed: u64) -> Vec<(&'static str, Graph)> {
 #[test]
 fn all_algorithms_correct_on_social_graphs() {
     for (name, g) in workloads(0x50C1) {
-        for algo in [Algorithm::feedback(), Algorithm::sweep(), Algorithm::science()] {
+        for algo in [
+            Algorithm::feedback(),
+            Algorithm::sweep(),
+            Algorithm::science(),
+        ] {
             for seed in [1u64, 2] {
                 let result = solve_mis(&g, &algo, seed)
                     .unwrap_or_else(|e| panic!("{} on {name}: {e}", algo.name()));
@@ -71,7 +75,9 @@ fn rounds_stay_logarithmic_on_clustered_graphs() {
         let mut rounds = OnlineStats::new();
         for seed in 0..6u64 {
             rounds.push(f64::from(
-                solve_mis(&g, &Algorithm::feedback(), seed).unwrap().rounds(),
+                solve_mis(&g, &Algorithm::feedback(), seed)
+                    .unwrap()
+                    .rounds(),
             ));
         }
         let budget = 8.0 * (g.node_count() as f64).log2();
@@ -112,18 +118,8 @@ fn caveman_mis_hits_every_cave() {
 fn small_world_clustering_sanity() {
     // The workload itself behaves as advertised: clustering drops as the
     // rewiring probability rises.
-    let lattice = generators::watts_strogatz(
-        200,
-        8,
-        0.0,
-        &mut SmallRng::seed_from_u64(1),
-    );
-    let rewired = generators::watts_strogatz(
-        200,
-        8,
-        0.7,
-        &mut SmallRng::seed_from_u64(1),
-    );
+    let lattice = generators::watts_strogatz(200, 8, 0.0, &mut SmallRng::seed_from_u64(1));
+    let rewired = generators::watts_strogatz(200, 8, 0.7, &mut SmallRng::seed_from_u64(1));
     let c_lattice = ops::global_clustering(&lattice).unwrap();
     let c_rewired = ops::global_clustering(&rewired).unwrap();
     assert!(

@@ -16,8 +16,13 @@ fn e4_fraction_is_small_on_average() {
     for seed in 0..15u64 {
         let g = generators::gnp(80, 0.5, &mut SmallRng::seed_from_u64(seed));
         let mut tracker = TheoryTracker::new(&g, 0, PaperConstants::default());
-        let _ = Simulator::new(&g, &FeedbackFactory::new(), seed ^ 0x7E0, SimConfig::default())
-            .run_with_observer(|view| tracker.observe(view.probabilities));
+        let _ = Simulator::new(
+            &g,
+            &FeedbackFactory::new(),
+            seed ^ 0x7E0,
+            SimConfig::default(),
+        )
+        .run_with_observer(|view| tracker.observe(view.probabilities));
         if tracker.steps_tracked() > 0 {
             fractions.push(tracker.counts().e4_fraction());
         }
@@ -61,7 +66,9 @@ fn rounds_grow_logarithmically() {
         for seed in 0..12u64 {
             let g = generators::gnp(n, 0.5, &mut SmallRng::seed_from_u64(seed + n as u64));
             stats.push(f64::from(
-                solve_mis(&g, &Algorithm::feedback(), seed).unwrap().rounds(),
+                solve_mis(&g, &Algorithm::feedback(), seed)
+                    .unwrap()
+                    .rounds(),
             ));
         }
         stats.mean()
@@ -77,7 +84,10 @@ fn rounds_grow_logarithmically() {
         at_1024 < 2.5 * at_64,
         "rounds grew superlogarithmically: {at_64} -> {at_1024}"
     );
-    assert!(at_1024 > at_64, "rounds did not grow at all: {at_64} -> {at_1024}");
+    assert!(
+        at_1024 > at_64,
+        "rounds did not grow at all: {at_64} -> {at_1024}"
+    );
 }
 
 /// Theorem 1's premise in miniature: on a single clique, the probability
@@ -94,7 +104,9 @@ fn feedback_handles_mixed_clique_sizes_uniformly() {
             solve_mis(&g, &Algorithm::sweep(), seed).unwrap().rounds(),
         ));
         feedback_rounds.push(f64::from(
-            solve_mis(&g, &Algorithm::feedback(), seed).unwrap().rounds(),
+            solve_mis(&g, &Algorithm::feedback(), seed)
+                .unwrap()
+                .rounds(),
         ));
     }
     let sweep = Summary::from_slice(&sweep_rounds);

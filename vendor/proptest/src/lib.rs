@@ -1,0 +1,138 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! This build environment cannot fetch crates, so the workspace vendors the
+//! subset of proptest it uses: the [`proptest!`] macro with a
+//! `#![proptest_config(...)]` header, numeric range strategies
+//! (`0usize..80`, `0.0f64..=1.0`, …), [`any`]`::<T>()`, and the
+//! `prop_assert!` family. Differences from the real crate:
+//!
+//! - inputs are sampled from a fixed-seed RNG, so failures reproduce
+//!   deterministically across runs;
+//! - there is **no shrinking** — a failure reports the exact sampled inputs
+//!   instead of a minimised case;
+//! - only the strategy forms listed above are implemented.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Any, Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Defines property tests: each `fn` item becomes a `#[test]` that samples
+/// its arguments from the given strategies for the configured number of
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident(
+            $($arg:ident in $strategy:expr),+ $(,)?
+        ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::case_rng(stringify!($name));
+            let mut executed: u32 = 0;
+            for case in 0..config.cases {
+                $(
+                    let $arg = $crate::Strategy::sample(&$strategy, &mut rng);
+                )+
+                let reporter = $crate::test_runner::FailureReporter::new(
+                    stringify!($name),
+                    case,
+                    format!(
+                        concat!($(concat!(stringify!($arg), " = {:?}, ")),+),
+                        $(&$arg),+
+                    ),
+                );
+                $body
+                reporter.case_passed();
+                executed += 1;
+            }
+            // A property that never ran (every case hit `prop_assume!`)
+            // asserted nothing — fail loudly instead of passing vacuously.
+            assert!(
+                executed > 0 || config.cases == 0,
+                "property `{}` rejected all {} cases via prop_assume!",
+                stringify!($name),
+                config.cases,
+            );
+        }
+    )*};
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @with_config ($config) $($rest)* }
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! {
+            @with_config ($crate::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Rejects the current case unless `cond` holds, moving on to the next
+/// sampled case. (Real proptest re-samples; this stand-in just skips.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, reporting the sampled
+/// inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: {left:?}\n right: {right:?}"
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: {left:?}"
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left != right, $($fmt)*);
+    }};
+}

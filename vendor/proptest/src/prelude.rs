@@ -1,0 +1,5 @@
+//! The items a property test file typically imports with one glob.
+
+pub use crate::strategy::{any, Any, Just, Strategy};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};

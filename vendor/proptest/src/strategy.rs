@@ -1,0 +1,91 @@
+//! Input-generation strategies.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree or shrinking: a strategy
+/// simply samples a value from an RNG.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: core::fmt::Debug;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy producing any value of `T`; build with [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Returns a strategy covering the whole domain of `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any(core::marker::PhantomData)
+}
+
+macro_rules! impl_any_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.random()
+            }
+        }
+    )*};
+}
+
+impl_any_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+/// Strategy that always produces a clone of one fixed value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone + core::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..500 {
+            assert!((3..9).contains(&(3usize..9).sample(&mut rng)));
+            assert!((0.0..1.0).contains(&(0.0f64..1.0).sample(&mut rng)));
+            assert!((1..=5).contains(&(1i32..=5).sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn just_returns_its_value() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(Just(42u32).sample(&mut rng), 42);
+    }
+}

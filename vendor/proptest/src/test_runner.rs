@@ -1,0 +1,99 @@
+//! Test-execution support: configuration and failure reporting.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property is checked against.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Returns a config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Returns the deterministic RNG driving input generation for one property.
+///
+/// The seed is an FNV-1a hash of the test name — a fixed algorithm rather
+/// than std's `DefaultHasher` (whose output may change between Rust
+/// releases) — so every property gets an independent input stream that
+/// reproduces across runs, platforms, and toolchains.
+#[must_use]
+pub fn case_rng(test_name: &str) -> SmallRng {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SmallRng::seed_from_u64(hash)
+}
+
+/// Prints the sampled inputs of the current case if the property panics.
+///
+/// Created at the top of each generated case; [`case_passed`] consumes it on
+/// success, and its `Drop` impl fires only while unwinding from a failure.
+///
+/// [`case_passed`]: FailureReporter::case_passed
+pub struct FailureReporter {
+    test_name: &'static str,
+    case: u32,
+    inputs: String,
+}
+
+impl FailureReporter {
+    /// Records the context of the case about to run.
+    #[must_use]
+    pub fn new(test_name: &'static str, case: u32, inputs: String) -> Self {
+        Self {
+            test_name,
+            case,
+            inputs,
+        }
+    }
+
+    /// Marks the case as passed, disarming the `Drop` report.
+    pub fn case_passed(self) {}
+}
+
+impl Drop for FailureReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest: property `{}` failed at case {} with inputs: {}",
+                self.test_name,
+                self.case,
+                self.inputs.trim_end_matches(", "),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn case_rng_is_deterministic_per_name() {
+        assert_eq!(case_rng("abc").next_u64(), case_rng("abc").next_u64());
+        assert_ne!(case_rng("abc").next_u64(), case_rng("xyz").next_u64());
+    }
+
+    #[test]
+    fn with_cases_sets_count() {
+        assert_eq!(ProptestConfig::with_cases(48).cases, 48);
+        assert_eq!(ProptestConfig::default().cases, 256);
+    }
+}

@@ -1,0 +1,41 @@
+//! Behavior of the `proptest!` macro expansion itself.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The happy path: strategies sample, assertions run, cases pass.
+    #[test]
+    fn ranges_and_assertions_work(
+        n in 1usize..50,
+        x in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        prop_assert!((1..50).contains(&n));
+        prop_assert!((0.0..1.0).contains(&x));
+        prop_assert_eq!(seed, seed);
+        prop_assert_ne!(n, 0);
+    }
+
+    /// Partial rejection is fine: surviving cases still assert.
+    #[test]
+    fn partial_assume_keeps_surviving_cases(n in 0usize..10) {
+        prop_assume!(n % 2 == 0);
+        prop_assert_eq!(n % 2, 0);
+    }
+
+    /// Rejecting every case must fail the test rather than pass vacuously.
+    #[test]
+    #[should_panic(expected = "rejected all")]
+    fn total_rejection_panics(_n in 0usize..10) {
+        prop_assume!(false);
+    }
+
+    /// A failing property must actually fail (and report its inputs).
+    #[test]
+    #[should_panic]
+    fn failing_property_panics(n in 5usize..10) {
+        prop_assert!(n < 5);
+    }
+}

@@ -1,0 +1,340 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! This build environment has no network access to a crates registry, so the
+//! workspace vendors the small slice of the `rand` 0.9 API it actually uses:
+//!
+//! - [`rngs::SmallRng`] — a fast, seedable, non-cryptographic generator
+//!   (xoshiro256++, the same algorithm the real `SmallRng` uses on 64-bit
+//!   targets),
+//! - the [`Rng`] extension trait with `random`, `random_bool`,
+//!   `random_range` and `random_ratio`,
+//! - [`SeedableRng`] with `from_seed` / `seed_from_u64`,
+//! - [`seq::SliceRandom`] with `shuffle` / `choose`.
+//!
+//! Streams are deterministic functions of the seed and stable across runs
+//! and platforms, which the reproduction harness depends on. The streams are
+//! **not** bit-identical to the real `rand` crate; swapping the real crate
+//! back in changes sampled values but not any statistical property the
+//! experiments rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+/// A random number generator: the minimal core every RNG implements.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// An RNG that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed type, typically a byte array.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Creates a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, spreading the 64 bits over the
+    /// full seed with SplitMix64 (mirrors the real crate's behaviour).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Creates a generator seeded from another generator.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        Self::seed_from_u64(rng.next_u64())
+    }
+}
+
+/// SplitMix64: used only to expand small seeds into full RNG state.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types that can be sampled uniformly from an RNG's raw output.
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32, i64 => next_u64,
+    isize => next_u64,
+);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A range that [`Rng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty as $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                self.start.wrapping_add(sample_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo.wrapping_add(sample_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(
+    u8 as u8,
+    u16 as u16,
+    u32 as u32,
+    u64 as u64,
+    usize as usize,
+    i8 as u8,
+    i16 as u16,
+    i32 as u32,
+    i64 as u64,
+    isize as usize,
+);
+
+/// Uniform draw from `[0, bound)` via 128-bit widening multiply
+/// (Lemire's method, without the rejection step; bias is < 2^-64).
+fn sample_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    (((rng.next_u64() as u128) * (bound as u128)) >> 64) as u64
+}
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty, $raw:ident >> $shift:expr, $mantissa:expr);* $(;)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as Standard>::sample(rng);
+                let v = self.start + unit * (self.end - self.start);
+                // `unit` < 1, but for narrow ranges the interpolation can
+                // round up onto the excluded endpoint; clamp just below it
+                // (deterministic — no extra draws) to keep `..` half-open.
+                if v >= self.end {
+                    self.end.next_down().max(self.start)
+                } else {
+                    v
+                }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                // Closed interval: draw the unit from [0, 1] *inclusive*
+                // (full-mantissa integer over max), so `hi` is reachable —
+                // unlike `Standard`, whose unit lives in [0, 1).
+                let max = (1u64 << $mantissa) - 1;
+                let unit = (rng.$raw() >> $shift) as $t / max as $t;
+                // Mirror the half-open impl's guard: fl(hi - lo) can round
+                // up, letting the interpolation overshoot `hi` slightly.
+                let v = lo + unit * (hi - lo);
+                if v > hi {
+                    hi
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_range_float!(f32, next_u32 >> 8, 24; f64, next_u64 >> 11, 53);
+
+/// User-facing random value generation, mirroring `rand::Rng` (0.9 names).
+pub trait Rng: RngCore {
+    /// Returns a uniformly distributed value of type `T`
+    /// (floats are uniform in `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        // Compare against 53-bit output; p == 1.0 must always win.
+        p == 1.0 || <f64 as Standard>::sample(self) < p
+    }
+
+    /// Returns `true` with probability `numerator / denominator`.
+    fn random_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "zero denominator");
+        assert!(numerator <= denominator, "ratio above one");
+        self.random_range(0..denominator) < numerator
+    }
+
+    /// Draws one value uniformly from `range`. Panics on empty ranges.
+    fn random_range<T, Ra: SampleRange<T>>(&mut self, range: Ra) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!((5..10).contains(&rng.random_range(5..10)));
+            assert!((0.25..0.75).contains(&rng.random_range(0.25f64..0.75)));
+            assert!((0.0..=1.0).contains(&rng.random_range(0.0f64..=1.0)));
+            let v: i32 = rng.random_range(-3..=3);
+            assert!((-3..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn inclusive_float_range_reaches_both_endpoints() {
+        // An all-ones raw draw maps to unit 1.0 and an all-zeros draw to
+        // unit 0.0, so both endpoints of `lo..=hi` are reachable — which
+        // the [0, 1)-based `Standard` sampler could never give for `hi`.
+        struct Fixed(u64);
+        impl RngCore for Fixed {
+            fn next_u32(&mut self) -> u32 {
+                self.0 as u32
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0
+            }
+        }
+        assert_eq!(Fixed(u64::MAX).random_range(0.0f64..=1.0), 1.0);
+        assert_eq!(Fixed(u64::MAX).random_range(2.0f32..=5.0), 5.0);
+        assert_eq!(Fixed(0).random_range(0.0f64..=1.0), 0.0);
+        assert_eq!(Fixed(0).random_range(2.0f32..=5.0), 2.0);
+        // ...while the half-open range must stay below its bound even when
+        // interpolation over a 1-ulp range would round up onto it.
+        let end = 1.0f64 + f64::EPSILON;
+        assert_eq!(Fixed(u64::MAX).random_range(1.0f64..end), 1.0);
+        // Degenerate closed ranges must return exactly the endpoint.
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert_eq!(rng.random_range(1.0f64..=1.0), 1.0);
+        assert_eq!(rng.random_range(0.5f32..=0.5), 0.5);
+    }
+
+    #[test]
+    fn bool_probability_endpoints() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert!(!rng.random_bool(0.0));
+            assert!(rng.random_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn random_bool_is_roughly_fair() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4_500..=5_500).contains(&hits), "hits={hits}");
+    }
+}
