@@ -48,18 +48,45 @@ impl FaultPlan {
     }
 }
 
+/// Which implementation computes the per-exchange beep propagation
+/// (`heard[v] = OR of beeps over v's neighbours`).
+///
+/// Both kernels produce **bit-identical** `heard` vectors and therefore
+/// identical [`RunOutcome`](crate::RunOutcome)s; the choice only affects
+/// speed. `tests/kernel_equivalence.rs` pins the equivalence with property
+/// tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PropagationKernel {
+    /// Reference implementation: push from each beeping node to its
+    /// neighbours over `Vec<bool>` buffers, one delivery at a time.
+    Scalar,
+    /// Packed `u64` bitset kernel (the default): beeps live one bit per
+    /// node, and each exchange picks push or pull direction from the beep
+    /// density — pulling walks the CSR adjacency word-at-a-time with an
+    /// early exit on the first beeping word.
+    ///
+    /// Runs with `message_loss > 0` silently fall back to the scalar
+    /// kernel, because per-delivery loss draws must consume the fault RNG
+    /// in the reference order to stay reproducible.
+    #[default]
+    Bitset,
+}
+
 /// Configuration for a [`Simulator`](crate::Simulator) run.
 ///
 /// # Examples
 ///
 /// ```
-/// use mis_beeping::{SimConfig, TraceLevel};
+/// use mis_beeping::{PropagationKernel, SimConfig, TraceLevel};
 ///
 /// let cfg = SimConfig::default()
 ///     .with_max_rounds(10_000)
 ///     .with_trace(TraceLevel::Rounds)
-///     .with_active_series(true);
+///     .with_active_series(true)
+///     .with_kernel(PropagationKernel::Scalar);
 /// assert_eq!(cfg.max_rounds, 10_000);
+/// assert_eq!(cfg.kernel, PropagationKernel::Scalar);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -82,6 +109,9 @@ pub struct SimConfig {
     /// Record the number of active nodes after every round (time-series
     /// used by experiments).
     pub record_active_series: bool,
+    /// Which beep-propagation implementation to use (defaults to the
+    /// packed [`PropagationKernel::Bitset`] kernel).
+    pub kernel: PropagationKernel,
 }
 
 impl Default for SimConfig {
@@ -92,6 +122,7 @@ impl Default for SimConfig {
             mis_keeps_beeping: false,
             trace: TraceLevel::Off,
             record_active_series: false,
+            kernel: PropagationKernel::default(),
         }
     }
 }
@@ -144,6 +175,13 @@ impl SimConfig {
         self.record_active_series = on;
         self
     }
+
+    /// Selects the beep-propagation kernel.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: PropagationKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +194,15 @@ mod tests {
         assert!(cfg.faults.is_none());
         assert!(!cfg.mis_keeps_beeping);
         assert_eq!(cfg.trace, TraceLevel::Off);
+        assert_eq!(cfg.kernel, PropagationKernel::Bitset);
+    }
+
+    #[test]
+    fn kernel_is_selectable() {
+        let cfg = SimConfig::default().with_kernel(PropagationKernel::Scalar);
+        assert_eq!(cfg.kernel, PropagationKernel::Scalar);
+        let back = cfg.with_kernel(PropagationKernel::Bitset);
+        assert_eq!(back.kernel, PropagationKernel::Bitset);
     }
 
     #[test]

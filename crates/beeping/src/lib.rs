@@ -23,6 +23,13 @@
 //! paper's §6 discusses: per-delivery message loss and late node wake-ups,
 //! with an optional “MIS members keep announcing” repair.
 //!
+//! Two execution-engine features serve statistical workloads at scale: the
+//! default [`PropagationKernel::Bitset`] computes beep propagation on
+//! packed `u64` words (the scalar reference stays selectable via
+//! [`SimConfig::with_kernel`]), and the [`batch`] module fans many
+//! independent runs across worker threads with bit-identical, seed-ordered
+//! results.
+//!
 //! # Examples
 //!
 //! A minimal constant-probability process (the `p = ½` special case of the
@@ -75,6 +82,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod config;
 mod metrics;
 mod model;
@@ -83,7 +91,8 @@ pub mod rng;
 mod simulator;
 mod trace;
 
-pub use config::{FaultPlan, SimConfig};
+pub use batch::{parallel_indexed_map, run_batch, run_batch_map, BatchPlan};
+pub use config::{FaultPlan, PropagationKernel, SimConfig};
 pub use metrics::Metrics;
 pub use model::{NetworkInfo, NodeStatus, Verdict};
 pub use process::{BeepingProcess, FnFactory, ProcessFactory};

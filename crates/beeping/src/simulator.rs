@@ -7,9 +7,17 @@ use mis_graph::{Graph, NodeId};
 
 use crate::rng::node_rng;
 use crate::{
-    BeepingProcess, Metrics, NetworkInfo, NodeStatus, ProcessFactory, RoundRecord, SimConfig,
-    Trace, TraceLevel, Verdict,
+    BeepingProcess, Metrics, NetworkInfo, NodeStatus, ProcessFactory, PropagationKernel,
+    RoundRecord, SimConfig, Trace, TraceLevel, Verdict,
 };
+
+/// Bits per packed word in the bitset propagation kernel.
+const WORD_BITS: usize = 64;
+
+/// Beep density (beepers ≥ n / `PULL_CROSSOVER`) above which the bitset
+/// kernel pulls (per-listener early-exit scan) instead of pushing from each
+/// beeper. Both directions give identical results; this only tunes speed.
+const PULL_CROSSOVER: usize = 8;
 
 /// Read-only view of one completed round, passed to observers registered
 /// via [`Simulator::run_with_observer`].
@@ -187,6 +195,9 @@ pub struct Stepper<'g, F: ProcessFactory> {
     heard1: Vec<bool>,
     heard2: Vec<bool>,
     probs: Vec<f64>,
+    // Scratch buffers for the bitset kernel, one bit per node.
+    beep_words: Vec<u64>,
+    heard_words: Vec<u64>,
     remaining: usize,
     round: u32,
 }
@@ -228,6 +239,8 @@ impl<'g, F: ProcessFactory> Stepper<'g, F> {
             heard1: vec![false; n],
             heard2: vec![false; n],
             probs: vec![0.0; n],
+            beep_words: vec![0; n.div_ceil(WORD_BITS)],
+            heard_words: vec![0; n.div_ceil(WORD_BITS)],
             remaining,
             round: 0,
         }
@@ -239,6 +252,38 @@ impl<'g, F: ProcessFactory> Stepper<'g, F> {
         self.remaining == 0 || self.round >= self.config.max_rounds
     }
 
+    /// Propagates one exchange's beeps (`exchange1` picks the
+    /// `beep1`/`heard1` buffer pair, otherwise `beep2`/`heard2`) through
+    /// the kernel the flags select.
+    fn broadcast_exchange(&mut self, exchange1: bool, bitset: bool, sleepy: bool, lossy: bool) {
+        let (beeps, heard) = if exchange1 {
+            (&self.beep1, &mut self.heard1)
+        } else {
+            (&self.beep2, &mut self.heard2)
+        };
+        if bitset {
+            broadcast_bitset(
+                self.graph,
+                &self.status,
+                sleepy,
+                beeps,
+                heard,
+                &mut self.beep_words,
+                &mut self.heard_words,
+            );
+        } else {
+            broadcast(
+                self.graph,
+                &self.status,
+                &mut self.fault_rng,
+                self.config.faults.message_loss,
+                lossy,
+                beeps,
+                heard,
+            );
+        }
+    }
+
     /// Executes one full round (both exchanges plus decisions). Does
     /// nothing once [`is_done`](Self::is_done).
     pub fn step(&mut self) {
@@ -248,6 +293,10 @@ impl<'g, F: ProcessFactory> Stepper<'g, F> {
         let n = self.graph.node_count();
         let round = self.round;
         let lossy = self.config.faults.message_loss > 0.0;
+        // Per-delivery loss draws must consume the fault RNG in reference
+        // order, so lossy runs always take the scalar path.
+        let bitset = self.config.kernel == PropagationKernel::Bitset && !lossy;
+        let sleepy = !self.config.faults.wake_rounds.is_empty();
 
         // Wake sleeping nodes whose time has come.
         for v in 0..n {
@@ -286,15 +335,7 @@ impl<'g, F: ProcessFactory> Stepper<'g, F> {
                 _ => false,
             };
         }
-        broadcast(
-            self.graph,
-            &self.status,
-            &mut self.fault_rng,
-            self.config.faults.message_loss,
-            lossy,
-            &self.beep1,
-            &mut self.heard1,
-        );
+        self.broadcast_exchange(true, bitset, sleepy, lossy);
 
         // Exchange 2: join announcements (plus optional MIS heartbeats).
         for v in 0..n {
@@ -307,15 +348,7 @@ impl<'g, F: ProcessFactory> Stepper<'g, F> {
                 _ => false,
             };
         }
-        broadcast(
-            self.graph,
-            &self.status,
-            &mut self.fault_rng,
-            self.config.faults.message_loss,
-            lossy,
-            &self.beep2,
-            &mut self.heard2,
-        );
+        self.broadcast_exchange(false, bitset, sleepy, lossy);
 
         // Decisions and metric accounting.
         let mut joined: Vec<NodeId> = Vec::new();
@@ -451,6 +484,100 @@ fn broadcast(
             heard[u as usize] = true;
         }
     }
+}
+
+/// Packs a `bool`-per-node buffer into one bit per node, little-endian
+/// within each `u64` word.
+fn pack_bits(bits: &[bool], words: &mut [u64]) {
+    for (word, chunk) in words.iter_mut().zip(bits.chunks(WORD_BITS)) {
+        let mut w = 0u64;
+        for (i, &b) in chunk.iter().enumerate() {
+            w |= u64::from(b) << i;
+        }
+        *word = w;
+    }
+}
+
+/// Unpacks one bit per node back into a `bool`-per-node buffer.
+fn unpack_bits(words: &[u64], bits: &mut [bool]) {
+    for (chunk, &word) in bits.chunks_mut(WORD_BITS).zip(words) {
+        for (i, b) in chunk.iter_mut().enumerate() {
+            *b = (word >> i) & 1 != 0;
+        }
+    }
+}
+
+/// The bitset propagation kernel: computes the same
+/// `heard[v] = OR of beeps over v's neighbours` as [`broadcast`] for
+/// loss-free networks, on packed `u64` words.
+///
+/// The direction is chosen per exchange from the beep density:
+///
+/// * **pull** (dense beeps) — every awake node walks its sorted CSR
+///   neighbour list word-at-a-time, folding the neighbours that share a
+///   `u64` word into one mask, and stops at the first word that intersects
+///   the beep bitset. When half the network beeps, the expected scan is a
+///   couple of words regardless of degree.
+/// * **push** (sparse beeps) — scan the beep words, skip zero words whole,
+///   and OR each beeper's neighbour bits into the heard bitset; asleep
+///   listeners are cleared afterwards in one pass.
+fn broadcast_bitset(
+    graph: &Graph,
+    status: &[NodeStatus],
+    sleepy: bool,
+    beeps: &[bool],
+    heard: &mut [bool],
+    beep_words: &mut [u64],
+    heard_words: &mut [u64],
+) {
+    let n = graph.node_count();
+    pack_bits(beeps, beep_words);
+    heard_words.fill(0);
+    let beepers: usize = beep_words.iter().map(|w| w.count_ones() as usize).sum();
+    if beepers * PULL_CROSSOVER >= n && beepers > 0 {
+        // Pull: per-listener early-exit scan over word-grouped neighbours.
+        for v in 0..n {
+            if sleepy && status[v] == NodeStatus::Asleep {
+                continue;
+            }
+            let nbrs = graph.neighbors(v as NodeId);
+            let mut i = 0;
+            while i < nbrs.len() {
+                let w = (nbrs[i] as usize) / WORD_BITS;
+                let mut mask = 1u64 << (nbrs[i] as usize % WORD_BITS);
+                i += 1;
+                while i < nbrs.len() && nbrs[i] as usize / WORD_BITS == w {
+                    mask |= 1u64 << (nbrs[i] as usize % WORD_BITS);
+                    i += 1;
+                }
+                if beep_words[w] & mask != 0 {
+                    heard_words[v / WORD_BITS] |= 1u64 << (v % WORD_BITS);
+                    break;
+                }
+            }
+        }
+    } else {
+        // Push: walk set bits of the beep words, OR neighbour bits in.
+        for (wi, &word) in beep_words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let v = wi * WORD_BITS + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                for &u in graph.neighbors(v as NodeId) {
+                    heard_words[u as usize / WORD_BITS] |= 1u64 << (u as usize % WORD_BITS);
+                }
+            }
+        }
+        if sleepy && beepers > 0 {
+            // Sleeping nodes hear nothing.
+            for (v, s) in status.iter().enumerate() {
+                if *s == NodeStatus::Asleep {
+                    heard_words[v / WORD_BITS] &= !(1u64 << (v % WORD_BITS));
+                }
+            }
+        }
+    }
+    unpack_bits(heard_words, heard);
 }
 
 impl<F: ProcessFactory> core::fmt::Debug for Simulator<'_, F> {
@@ -738,6 +865,101 @@ mod tests {
         // One round, beeped in both exchanges: 1 beep, 2 signals.
         assert_eq!(outcome.metrics().total_beeps(), 1);
         assert_eq!(outcome.metrics().signals[0], 2);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for n in [0usize, 1, 63, 64, 65, 130] {
+            let bits: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let mut words = vec![0u64; n.div_ceil(WORD_BITS)];
+            pack_bits(&bits, &mut words);
+            let mut back = vec![false; n];
+            unpack_bits(&words, &mut back);
+            assert_eq!(back, bits, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn bitset_kernel_matches_scalar_outcomes() {
+        use rand::SeedableRng as _;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(77);
+        for (name, g) in [
+            ("cycle", generators::cycle(130)),
+            ("complete", generators::complete(65)),
+            ("gnp", generators::gnp(120, 0.1, &mut rng)),
+            ("grid", generators::grid2d(9, 13)),
+            ("isolated", Graph::empty(70)),
+        ] {
+            for seed in 0..3 {
+                for p in [0.05, 0.5, 0.9] {
+                    // Capped: dense Coin processes may never terminate
+                    // (e.g. p = 0.9 on a clique), and equivalence must
+                    // hold round for round either way.
+                    let base = SimConfig::default().with_max_rounds(400);
+                    let scalar = base.clone().with_kernel(PropagationKernel::Scalar);
+                    let bitset = base.with_kernel(PropagationKernel::Bitset);
+                    let a = Simulator::new(&g, &Coin::factory(p), seed, scalar).run();
+                    let b = Simulator::new(&g, &Coin::factory(p), seed, bitset).run();
+                    assert_eq!(a, b, "{name} seed {seed} p {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_kernel_matches_scalar_under_wake_faults() {
+        let g = generators::grid2d(8, 8);
+        let wake_rounds: Vec<u32> = (0..64).map(|v| (v % 7) * 3).collect();
+        for heartbeat in [false, true] {
+            let base = SimConfig::default()
+                .with_mis_keeps_beeping(heartbeat)
+                .with_faults(FaultPlan {
+                    message_loss: 0.0,
+                    wake_rounds: wake_rounds.clone(),
+                });
+            let a = Simulator::new(
+                &g,
+                &Coin::factory(0.5),
+                9,
+                base.clone().with_kernel(PropagationKernel::Scalar),
+            )
+            .run();
+            let b = Simulator::new(
+                &g,
+                &Coin::factory(0.5),
+                9,
+                base.with_kernel(PropagationKernel::Bitset),
+            )
+            .run();
+            assert_eq!(a, b, "heartbeat = {heartbeat}");
+        }
+    }
+
+    #[test]
+    fn lossy_runs_fall_back_to_scalar_kernel() {
+        // With message loss the two kernel settings must still agree,
+        // because the bitset config silently uses the scalar reference
+        // path (the loss RNG sequence defines the semantics).
+        let g = generators::cycle(20);
+        let base = SimConfig::default().with_faults(FaultPlan {
+            message_loss: 0.3,
+            wake_rounds: vec![],
+        });
+        let a = Simulator::new(
+            &g,
+            &Coin::factory(0.5),
+            13,
+            base.clone().with_kernel(PropagationKernel::Scalar),
+        )
+        .run();
+        let b = Simulator::new(
+            &g,
+            &Coin::factory(0.5),
+            13,
+            base.with_kernel(PropagationKernel::Bitset),
+        )
+        .run();
+        assert_eq!(a, b);
     }
 
     #[test]

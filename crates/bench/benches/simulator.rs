@@ -1,11 +1,15 @@
 //! Raw engine throughput: rounds per second of the beeping simulator on a
-//! large sparse graph (the substrate cost under everything else).
+//! large sparse graph (the substrate cost under everything else), plus the
+//! scalar-vs-bitset propagation kernels and 1-vs-N-thread batch execution
+//! (`simbench` writes the machine-readable version to
+//! `BENCH_simulator.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use mis_bench::{gnp_sparse, rgg};
-use mis_core::{solve_mis, Algorithm};
+use mis_beeping::{PropagationKernel, SimConfig};
+use mis_bench::{gnp_mean_degree, gnp_sparse, rgg};
+use mis_core::{run_algorithm, solve_mis, Algorithm, RunPlan};
 
 fn simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator_throughput");
@@ -35,5 +39,56 @@ fn simulator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, simulator);
+fn kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation_kernel");
+    group.sample_size(10);
+    // Constant-½ beeping at high degree keeps the beep density at ½ every
+    // round (nobody ever wins), so the run measures steady-state
+    // propagation — the cost the kernels differ on. `run_algorithm` is
+    // used directly because these capped runs never terminate by design.
+    let g = gnp_mean_degree(5_000, 128.0);
+    let algo = Algorithm::constant(0.5);
+    for (name, kernel) in [
+        ("scalar", PropagationKernel::Scalar),
+        ("bitset", PropagationKernel::Bitset),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, g.node_count()), &g, |b, g| {
+            let cfg = SimConfig::default().with_max_rounds(32).with_kernel(kernel);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(run_algorithm(g, &algo, seed, cfg.clone()).rounds())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_runner");
+    group.sample_size(10);
+    let g = gnp_mean_degree(2_000, 32.0);
+    let cores = mis_beeping::batch::auto_jobs();
+    // On a 1-core machine the two entries would collide on one benchmark
+    // ID, which the real criterion rejects.
+    let job_counts = if cores > 1 {
+        vec![1usize, cores]
+    } else {
+        vec![1]
+    };
+    for jobs in job_counts {
+        group.bench_with_input(BenchmarkId::new("feedback_16_runs", jobs), &g, |b, g| {
+            b.iter(|| {
+                let report = RunPlan::new(Algorithm::feedback(), 16)
+                    .with_master_seed(7)
+                    .with_jobs(jobs)
+                    .execute(g);
+                black_box(report.rounds().mean())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, simulator, kernels, batch);
 criterion_main!(benches);

@@ -1,0 +1,220 @@
+//! `simbench` — simulation-engine throughput benchmark.
+//!
+//! Measures the execution engine along the two axes this workspace
+//! optimises: the scalar reference vs the bitset propagation kernel
+//! (single-threaded), and 1 worker vs N workers through the batch runner.
+//! Every configuration runs the same seeds and the per-run results are
+//! checked to be identical before any timing is reported, so the numbers
+//! always describe equivalent work.
+//!
+//! ```text
+//! simbench [--quick] [--out FILE] [--runs N] [--jobs N]
+//! ```
+//!
+//! Writes a machine-readable summary (default `BENCH_simulator.json`) so
+//! the repository's performance trajectory is recorded per commit.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mis_beeping::{PropagationKernel, SimConfig};
+use mis_bench::gnp_mean_degree;
+use mis_core::{Algorithm, BatchReport, RunPlan};
+use mis_graph::Graph;
+
+struct Options {
+    quick: bool,
+    out: String,
+    runs: Option<usize>,
+    jobs: Option<usize>,
+}
+
+fn usage() -> &'static str {
+    "usage: simbench [--quick] [--out FILE] [--runs N] [--jobs N]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        quick: false,
+        out: "BENCH_simulator.json".to_owned(),
+        runs: None,
+        jobs: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => {
+                opts.out = it.next().ok_or("--out needs a file path")?.clone();
+            }
+            "--runs" => {
+                let v = it.next().ok_or("--runs needs a value")?;
+                let runs: usize = v.parse().map_err(|_| format!("bad run count {v:?}"))?;
+                if runs == 0 {
+                    return Err("--runs must be at least 1".to_owned());
+                }
+                opts.runs = Some(runs);
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                let jobs: usize = v.parse().map_err(|_| format!("bad job count {v:?}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_owned());
+                }
+                opts.jobs = Some(jobs);
+            }
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+/// Wall-clock milliseconds of one full batch execution.
+fn time_plan(plan: &RunPlan, graph: &Graph) -> (f64, BatchReport) {
+    let started = Instant::now();
+    let report = plan.execute(graph);
+    (started.elapsed().as_secs_f64() * 1e3, report)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // A 10k-node random graph, dense enough that beep propagation is a
+    // real cost. Quick mode shrinks everything so CI can smoke-test the
+    // pipeline in seconds.
+    let (n, mean_degree, runs, capped_rounds) = if opts.quick {
+        (2_000usize, 64.0, opts.runs.unwrap_or(2), 16u32)
+    } else {
+        (10_000usize, 256.0, opts.runs.unwrap_or(8), 48u32)
+    };
+    let jobs = opts.jobs.unwrap_or_else(mis_beeping::batch::auto_jobs);
+
+    eprintln!("simbench: building G({n}, d≈{mean_degree}) …");
+    let graph = gnp_mean_degree(n, mean_degree);
+    eprintln!(
+        "simbench: {} nodes, {} edges, mean degree {:.1}; {} runs, {} jobs",
+        graph.node_count(),
+        graph.edge_count(),
+        graph.mean_degree(),
+        runs,
+        jobs
+    );
+
+    // Workload 1 — kernel throughput: every node beeps with constant
+    // probability ½ for a fixed number of rounds (on a graph this dense
+    // nobody ever wins, so the beep density stays at ½ and the run
+    // measures steady-state propagation, the quantity the bitset kernel
+    // optimises).
+    let kernel_plan = |kernel: PropagationKernel| {
+        RunPlan::new(Algorithm::constant(0.5), runs)
+            .with_master_seed(0xBEEF)
+            .with_jobs(1)
+            .with_config(
+                SimConfig::default()
+                    .with_max_rounds(capped_rounds)
+                    .with_kernel(kernel),
+            )
+    };
+    // Workload 2 — end to end: full feedback-algorithm runs to
+    // termination, single-threaded per kernel plus the batch runner at
+    // `jobs` workers. Propagation is only part of this cost (the per-node
+    // automata dominate once beeps thin out), so its speedup is smaller.
+    let feedback_plan = |kernel: PropagationKernel, jobs: usize| {
+        RunPlan::new(Algorithm::feedback(), runs)
+            .with_master_seed(0xF00D)
+            .with_jobs(jobs)
+            .with_config(SimConfig::default().with_kernel(kernel))
+    };
+
+    // Warm-up, untimed.
+    let _ = RunPlan::new(Algorithm::feedback(), 1)
+        .with_config(SimConfig::default())
+        .execute(&graph);
+
+    eprintln!("simbench: kernel workload (constant ½, {capped_rounds} rounds) …");
+    let (kernel_scalar_ms, kernel_scalar) =
+        time_plan(&kernel_plan(PropagationKernel::Scalar), &graph);
+    eprintln!("  scalar 1-thread: {kernel_scalar_ms:.1} ms");
+    let (kernel_bitset_ms, kernel_bitset) =
+        time_plan(&kernel_plan(PropagationKernel::Bitset), &graph);
+    eprintln!("  bitset 1-thread: {kernel_bitset_ms:.1} ms");
+
+    eprintln!("simbench: end-to-end workload (feedback to termination) …");
+    let (fb_scalar_ms, fb_scalar) = time_plan(&feedback_plan(PropagationKernel::Scalar, 1), &graph);
+    eprintln!("  scalar 1-thread: {fb_scalar_ms:.1} ms");
+    let (fb_bitset_ms, fb_bitset) = time_plan(&feedback_plan(PropagationKernel::Bitset, 1), &graph);
+    eprintln!("  bitset 1-thread: {fb_bitset_ms:.1} ms");
+    // With one worker the batch is literally the 1-thread configuration —
+    // re-measuring it would only record timer noise as a "speedup".
+    let (fb_jobs_ms, fb_parallel) = if jobs > 1 {
+        let (ms, report) = time_plan(&feedback_plan(PropagationKernel::Bitset, jobs), &graph);
+        eprintln!("  bitset {jobs}-thread: {ms:.1} ms");
+        (ms, report)
+    } else {
+        (fb_bitset_ms, fb_bitset.clone())
+    };
+
+    // Equivalence gate: within each workload, every configuration must
+    // agree run for run before any timing is reported.
+    if kernel_scalar != kernel_bitset || fb_scalar != fb_bitset || fb_bitset != fb_parallel {
+        eprintln!("simbench: FATAL — kernel or thread count changed the results");
+        return ExitCode::FAILURE;
+    }
+
+    let bitset_speedup = kernel_scalar_ms / kernel_bitset_ms.max(1e-9);
+    let fb_speedup = fb_scalar_ms / fb_bitset_ms.max(1e-9);
+    let thread_speedup = fb_bitset_ms / fb_jobs_ms.max(1e-9);
+    eprintln!(
+        "simbench: bitset/scalar {bitset_speedup:.2}x on propagation, \
+         {fb_speedup:.2}x end-to-end; {jobs}-thread/1-thread {thread_speedup:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"simulator\",\n  \"mode\": \"{mode}\",\n  \
+         \"graph\": {{ \"family\": \"gnp\", \"nodes\": {nodes}, \"edges\": {edges}, \"mean_degree\": {md:.2} }},\n  \
+         \"runs\": {runs},\n  \
+         \"kernel_workload\": {{\n    \"algorithm\": \"constant(0.5)\",\n    \"rounds\": {capped},\n    \
+         \"scalar_1thread_ms\": {kscalar:.3},\n    \"bitset_1thread_ms\": {kbitset:.3},\n    \
+         \"speedup\": {kspeed:.3}\n  }},\n  \
+         \"feedback_workload\": {{\n    \"algorithm\": \"feedback\",\n    \"rounds_mean\": {rounds:.2},\n    \
+         \"scalar_1thread_ms\": {fscalar:.3},\n    \"bitset_1thread_ms\": {fbitset:.3},\n    \
+         \"speedup\": {fspeed:.3},\n    \
+         \"jobs\": {jobs},\n    \"bitset_jobs_ms\": {fjobs:.3},\n    \"thread_speedup\": {tspeed:.3}\n  }},\n  \
+         \"bitset_speedup\": {kspeed:.3},\n  \
+         \"outcomes_identical\": true\n}}\n",
+        mode = if opts.quick { "quick" } else { "full" },
+        nodes = graph.node_count(),
+        edges = graph.edge_count(),
+        md = graph.mean_degree(),
+        runs = runs,
+        capped = capped_rounds,
+        kscalar = kernel_scalar_ms,
+        kbitset = kernel_bitset_ms,
+        kspeed = bitset_speedup,
+        rounds = fb_scalar.rounds().mean(),
+        fscalar = fb_scalar_ms,
+        fbitset = fb_bitset_ms,
+        fspeed = fb_speedup,
+        jobs = jobs,
+        fjobs = fb_jobs_ms,
+        tspeed = thread_speedup,
+    );
+    match std::fs::File::create(&opts.out).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => {
+            eprintln!("wrote {}", opts.out);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", opts.out);
+            ExitCode::FAILURE
+        }
+    }
+}

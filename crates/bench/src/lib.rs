@@ -18,9 +18,25 @@ pub fn gnp_half(n: usize) -> Graph {
 }
 
 /// Deterministic sparse `G(n, 10/n)` fixture.
+///
+/// Kept at `p = 10/n` (not `10/(n−1)`) so the fixture graphs — and with
+/// them the cross-commit bench trajectory — stay identical to earlier
+/// revisions.
 #[must_use]
 pub fn gnp_sparse(n: usize) -> Graph {
     let p = (10.0 / n as f64).min(1.0);
+    generators::gnp(n, p, &mut SmallRng::seed_from_u64(0x5BA5 ^ n as u64))
+}
+
+/// Deterministic `G(n, d/(n−1))` fixture with mean degree ≈ `d` — the
+/// kernel-throughput workload (`simbench` and the simulator bench).
+#[must_use]
+pub fn gnp_mean_degree(n: usize, d: f64) -> Graph {
+    let p = if n > 1 {
+        (d / (n - 1) as f64).min(1.0)
+    } else {
+        0.0
+    };
     generators::gnp(n, p, &mut SmallRng::seed_from_u64(0x5BA5 ^ n as u64))
 }
 

@@ -21,6 +21,8 @@
 //!   Theorem 2: the measure `µ_t`, the light/heavy neighbourhood split and
 //!   the event classification (E1)–(E4).
 //! * [`solve_mis`] / [`Algorithm`] — one-call entry points.
+//! * [`RunPlan`] — batched multi-seed execution across worker threads with
+//!   streaming `mis-stats` aggregates (bit-identical for any job count).
 //!
 //! # Examples
 //!
@@ -41,6 +43,7 @@
 
 mod feedback;
 mod global;
+mod plan;
 mod run;
 mod schedule;
 pub mod theory;
@@ -48,6 +51,7 @@ pub mod verify;
 
 pub use feedback::{FeedbackConfig, FeedbackFactory, FeedbackProcess};
 pub use global::{GlobalScheduleFactory, GlobalScheduleProcess};
+pub use plan::{BatchReport, RunPlan, RunRecord};
 pub use run::{run_algorithm, solve_mis, solve_mis_with_config, Algorithm, MisResult, SolveError};
 pub use schedule::{
     ConstantSchedule, CustomSchedule, DecreasingSchedule, ProbabilitySchedule, ScienceSchedule,

@@ -1,0 +1,268 @@
+//! Run plans: batched multi-seed execution with streaming statistics.
+//!
+//! A [`RunPlan`] pairs an [`Algorithm`] with a seed range, a worker count
+//! and a [`SimConfig`], and executes the whole batch through
+//! [`mis_beeping::batch`]. Per-run results are reduced to compact
+//! [`RunRecord`]s inside the workers and folded into `mis-stats`
+//! [`OnlineStats`] aggregates, so thousand-run batches never hold every
+//! full [`RunOutcome`](mis_beeping::RunOutcome) in memory at once.
+//!
+//! The determinism contract is inherited from the batch engine: the
+//! records are bit-identical for any `jobs` value and match the
+//! single-run path seed for seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use mis_core::{Algorithm, RunPlan};
+//! use mis_graph::generators;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let g = generators::gnp(60, 0.3, &mut SmallRng::seed_from_u64(1));
+//! let report = RunPlan::new(Algorithm::feedback(), 20)
+//!     .with_master_seed(7)
+//!     .with_jobs(4)
+//!     .execute(&g);
+//! assert_eq!(report.records().len(), 20);
+//! assert_eq!(report.unterminated(), 0);
+//! println!(
+//!     "rounds: {:.1} ± {:.1}",
+//!     report.rounds().mean(),
+//!     report.rounds().std_dev()
+//! );
+//! ```
+
+use mis_beeping::batch::{parallel_indexed_map, BatchPlan};
+use mis_beeping::SimConfig;
+use mis_graph::Graph;
+use mis_stats::OnlineStats;
+
+use crate::{run_algorithm, Algorithm};
+
+/// The compact per-run result a [`RunPlan`] keeps: everything the
+/// statistical experiments consume, without per-node buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// The run's derived master seed (reproduces the run alone via
+    /// [`run_algorithm`](crate::run_algorithm)).
+    pub seed: u64,
+    /// Rounds executed.
+    pub rounds: u32,
+    /// Mean beeps per node (the paper's Figure 5 quantity).
+    pub mean_beeps_per_node: f64,
+    /// Size of the selected independent set. The membership itself is not
+    /// retained — on a million-node graph a thousand runs of `Vec<NodeId>`
+    /// would dominate memory; reproduce the run from [`seed`](Self::seed)
+    /// when the actual set is needed.
+    pub mis_size: usize,
+    /// Whether every node became inactive before the round cap.
+    pub terminated: bool,
+}
+
+/// A batched multi-seed execution of one algorithm on one graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunPlan {
+    /// The algorithm every run executes.
+    pub algorithm: Algorithm,
+    /// Master seed for the whole batch; run `i` derives its own seed.
+    pub master_seed: u64,
+    /// Number of independent runs.
+    pub runs: usize,
+    /// Worker thread count (`0` = one per available core). Never affects
+    /// the results, only the wall clock.
+    pub jobs: usize,
+    /// Simulator configuration shared by every run.
+    pub config: SimConfig,
+}
+
+impl RunPlan {
+    /// A plan running `algorithm` for `runs` independent seeds.
+    #[must_use]
+    pub fn new(algorithm: Algorithm, runs: usize) -> Self {
+        Self {
+            algorithm,
+            master_seed: 0,
+            runs,
+            jobs: 0,
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Sets the batch master seed.
+    #[must_use]
+    pub fn with_master_seed(mut self, master_seed: u64) -> Self {
+        self.master_seed = master_seed;
+        self
+    }
+
+    /// Sets the worker count (`0` = one per available core).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Replaces the shared simulator configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Executes every run and folds the results into a [`BatchReport`].
+    ///
+    /// Each run goes through [`run_algorithm`] — the same dispatch the
+    /// single-run path uses — so the two can never diverge.
+    #[must_use]
+    pub fn execute(&self, graph: &Graph) -> BatchReport {
+        let plan = BatchPlan::new(self.master_seed, self.runs).with_jobs(self.jobs);
+        let records = parallel_indexed_map(plan.runs, plan.effective_jobs(), |i| {
+            let seed = plan.run_seed(i);
+            let outcome = run_algorithm(graph, &self.algorithm, seed, self.config.clone());
+            RunRecord {
+                seed,
+                rounds: outcome.rounds(),
+                mean_beeps_per_node: outcome.metrics().mean_beeps_per_node(),
+                mis_size: outcome.mis().len(),
+                terminated: outcome.terminated(),
+            }
+        });
+        BatchReport::from_records(records)
+    }
+}
+
+/// Aggregated results of a [`RunPlan`]: per-seed [`RunRecord`]s plus
+/// streaming [`OnlineStats`] over the quantities the paper plots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    records: Vec<RunRecord>,
+    rounds: OnlineStats,
+    beeps_per_node: OnlineStats,
+    mis_size: OnlineStats,
+    unterminated: usize,
+}
+
+impl BatchReport {
+    fn from_records(records: Vec<RunRecord>) -> Self {
+        let mut rounds = OnlineStats::new();
+        let mut beeps = OnlineStats::new();
+        let mut mis_size = OnlineStats::new();
+        let mut unterminated = 0;
+        for r in &records {
+            rounds.push(f64::from(r.rounds));
+            beeps.push(r.mean_beeps_per_node);
+            mis_size.push(r.mis_size as f64);
+            unterminated += usize::from(!r.terminated);
+        }
+        Self {
+            records,
+            rounds,
+            beeps_per_node: beeps,
+            mis_size,
+            unterminated,
+        }
+    }
+
+    /// Per-seed records, in seed order.
+    #[must_use]
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// Statistics of the round counts across runs.
+    #[must_use]
+    pub fn rounds(&self) -> &OnlineStats {
+        &self.rounds
+    }
+
+    /// Statistics of mean-beeps-per-node across runs (Figure 5's y-axis).
+    #[must_use]
+    pub fn beeps_per_node(&self) -> &OnlineStats {
+        &self.beeps_per_node
+    }
+
+    /// Statistics of the selected MIS sizes across runs.
+    #[must_use]
+    pub fn mis_size(&self) -> &OnlineStats {
+        &self.mis_size
+    }
+
+    /// Number of runs that hit the round cap without terminating.
+    #[must_use]
+    pub fn unterminated(&self) -> usize {
+        self.unterminated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CustomSchedule;
+    use mis_graph::generators;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn report_matches_single_run_path_for_every_job_count() {
+        let g = generators::gnp(50, 0.3, &mut SmallRng::seed_from_u64(2));
+        let base = RunPlan::new(Algorithm::feedback(), 8).with_master_seed(11);
+        let reference = base.clone().with_jobs(1).execute(&g);
+        for jobs in [2, 4] {
+            let parallel = base.clone().with_jobs(jobs).execute(&g);
+            assert_eq!(parallel, reference, "jobs = {jobs}");
+        }
+        // Seed for seed, the records reproduce the plain single-run path.
+        for record in reference.records() {
+            let solo = run_algorithm(&g, &base.algorithm, record.seed, SimConfig::default());
+            assert_eq!(record.rounds, solo.rounds());
+            assert_eq!(record.mis_size, solo.mis().len());
+            assert_eq!(record.terminated, solo.terminated());
+        }
+    }
+
+    #[test]
+    fn aggregates_fold_every_run() {
+        let g = generators::cycle(40);
+        let report = RunPlan::new(Algorithm::sweep(), 12)
+            .with_master_seed(3)
+            .execute(&g);
+        assert_eq!(report.records().len(), 12);
+        assert_eq!(report.rounds().count(), 12);
+        assert_eq!(report.beeps_per_node().count(), 12);
+        assert_eq!(report.mis_size().count(), 12);
+        assert_eq!(report.unterminated(), 0);
+        assert!(report.rounds().mean() >= 1.0);
+        assert!(report.mis_size().mean() >= (40.0f64 / 3.0).floor());
+    }
+
+    #[test]
+    fn every_algorithm_executes_in_batch() {
+        let g = generators::grid2d(5, 5);
+        for algo in [
+            Algorithm::feedback(),
+            Algorithm::sweep(),
+            Algorithm::science(),
+            Algorithm::constant(0.3),
+            Algorithm::Custom(CustomSchedule::new(
+                vec![1.0, 0.5, 0.25],
+                crate::TailBehavior::Cycle,
+            )),
+        ] {
+            let report = RunPlan::new(algo.clone(), 4)
+                .with_master_seed(9)
+                .with_jobs(2)
+                .execute(&g);
+            assert_eq!(report.records().len(), 4, "{}", algo.name());
+            assert_eq!(report.unterminated(), 0, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn round_cap_shows_up_as_unterminated() {
+        let g = generators::complete(2);
+        let report = RunPlan::new(Algorithm::constant(1.0), 3)
+            .with_config(SimConfig::default().with_max_rounds(20))
+            .execute(&g);
+        assert_eq!(report.unterminated(), 3);
+        assert!(report.records().iter().all(|r| r.rounds == 20));
+    }
+}

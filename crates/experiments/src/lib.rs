@@ -44,4 +44,4 @@ pub mod sop;
 pub mod tails;
 
 pub use report::Report;
-pub use runner::{run_trials, SeriesPoint};
+pub use runner::{default_jobs, run_trials, run_trials_with_jobs, set_default_jobs, SeriesPoint};

@@ -1,7 +1,7 @@
 //! `xp` — the experiment driver.
 //!
 //! ```text
-//! xp <experiment> [--quick] [--seed N] [--trials N] [--science] [--out FILE]
+//! xp <experiment> [--quick] [--seed N] [--trials N] [--jobs N] [--science] [--out FILE]
 //!
 //! experiments:
 //!   fig3         Figure 3: rounds vs n on G(n, ½)
@@ -34,13 +34,14 @@ struct Options {
     quick: bool,
     seed: Option<u64>,
     trials: Option<usize>,
+    jobs: Option<usize>,
     science: bool,
     out: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: xp <fig3|fig5|grid|lower-bound|tails|robustness|faults|race|quality|decay|apps|sop|potential|all> \
-     [--quick] [--seed N] [--trials N] [--science] [--out FILE]"
+     [--quick] [--seed N] [--trials N] [--jobs N] [--science] [--out FILE]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -51,6 +52,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         quick: false,
         seed: None,
         trials: None,
+        jobs: None,
         science: false,
         out: None,
     };
@@ -65,6 +67,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--trials" => {
                 let v = it.next().ok_or("--trials needs a value")?;
                 opts.trials = Some(v.parse().map_err(|_| format!("bad trial count {v:?}"))?);
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                let jobs: usize = v.parse().map_err(|_| format!("bad job count {v:?}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_owned());
+                }
+                opts.jobs = Some(jobs);
             }
             "--out" => {
                 let v = it.next().ok_or("--out needs a file path")?;
@@ -342,6 +352,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(jobs) = opts.jobs {
+        mis_experiments::set_default_jobs(jobs);
+        eprintln!("running trials on {jobs} worker thread(s)");
+    }
 
     type Runner = fn(&Options) -> (String, String);
     let plan: Vec<Runner> = match opts.experiment.as_str() {
@@ -413,13 +427,26 @@ mod tests {
 
     #[test]
     fn parses_experiment_and_flags() {
-        let opts = parse(&["fig3", "--quick", "--seed", "9", "--trials", "12"]).unwrap();
+        let opts = parse(&[
+            "fig3", "--quick", "--seed", "9", "--trials", "12", "--jobs", "4",
+        ])
+        .unwrap();
         assert_eq!(opts.experiment, "fig3");
         assert!(opts.quick);
         assert_eq!(opts.seed, Some(9));
         assert_eq!(opts.trials, Some(12));
+        assert_eq!(opts.jobs, Some(4));
         assert!(!opts.science);
         assert_eq!(opts.out, None);
+    }
+
+    #[test]
+    fn rejects_zero_jobs() {
+        assert!(parse(&["fig3", "--jobs", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&["fig3", "--jobs"]).is_err());
+        assert!(parse(&["fig3", "--jobs", "many"]).is_err());
     }
 
     #[test]

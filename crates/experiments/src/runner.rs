@@ -1,11 +1,41 @@
 //! Deterministic multi-trial execution.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mis_beeping::batch::{auto_jobs, parallel_indexed_map};
 use mis_beeping::rng::trial_seed;
 use mis_stats::OnlineStats;
 
+/// Worker-count override installed by [`set_default_jobs`] (`0` = one
+/// worker per available core).
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker count every subsequent [`run_trials`] call uses
+/// (`xp --jobs N` calls this once at startup). Pass `0` to restore the
+/// default of one worker per available core.
+///
+/// Results never depend on this value — it only tunes the wall clock.
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The worker count [`run_trials`] resolves to right now: the
+/// [`set_default_jobs`] override if one is installed, otherwise one worker
+/// per available core.
+#[must_use]
+pub fn default_jobs() -> usize {
+    let jobs = DEFAULT_JOBS.load(Ordering::Relaxed);
+    if jobs > 0 {
+        jobs
+    } else {
+        auto_jobs()
+    }
+}
+
 /// Runs `trials` independent trials of `f`, each with its own derived
-/// seed, spreading work across available cores. Results come back in trial
-/// order, so downstream statistics are independent of the thread count.
+/// seed, spreading work across [`default_jobs`] workers. Results come back
+/// in trial order, so downstream statistics are independent of the thread
+/// count.
 ///
 /// # Examples
 ///
@@ -19,32 +49,21 @@ where
     T: Send,
     F: Fn(u64, usize) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(trials.max(1));
-    if threads <= 1 || trials <= 1 {
-        return (0..trials)
-            .map(|i| f(trial_seed(master_seed, i as u64), i))
-            .collect();
-    }
-    let mut results: Vec<Option<T>> = (0..trials).map(|_| None).collect();
-    let chunk = trials.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                for (j, slot) in slot_chunk.iter_mut().enumerate() {
-                    let i = t * chunk + j;
-                    *slot = Some(f(trial_seed(master_seed, i as u64), i));
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every trial slot is filled"))
-        .collect()
+    run_trials_with_jobs(trials, master_seed, default_jobs(), f)
+}
+
+/// [`run_trials`] with an explicit worker count (`0` = one per available
+/// core), bypassing the process-wide [`set_default_jobs`] override.
+///
+/// Use this from embedders that run several harnesses in one process and
+/// must not couple through the global default.
+pub fn run_trials_with_jobs<T, F>(trials: usize, master_seed: u64, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64, usize) -> T + Sync,
+{
+    let jobs = if jobs == 0 { auto_jobs() } else { jobs };
+    parallel_indexed_map(trials, jobs, |i| f(trial_seed(master_seed, i as u64), i))
 }
 
 /// One point of a measured series: an x-value (usually `n`) with the
@@ -103,6 +122,34 @@ mod tests {
     fn zero_trials() {
         let v: Vec<u64> = run_trials(0, 1, |seed, _| seed);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn results_are_identical_for_any_job_count() {
+        // Worker count must never leak into the results, only the wall
+        // clock.
+        let reference = run_trials(17, 9, |seed, idx| (idx, seed));
+        for jobs in [1, 2, 5] {
+            let got = run_trials_with_jobs(17, 9, jobs, |seed, idx| (idx, seed));
+            assert_eq!(got, reference, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn default_jobs_override_round_trips() {
+        // Restore the process-wide default even if an assertion fails, so
+        // a failure here cannot leak a stale override into other tests.
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                set_default_jobs(0);
+            }
+        }
+        let _restore = Restore;
+        set_default_jobs(3);
+        assert_eq!(default_jobs(), 3);
+        set_default_jobs(0);
+        assert!(default_jobs() >= 1);
     }
 
     #[test]

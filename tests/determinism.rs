@@ -1,7 +1,9 @@
 //! Reproducibility: everything is a pure function of its seeds.
 
 use beeping_mis::baselines::{LubyPriorityFactory, MessageSimulator};
-use beeping_mis::core::{solve_mis, Algorithm};
+use beeping_mis::beeping::batch::{run_batch, BatchPlan};
+use beeping_mis::beeping::{SimConfig, Simulator};
+use beeping_mis::core::{run_algorithm, solve_mis, Algorithm, FeedbackFactory, RunPlan};
 use beeping_mis::experiments::{fig5, run_trials};
 use beeping_mis::graph::generators;
 use rand::{rngs::SmallRng, SeedableRng};
@@ -61,6 +63,40 @@ fn message_runtime_repeats_exactly() {
     let a = MessageSimulator::new(&g, &LubyPriorityFactory::new(), 17).run(10_000);
     let b = MessageSimulator::new(&g, &LubyPriorityFactory::new(), 17).run(10_000);
     assert_eq!(a, b);
+}
+
+#[test]
+fn batch_runs_are_identical_for_any_job_count() {
+    // The tentpole determinism contract: a batch at --jobs 4 yields
+    // exactly the same per-seed RunOutcomes (rounds, beeps, MIS
+    // membership) as --jobs 1 and as the existing single-run path.
+    let g = generators::gnp(60, 0.25, &mut SmallRng::seed_from_u64(14));
+    let factory = FeedbackFactory::new();
+    let sequential = run_batch(&g, &factory, &BatchPlan::new(21, 12).with_jobs(1));
+    let parallel = run_batch(&g, &factory, &BatchPlan::new(21, 12).with_jobs(4));
+    assert_eq!(sequential, parallel);
+    for (i, outcome) in sequential.iter().enumerate() {
+        let plan = BatchPlan::new(21, 12);
+        let solo = Simulator::new(&g, &factory, plan.run_seed(i), SimConfig::default()).run();
+        assert_eq!(*outcome, solo, "run {i} differs from the single-run path");
+        assert_eq!(outcome.mis(), solo.mis());
+        assert_eq!(outcome.metrics().beeps, solo.metrics().beeps);
+    }
+}
+
+#[test]
+fn run_plan_reports_are_identical_for_any_job_count() {
+    let g = generators::grid2d(8, 9);
+    let base = RunPlan::new(Algorithm::feedback(), 10).with_master_seed(33);
+    let one = base.clone().with_jobs(1).execute(&g);
+    let four = base.clone().with_jobs(4).execute(&g);
+    assert_eq!(one, four);
+    // And each record reproduces the plain single-run path seed for seed.
+    for record in one.records() {
+        let solo = run_algorithm(&g, &base.algorithm, record.seed, SimConfig::default());
+        assert_eq!(record.rounds, solo.rounds());
+        assert_eq!(record.mis_size, solo.mis().len());
+    }
 }
 
 #[test]

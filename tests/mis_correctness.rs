@@ -110,6 +110,81 @@ fn mis_sizes_are_within_known_bounds() {
 }
 
 #[test]
+fn edge_case_empty_graph_selects_nothing() {
+    let g = Graph::empty(0);
+    for algo in [Algorithm::feedback(), Algorithm::sweep()] {
+        let result = solve_mis(&g, &algo, 0).unwrap();
+        assert!(result.mis().is_empty());
+        assert_eq!(result.rounds(), 0);
+        assert_eq!(result.mean_beeps_per_node(), 0.0);
+    }
+}
+
+#[test]
+fn edge_case_single_node_always_joins() {
+    let g = Graph::empty(1);
+    for seed in 0..8 {
+        let result = solve_mis(&g, &Algorithm::feedback(), seed).unwrap();
+        assert_eq!(result.mis(), &[0]);
+    }
+}
+
+#[test]
+fn edge_case_isolated_nodes_all_join() {
+    // With no edges, every node is its own component: the MIS must be the
+    // whole vertex set, whatever the seed.
+    let g = Graph::empty(9);
+    for seed in 0..4 {
+        let result = solve_mis(&g, &Algorithm::feedback(), seed).unwrap();
+        assert_eq!(result.mis(), &[0, 1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+}
+
+#[test]
+fn edge_case_disconnected_components_solve_independently() {
+    use beeping_mis::graph::ops;
+    // K6 ⊎ 3 isolated nodes ⊎ C9 ⊎ P4: a valid MIS of the union restricts
+    // to a valid MIS of every component, and isolated nodes always join.
+    let parts = [
+        generators::complete(6),
+        Graph::empty(3),
+        generators::cycle(9),
+        generators::path(4),
+    ];
+    let g = ops::disjoint_union(&parts);
+    for seed in 0..4 {
+        let result = solve_mis(&g, &Algorithm::feedback(), seed).unwrap();
+        check_mis(&g, result.mis()).unwrap();
+        let mut offset = 0u32;
+        for part in &parts {
+            let size = part.node_count() as u32;
+            let ids: Vec<u32> = (offset..offset + size).collect();
+            let component = ops::induced_subgraph(&g, &ids);
+            let local: Vec<u32> = result
+                .mis()
+                .iter()
+                .filter(|&&v| v >= offset && v < offset + size)
+                .map(|&v| v - offset)
+                .collect();
+            check_mis(&component, &local).unwrap_or_else(|e| {
+                panic!("component at offset {offset} (seed {seed}): {e}");
+            });
+            offset += size;
+        }
+        // The K6 contributes exactly one node; the isolated trio all join.
+        let in_k6 = result.mis().iter().filter(|&&v| v < 6).count();
+        assert_eq!(in_k6, 1);
+        let isolated: Vec<u32> = result
+            .mis()
+            .iter()
+            .copied()
+            .filter(|&v| (6..9).contains(&v))
+            .collect();
+        assert_eq!(isolated, vec![6, 7, 8]);
+    }
+}
+
+#[test]
 fn distributed_mis_never_beats_exact_maximum() {
     use beeping_mis::baselines::exact::maximum_independent_set;
     let mut rng = SmallRng::seed_from_u64(0x3147);

@@ -108,6 +108,62 @@ proptest! {
     }
 }
 
+/// Empty graph: the run is over before it starts — zero rounds, empty
+/// metrics and trace, terminated.
+#[test]
+fn empty_graph_invariants() {
+    use beeping_mis::graph::Graph;
+    let cfg = SimConfig::default().with_trace(TraceLevel::Rounds);
+    let outcome = run_algorithm(&Graph::empty(0), &Algorithm::feedback(), 3, cfg);
+    assert!(outcome.terminated());
+    assert_eq!(outcome.rounds(), 0);
+    assert!(outcome.mis().is_empty());
+    assert!(outcome.statuses().is_empty());
+    assert_eq!(outcome.trace().len(), 0);
+    assert_eq!(outcome.metrics().total_beeps(), 0);
+}
+
+/// Single node: joins in round one having heard nothing, with exactly one
+/// beep and two raw signals.
+#[test]
+fn single_node_invariants() {
+    use beeping_mis::graph::Graph;
+    let outcome = run_algorithm(
+        &Graph::empty(1),
+        &Algorithm::feedback(),
+        9,
+        SimConfig::default(),
+    );
+    assert!(outcome.terminated());
+    assert_eq!(outcome.mis(), vec![0]);
+    assert_eq!(outcome.statuses(), &[NodeStatus::InMis]);
+    assert_eq!(outcome.metrics().beeps[0], 1);
+    assert_eq!(outcome.metrics().signals[0], 2);
+}
+
+/// Disconnected components never hear each other: an isolated node's
+/// `heard` flag stays false in every round of every run.
+#[test]
+fn isolated_nodes_never_hear() {
+    use beeping_mis::graph::ops;
+    use beeping_mis::graph::Graph;
+    let g = ops::disjoint_union(&[generators::complete(8), Graph::empty(4)]);
+    let factory = FeedbackFactory::new();
+    for seed in 0..4 {
+        let outcome =
+            Simulator::new(&g, &factory, seed, SimConfig::default()).run_with_observer(|view| {
+                for v in 8..12 {
+                    assert!(!view.heard[v], "isolated node {v} heard a beep");
+                }
+            });
+        assert!(outcome.terminated());
+        // All four isolated nodes must end in the MIS.
+        for v in 8..12u32 {
+            assert!(outcome.mis().contains(&v));
+        }
+    }
+}
+
 /// Heartbeat signals are charged to the heartbeat counter, never to the
 /// per-node algorithm metrics.
 #[test]
