@@ -18,9 +18,13 @@
 //!
 //! These run on [`MessageSimulator`], a synchronous runtime where each
 //! round has two broadcast sub-rounds (value exchange, then join
-//! announcements) and every message's size in bits is accounted, so the
-//! message/bit complexities of beeping and messaging algorithms can be
-//! compared on the same workloads.
+//! announcements), inboxes are delivered in ascending neighbour id order
+//! out of an arena buffer, and every message's size in bits is accounted,
+//! so the message/bit complexities of beeping and messaging algorithms can
+//! be compared on the same workloads. [`MessageEngine`] adapts the runtime
+//! to `mis_core`'s [`Engine`](mis_core::engine::Engine) abstraction, so
+//! the baselines run through the same deterministic `--jobs N` batch path
+//! ([`RunPlan`](mis_core::RunPlan)) as the beeping algorithms.
 //!
 //! # Examples
 //!
@@ -43,15 +47,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 pub mod exact;
 mod greedy_local;
 mod luby;
 mod metivier;
 mod runtime;
 
+pub use engine::{MessageEngine, MessageRunRecord, DEFAULT_MESSAGE_ROUND_CAP};
 pub use greedy_local::{GreedyLocalFactory, GreedyLocalProcess, GreedyMsg};
 pub use luby::{LubyMarkingFactory, LubyMarkingProcess, LubyPriorityFactory, LubyPriorityProcess};
 pub use metivier::{MetivierFactory, MetivierProcess};
 pub use runtime::{
-    MessageFactory, MessageMetrics, MessageProcess, MessageSimulator, MsgRunOutcome,
+    InboxStrategy, MessageFactory, MessageMetrics, MessageProcess, MessageSimulator, MsgRunOutcome,
 };

@@ -4,6 +4,16 @@
 //! their neighbours and receive full inboxes (one message per active
 //! neighbour). Each round has two broadcast sub-rounds mirroring the
 //! beeping simulator's two exchanges, so round counts are comparable.
+//!
+//! # Delivery order
+//!
+//! Inboxes are delivered in **ascending neighbour id order** — a pinned
+//! part of the runtime contract (see [`InboxStrategy`]), so algorithms
+//! whose decisions scan their inbox left to right are deterministic by
+//! construction. Delivery walks the graph's sorted CSR neighbour lists
+//! into one arena buffer reused across sub-rounds; the pre-arena
+//! fresh-`Vec` path is kept as [`InboxStrategy::FreshVecs`] for
+//! equivalence tests and benchmarking.
 
 use rand::rngs::SmallRng;
 
@@ -19,12 +29,15 @@ pub trait MessageProcess {
     /// Sub-round 1: optionally broadcast a message to all neighbours.
     fn broadcast1(&mut self, rng: &mut SmallRng) -> Option<Self::Msg>;
 
-    /// Sub-round 2: receive the messages of active neighbours (in
-    /// unspecified order) and optionally broadcast a second message
-    /// (typically a join announcement).
+    /// Sub-round 2: receive the messages of active neighbours — delivered
+    /// in ascending neighbour id order, a pinned contract of the runtime —
+    /// and optionally broadcast a second message (typically a join
+    /// announcement).
     fn broadcast2(&mut self, inbox: &[Self::Msg]) -> Option<Self::Msg>;
 
-    /// End of round: receive the second-sub-round inbox and decide.
+    /// End of round: receive the second-sub-round inbox (ascending
+    /// neighbour id order, like [`broadcast2`](Self::broadcast2)) and
+    /// decide.
     fn decide(&mut self, inbox: &[Self::Msg]) -> Verdict;
 
     /// Size in bits of a message on the wire (for bit-complexity
@@ -118,12 +131,34 @@ impl MsgRunOutcome {
     }
 }
 
+/// How [`MessageSimulator`] materialises per-node inboxes.
+///
+/// Both strategies deliver the same messages in the same (ascending
+/// neighbour id) order, so run outcomes are **bit-identical** — only
+/// allocation behaviour and speed differ. `simbench --suite baselines`
+/// and the `message_runtime` criterion group time the two against each
+/// other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InboxStrategy {
+    /// One arena buffer, reused across sub-rounds, holding every node's
+    /// inbox as a fixed slice laid out in CSR order (the default). Zero
+    /// steady-state allocations and a single fused delivery/accounting
+    /// pass per sub-round.
+    #[default]
+    Arena,
+    /// A fresh `Vec` inbox per node per sub-round plus a separate
+    /// accounting pass — the pre-arena reference implementation, kept for
+    /// equivalence tests and as the benchmark baseline.
+    FreshVecs,
+}
+
 /// Synchronous message-passing engine (reliable network, static topology).
 pub struct MessageSimulator<'g, F: MessageFactory> {
     graph: &'g Graph,
     processes: Vec<F::Process>,
     status: Vec<NodeStatus>,
     rngs: Vec<SmallRng>,
+    strategy: InboxStrategy,
 }
 
 impl<'g, F: MessageFactory> MessageSimulator<'g, F> {
@@ -146,7 +181,16 @@ impl<'g, F: MessageFactory> MessageSimulator<'g, F> {
             processes,
             status,
             rngs,
+            strategy: InboxStrategy::default(),
         }
+    }
+
+    /// Selects the [`InboxStrategy`] (default [`InboxStrategy::Arena`]).
+    /// Never affects the results, only the wall clock.
+    #[must_use]
+    pub fn with_inbox_strategy(mut self, strategy: InboxStrategy) -> Self {
+        self.strategy = strategy;
+        self
     }
 
     /// Runs until every node is inactive or `max_rounds` is hit.
@@ -155,8 +199,125 @@ impl<'g, F: MessageFactory> MessageSimulator<'g, F> {
     ///
     /// Panics if `max_rounds` is zero.
     #[must_use]
-    pub fn run(mut self, max_rounds: u32) -> MsgRunOutcome {
+    pub fn run(self, max_rounds: u32) -> MsgRunOutcome {
         assert!(max_rounds > 0, "round cap must be positive");
+        match self.strategy {
+            InboxStrategy::Arena => self.run_arena(max_rounds),
+            InboxStrategy::FreshVecs => self.run_fresh_vecs(max_rounds),
+        }
+    }
+
+    /// The arena path: inboxes are materialised out of reused buffers —
+    /// one cache-hot scratch inbox shared by every receiver in the dense
+    /// (pull) direction, fixed per-node arena slices in the sparse (push)
+    /// direction — so steady-state delivery allocates nothing and the
+    /// accounting rides the same pass.
+    fn run_arena(mut self, max_rounds: u32) -> MsgRunOutcome {
+        let graph = self.graph;
+        let n = graph.node_count();
+        let mut metrics = MessageMetrics::default();
+        let mut outbox1: Vec<Option<<F::Process as MessageProcess>::Msg>> = vec![None; n];
+        let mut outbox2: Vec<Option<<F::Process as MessageProcess>::Msg>> = vec![None; n];
+        // Pull direction: one inbox buffer reused by every receiver, so
+        // each delivery + consumption happens in cache and the buffer
+        // stops reallocating once it has seen the largest degree.
+        let mut inbox: Vec<<F::Process as MessageProcess>::Msg> = Vec::new();
+        // Push direction: all inboxes laid out as fixed per-node slices
+        // (`spans[v]..spans[v + 1]` indexes `arena` for node v).
+        let mut arena: Vec<<F::Process as MessageProcess>::Msg> = Vec::new();
+        let mut spans: Vec<usize> = vec![0; n + 1];
+        let mut cursors: Vec<usize> = vec![0; n];
+        let mut remaining = n;
+        let mut rounds = 0u32;
+        let mut delivered = 0u64;
+        let mut bits = 0u64;
+
+        while remaining > 0 && rounds < max_rounds {
+            // Sub-round 1 broadcasts.
+            for (v, out) in outbox1.iter_mut().enumerate() {
+                *out = if self.status[v] == NodeStatus::Active {
+                    self.processes[v].broadcast1(&mut self.rngs[v])
+                } else {
+                    None
+                };
+            }
+
+            // Sub-round 2: deliver the first inboxes, collect second
+            // broadcasts.
+            if push_wins(&outbox1, remaining) {
+                push_deliver::<F>(
+                    graph,
+                    &self.status,
+                    &outbox1,
+                    (&mut arena, &mut spans, &mut cursors),
+                    (&mut delivered, &mut bits),
+                );
+                for (v, out) in outbox2.iter_mut().enumerate() {
+                    *out = if self.status[v] == NodeStatus::Active {
+                        self.processes[v].broadcast2(&arena[spans[v]..spans[v + 1]])
+                    } else {
+                        None
+                    };
+                }
+            } else {
+                for (v, out) in outbox2.iter_mut().enumerate() {
+                    *out = if self.status[v] == NodeStatus::Active {
+                        pull_inbox::<F>(graph, v as NodeId, &outbox1, &mut inbox);
+                        account_inbox::<F>(&inbox, &mut delivered, &mut bits);
+                        self.processes[v].broadcast2(&inbox)
+                    } else {
+                        None
+                    };
+                }
+            }
+
+            // Decisions from the second inboxes.
+            if push_wins(&outbox2, remaining) {
+                push_deliver::<F>(
+                    graph,
+                    &self.status,
+                    &outbox2,
+                    (&mut arena, &mut spans, &mut cursors),
+                    (&mut delivered, &mut bits),
+                );
+                for v in 0..n {
+                    if self.status[v] != NodeStatus::Active {
+                        continue;
+                    }
+                    let verdict = self.processes[v].decide(&arena[spans[v]..spans[v + 1]]);
+                    apply_verdict(verdict, &mut self.status[v], &mut remaining);
+                }
+            } else {
+                for v in 0..n {
+                    if self.status[v] != NodeStatus::Active {
+                        continue;
+                    }
+                    pull_inbox::<F>(graph, v as NodeId, &outbox2, &mut inbox);
+                    account_inbox::<F>(&inbox, &mut delivered, &mut bits);
+                    let verdict = self.processes[v].decide(&inbox);
+                    apply_verdict(verdict, &mut self.status[v], &mut remaining);
+                }
+            }
+            rounds += 1;
+        }
+
+        metrics.messages_delivered = delivered;
+        metrics.bits_total = bits;
+        for p in &self.processes {
+            metrics.bits_total += p.bits_consumed();
+        }
+        MsgRunOutcome {
+            statuses: self.status,
+            rounds,
+            terminated: remaining == 0,
+            metrics,
+        }
+    }
+
+    /// The pre-arena reference path: fresh per-node `Vec` inboxes every
+    /// sub-round plus a separate accounting pass. Kept verbatim so the
+    /// arena path can be proven bit-identical and benchmarked against it.
+    fn run_fresh_vecs(mut self, max_rounds: u32) -> MsgRunOutcome {
         let n = self.graph.node_count();
         let mut metrics = MessageMetrics::default();
         let mut outbox1: Vec<Option<<F::Process as MessageProcess>::Msg>> = vec![None; n];
@@ -178,7 +339,7 @@ impl<'g, F: MessageFactory> MessageSimulator<'g, F> {
             // Sub-round 2: deliver inboxes, collect second broadcasts.
             for (v, out) in outbox2.iter_mut().enumerate() {
                 *out = if self.status[v] == NodeStatus::Active {
-                    let inbox = self.collect_inbox(v as NodeId, &outbox1);
+                    let inbox = Self::collect_inbox(self.graph, v as NodeId, &outbox1);
                     self.processes[v].broadcast2(&inbox)
                 } else {
                     None
@@ -191,18 +352,9 @@ impl<'g, F: MessageFactory> MessageSimulator<'g, F> {
                 if self.status[v] != NodeStatus::Active {
                     continue;
                 }
-                let inbox = self.collect_inbox(v as NodeId, &outbox2);
-                match self.processes[v].decide(&inbox) {
-                    Verdict::Continue => {}
-                    Verdict::JoinMis => {
-                        self.status[v] = NodeStatus::InMis;
-                        remaining -= 1;
-                    }
-                    Verdict::Covered => {
-                        self.status[v] = NodeStatus::Covered;
-                        remaining -= 1;
-                    }
-                }
+                let inbox = Self::collect_inbox(self.graph, v as NodeId, &outbox2);
+                let verdict = self.processes[v].decide(&inbox);
+                apply_verdict(verdict, &mut self.status[v], &mut remaining);
             }
             rounds += 1;
         }
@@ -218,12 +370,14 @@ impl<'g, F: MessageFactory> MessageSimulator<'g, F> {
         }
     }
 
+    /// Fresh-`Vec` inbox collection (ascending neighbour id order — the
+    /// CSR lists are sorted, so both strategies share the pinned order).
     fn collect_inbox(
-        &self,
+        graph: &Graph,
         v: NodeId,
         outbox: &[Option<<F::Process as MessageProcess>::Msg>],
     ) -> Vec<<F::Process as MessageProcess>::Msg> {
-        self.graph
+        graph
             .neighbors(v)
             .iter()
             .filter_map(|&u| outbox[u as usize].clone())
@@ -246,6 +400,114 @@ impl<'g, F: MessageFactory> MessageSimulator<'g, F> {
                 .count() as u64;
             metrics.messages_delivered += recipients;
             metrics.bits_total += recipients * F::Process::message_bits(msg);
+        }
+    }
+}
+
+/// Shorthand for the message type of a factory's process.
+type MsgOf<F> = <<F as MessageFactory>::Process as MessageProcess>::Msg;
+
+/// Applies one node's end-of-round [`Verdict`] — shared by every delivery
+/// path so the status transitions can never diverge between them.
+fn apply_verdict(verdict: Verdict, status: &mut NodeStatus, remaining: &mut usize) {
+    match verdict {
+        Verdict::Continue => {}
+        Verdict::JoinMis => {
+            *status = NodeStatus::InMis;
+            *remaining -= 1;
+        }
+        Verdict::Covered => {
+            *status = NodeStatus::Covered;
+            *remaining -= 1;
+        }
+    }
+}
+
+/// Sender-density threshold for the arena delivery direction: with fewer
+/// than `active / PUSH_CROSSOVER` senders, push from each sender instead
+/// of scanning every active receiver's full neighbour list. Both
+/// directions produce identical inboxes (ascending sender id); this only
+/// tunes speed — the same lever the beeping simulator's bitset kernel
+/// pulls per exchange.
+const PUSH_CROSSOVER: usize = 4;
+
+/// Whether the sparse (push) delivery direction wins for this outbox.
+fn push_wins<M>(outbox: &[Option<M>], active: usize) -> bool {
+    let senders = outbox.iter().filter(|o| o.is_some()).count();
+    senders * PUSH_CROSSOVER < active
+}
+
+/// Pull direction: rebuilds `inbox` (a buffer reused across receivers)
+/// with the messages v's neighbours broadcast, in ascending neighbour id
+/// order — the pinned delivery contract.
+fn pull_inbox<F: MessageFactory>(
+    graph: &Graph,
+    v: NodeId,
+    outbox: &[Option<MsgOf<F>>],
+    inbox: &mut Vec<MsgOf<F>>,
+) {
+    inbox.clear();
+    for &u in graph.neighbors(v) {
+        if let Some(msg) = &outbox[u as usize] {
+            inbox.push(msg.clone());
+        }
+    }
+}
+
+/// Accounts one delivered inbox (each message reached one active
+/// receiver).
+fn account_inbox<F: MessageFactory>(inbox: &[MsgOf<F>], delivered: &mut u64, bits: &mut u64) {
+    *delivered += inbox.len() as u64;
+    for msg in inbox {
+        *bits += F::Process::message_bits(msg);
+    }
+}
+
+/// Push direction: materialises **all** active receivers' inboxes as fixed
+/// per-node slices of `arena` (`spans[v]..spans[v + 1]`), walking only the
+/// senders' neighbour lists — a counting pass sizes each slice, a prefix
+/// sum lays them out, and a second pass over the senders (ascending id, so
+/// the pinned delivery order is preserved) fills them. Accounting rides
+/// the counting pass.
+fn push_deliver<F: MessageFactory>(
+    graph: &Graph,
+    status: &[NodeStatus],
+    outbox: &[Option<MsgOf<F>>],
+    (arena, spans, cursors): (&mut Vec<MsgOf<F>>, &mut [usize], &mut [usize]),
+    (delivered, bits): (&mut u64, &mut u64),
+) {
+    let n = status.len();
+    arena.clear();
+    cursors.fill(0);
+    let mut filler: Option<&MsgOf<F>> = None;
+    for (u, slot) in outbox.iter().enumerate() {
+        let Some(msg) = slot else { continue };
+        filler = Some(msg);
+        let msg_bits = F::Process::message_bits(msg);
+        for &v in graph.neighbors(u as NodeId) {
+            if status[v as usize] == NodeStatus::Active {
+                cursors[v as usize] += 1;
+                *delivered += 1;
+                *bits += msg_bits;
+            }
+        }
+    }
+    // Lay the slices out; reuse `cursors` as per-receiver fill positions.
+    spans[0] = 0;
+    for v in 0..n {
+        spans[v + 1] = spans[v] + cursors[v];
+        cursors[v] = spans[v];
+    }
+    let Some(filler) = filler else { return };
+    // Pre-size the arena (every slot is overwritten below).
+    arena.resize(spans[n], Clone::clone(filler));
+    for (u, slot) in outbox.iter().enumerate() {
+        let Some(msg) = slot else { continue };
+        for &v in graph.neighbors(u as NodeId) {
+            if status[v as usize] == NodeStatus::Active {
+                arena[cursors[v as usize]] = msg.clone();
+                cursors[v as usize] += 1;
+            }
         }
     }
 }
@@ -388,5 +650,122 @@ mod tests {
     fn mean_bits_handles_edgeless() {
         let m = MessageMetrics::default();
         assert_eq!(m.mean_bits_per_channel(0), 0.0);
+    }
+
+    #[test]
+    fn arena_and_fresh_vecs_agree_everywhere() {
+        for g in [
+            generators::path(10),
+            generators::cycle(9),
+            generators::complete(6),
+            generators::grid2d(4, 4),
+            generators::star(7),
+            mis_graph::Graph::empty(5),
+            mis_graph::Graph::empty(0),
+        ] {
+            for seed in 0..3 {
+                let arena = MessageSimulator::new(&g, &LowestIdFactory, seed)
+                    .with_inbox_strategy(InboxStrategy::Arena)
+                    .run(1_000);
+                let fresh = MessageSimulator::new(&g, &LowestIdFactory, seed)
+                    .with_inbox_strategy(InboxStrategy::FreshVecs)
+                    .run(1_000);
+                assert_eq!(arena, fresh, "{g:?} seed {seed}");
+            }
+        }
+    }
+
+    /// Broadcasts its own id and asserts the runtime's pinned contract:
+    /// inboxes arrive in strictly ascending sender id order, and the first
+    /// round delivers exactly one message per neighbour.
+    struct OrderProbe {
+        id: NodeId,
+        degree: usize,
+        round: u32,
+        winner: bool,
+    }
+
+    impl OrderProbe {
+        fn check(&self, inbox: &[u32]) {
+            assert!(
+                inbox.windows(2).all(|w| w[0] < w[1]),
+                "node {}: inbox {inbox:?} not ascending",
+                self.id
+            );
+        }
+    }
+
+    impl MessageProcess for OrderProbe {
+        type Msg = u32;
+
+        fn broadcast1(&mut self, _rng: &mut SmallRng) -> Option<u32> {
+            Some(self.id)
+        }
+
+        fn broadcast2(&mut self, inbox: &[u32]) -> Option<u32> {
+            self.check(inbox);
+            if self.round == 0 {
+                // Every node is active in round 1, so the value exchange
+                // must deliver exactly one message per neighbour.
+                assert_eq!(
+                    inbox.len(),
+                    self.degree,
+                    "node {}: first round must deliver one message per neighbour",
+                    self.id
+                );
+            }
+            self.winner = inbox.iter().all(|&other| self.id < other);
+            self.winner.then_some(self.id)
+        }
+
+        fn decide(&mut self, inbox: &[u32]) -> Verdict {
+            self.check(inbox);
+            self.round += 1;
+            if self.winner {
+                Verdict::JoinMis
+            } else if !inbox.is_empty() {
+                Verdict::Covered
+            } else {
+                Verdict::Continue
+            }
+        }
+
+        fn message_bits(_msg: &u32) -> u64 {
+            32
+        }
+    }
+
+    struct OrderProbeFactory;
+
+    impl MessageFactory for OrderProbeFactory {
+        type Process = OrderProbe;
+        fn create(&self, node: NodeId, degree: usize, _info: &NetworkInfo) -> OrderProbe {
+            OrderProbe {
+                id: node,
+                degree,
+                round: 0,
+                winner: false,
+            }
+        }
+    }
+
+    #[test]
+    fn inbox_order_is_pinned_to_ascending_neighbour_id() {
+        // Regression for the delivery-order contract: both strategies must
+        // deliver ascending inboxes on every family, every round.
+        for g in [
+            generators::grid2d(5, 5),
+            generators::complete(8),
+            generators::star(9),
+            generators::cycle(12),
+        ] {
+            for strategy in [InboxStrategy::Arena, InboxStrategy::FreshVecs] {
+                let outcome = MessageSimulator::new(&g, &OrderProbeFactory, 0)
+                    .with_inbox_strategy(strategy)
+                    .run(1_000);
+                assert!(outcome.terminated(), "{strategy:?}");
+                mis_core::verify::check_mis(&g, &outcome.mis()).unwrap();
+            }
+        }
     }
 }

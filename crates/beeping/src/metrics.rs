@@ -73,6 +73,34 @@ impl Metrics {
         u64::from(self.signals[u as usize]) + u64::from(self.signals[v as usize])
     }
 
+    /// Mean bits per channel over all edges of `g` (0 for edgeless
+    /// graphs) — the same value as [`channel_bit_stats`]`.0`, computed in
+    /// `O(n)`: each node's signals cross every incident edge once, so the
+    /// per-edge total is `Σ_v signals[v] · deg(v)`. Batch plans record
+    /// this per run; use [`channel_bit_stats`] when the maximum is needed
+    /// too.
+    ///
+    /// [`channel_bit_stats`]: Self::channel_bit_stats
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has more nodes than the metrics were recorded for.
+    #[must_use]
+    pub fn mean_channel_bits(&self, g: &Graph) -> f64 {
+        assert!(
+            g.node_count() <= self.signals.len(),
+            "graph larger than the simulated network"
+        );
+        if g.edge_count() == 0 {
+            return 0.0;
+        }
+        let total: u64 = g
+            .nodes()
+            .map(|v| u64::from(self.signals[v as usize]) * g.degree(v) as u64)
+            .sum();
+        total as f64 / g.edge_count() as f64
+    }
+
     /// Mean and maximum bits per channel over all edges of `g`
     /// (`(0, 0)` for edgeless graphs). The paper's §5 calls the per-channel
     /// total the *bit complexity per channel* and shows it is `O(1)`
@@ -163,6 +191,25 @@ mod tests {
         let g = mis_graph::Graph::empty(3);
         let m = Metrics::new(3);
         assert_eq!(m.channel_bit_stats(&g), (0.0, 0));
+        assert_eq!(m.mean_channel_bits(&g), 0.0);
+    }
+
+    #[test]
+    fn mean_channel_bits_matches_per_edge_sweep() {
+        // The O(n) degree-weighted mean must equal the O(m) per-edge scan
+        // exactly (both divide the same integer total).
+        for g in [
+            generators::path(7),
+            generators::cycle(9),
+            generators::complete(6),
+            generators::grid2d(3, 4),
+        ] {
+            let mut m = Metrics::new(g.node_count());
+            for v in 0..g.node_count() {
+                m.signals[v] = (v as u32 * 7 + 3) % 11;
+            }
+            assert_eq!(m.mean_channel_bits(&g), m.channel_bit_stats(&g).0, "{g:?}");
+        }
     }
 
     #[test]

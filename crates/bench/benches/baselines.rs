@@ -4,8 +4,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use mis_baselines::{LubyMarkingFactory, LubyPriorityFactory, MessageSimulator, MetivierFactory};
-use mis_bench::gnp_sparse;
+use mis_baselines::{
+    InboxStrategy, LubyMarkingFactory, LubyPriorityFactory, MessageSimulator, MetivierFactory,
+};
+use mis_bench::{gnp_mean_degree, gnp_sparse};
 use mis_core::{solve_mis, Algorithm};
 
 fn baselines(c: &mut Criterion) {
@@ -67,5 +69,33 @@ fn baselines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, baselines);
+/// The inbox-arena refactor's wall-clock view: the same Luby-priority runs
+/// through the pre-refactor fresh-`Vec` delivery and the arena delivery
+/// (`simbench --suite baselines` records the same pair per commit).
+fn message_runtime_inbox(c: &mut Criterion) {
+    let g = gnp_mean_degree(2_000, 64.0);
+    let mut group = c.benchmark_group("message_runtime_gnp2000_d64");
+    group.sample_size(20);
+
+    for (name, strategy) in [
+        ("luby_priority_arena", InboxStrategy::Arena),
+        ("luby_priority_fresh_vecs", InboxStrategy::FreshVecs),
+    ] {
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(
+                    MessageSimulator::new(&g, &LubyPriorityFactory::new(), seed)
+                        .with_inbox_strategy(strategy)
+                        .run(100_000)
+                        .rounds(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, baselines, message_runtime_inbox);
 criterion_main!(benches);

@@ -1,43 +1,62 @@
 //! `simbench` — simulation-engine throughput benchmark.
 //!
-//! Measures the execution engine along the two axes this workspace
-//! optimises: the scalar reference vs the bitset propagation kernel
-//! (single-threaded), and 1 worker vs N workers through the batch runner.
-//! Every configuration runs the same seeds and the per-run results are
-//! checked to be identical before any timing is reported, so the numbers
-//! always describe equivalent work.
+//! Two suites, both driven through the unified engine batch path
+//! (`mis_core::RunPlan`), each verifying that every timed configuration
+//! produced identical per-run results before reporting any number:
+//!
+//! * **simulator** (default) — the beeping engine along the two axes the
+//!   workspace optimises: scalar reference vs bitset propagation kernel
+//!   (single-threaded), and 1 worker vs N workers through the batch
+//!   runner. Writes `BENCH_simulator.json`.
+//! * **baselines** — the message-passing engine's inbox delivery: the
+//!   pre-refactor fresh-`Vec` path vs the arena path on a Luby-priority
+//!   gnp workload, plus 1 worker vs N workers. Writes
+//!   `BENCH_baselines.json`.
 //!
 //! ```text
-//! simbench [--quick] [--out FILE] [--runs N] [--jobs N]
+//! simbench [--quick] [--suite simulator|baselines|all] [--out FILE]
+//!          [--runs N] [--jobs N]
 //! ```
 //!
-//! Writes a machine-readable summary (default `BENCH_simulator.json`) so
-//! the repository's performance trajectory is recorded per commit.
+//! The machine-readable summaries record the repository's performance
+//! trajectory per commit. (`--out` applies to a single suite; `--suite
+//! all` writes both default file names.)
 
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use mis_baselines::{InboxStrategy, LubyPriorityFactory, MessageEngine};
 use mis_beeping::{PropagationKernel, SimConfig};
 use mis_bench::gnp_mean_degree;
+use mis_core::engine::Engine;
 use mis_core::{Algorithm, BatchReport, RunPlan};
 use mis_graph::Graph;
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Suite {
+    Simulator,
+    Baselines,
+    All,
+}
+
 struct Options {
     quick: bool,
-    out: String,
+    suite: Suite,
+    out: Option<String>,
     runs: Option<usize>,
     jobs: Option<usize>,
 }
 
 fn usage() -> &'static str {
-    "usage: simbench [--quick] [--out FILE] [--runs N] [--jobs N]"
+    "usage: simbench [--quick] [--suite simulator|baselines|all] [--out FILE] [--runs N] [--jobs N]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         quick: false,
-        out: "BENCH_simulator.json".to_owned(),
+        suite: Suite::Simulator,
+        out: None,
         runs: None,
         jobs: None,
     };
@@ -45,8 +64,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => opts.quick = true,
+            "--suite" => {
+                let v = it.next().ok_or("--suite needs a value")?;
+                opts.suite = match v.as_str() {
+                    "simulator" => Suite::Simulator,
+                    "baselines" => Suite::Baselines,
+                    "all" => Suite::All,
+                    other => return Err(format!("unknown suite {other:?}\n{}", usage())),
+                };
+            }
             "--out" => {
-                opts.out = it.next().ok_or("--out needs a file path")?.clone();
+                opts.out = Some(it.next().ok_or("--out needs a file path")?.clone());
             }
             "--runs" => {
                 let v = it.next().ok_or("--runs needs a value")?;
@@ -67,26 +95,45 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
+    if opts.suite == Suite::All && opts.out.is_some() {
+        return Err("--out applies to a single suite; drop it with --suite all".to_owned());
+    }
     Ok(opts)
 }
 
 /// Wall-clock milliseconds of one full batch execution.
-fn time_plan(plan: &RunPlan, graph: &Graph) -> (f64, BatchReport) {
+fn time_plan<E: Engine>(plan: &RunPlan<E>, graph: &Graph) -> (f64, BatchReport<E::Record>) {
     let started = Instant::now();
     let report = plan.execute(graph);
     (started.elapsed().as_secs_f64() * 1e3, report)
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match parse_args(&args) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
+/// Minimum wall-clock milliseconds over several executions (the standard
+/// noise-robust estimator on shared machines), plus the report of the
+/// last execution. Callers interleave the configurations under comparison
+/// so slow system phases hit them all equally.
+fn time_plan_min<E: Engine>(
+    plan: &RunPlan<E>,
+    graph: &Graph,
+    best: &mut f64,
+) -> BatchReport<E::Record> {
+    let (ms, report) = time_plan(plan, graph);
+    if ms < *best {
+        *best = ms;
+    }
+    report
+}
 
+fn write_json(path: &str, json: &str) -> Result<(), String> {
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .map_err(|e| format!("failed to write {path}: {e}"))?;
+    eprintln!("wrote {path}");
+    Ok(())
+}
+
+/// The beeping-engine suite: scalar vs bitset kernel, 1 vs N workers.
+fn run_simulator_suite(opts: &Options) -> Result<(), String> {
     // A 10k-node random graph, dense enough that beep propagation is a
     // real cost. Quick mode shrinks everything so CI can smoke-test the
     // pipeline in seconds.
@@ -95,12 +142,13 @@ fn main() -> ExitCode {
     } else {
         (10_000usize, 256.0, opts.runs.unwrap_or(8), 48u32)
     };
-    let jobs = opts.jobs.unwrap_or_else(mis_beeping::batch::auto_jobs);
+    let jobs = opts.jobs.unwrap_or_else(mis_core::auto_jobs);
+    let out = opts.out.as_deref().unwrap_or("BENCH_simulator.json");
 
-    eprintln!("simbench: building G({n}, d≈{mean_degree}) …");
+    eprintln!("simbench[simulator]: building G({n}, d≈{mean_degree}) …");
     let graph = gnp_mean_degree(n, mean_degree);
     eprintln!(
-        "simbench: {} nodes, {} edges, mean degree {:.1}; {} runs, {} jobs",
+        "simbench[simulator]: {} nodes, {} edges, mean degree {:.1}; {} runs, {} jobs",
         graph.node_count(),
         graph.edge_count(),
         graph.mean_degree(),
@@ -139,7 +187,7 @@ fn main() -> ExitCode {
         .with_config(SimConfig::default())
         .execute(&graph);
 
-    eprintln!("simbench: kernel workload (constant ½, {capped_rounds} rounds) …");
+    eprintln!("simbench[simulator]: kernel workload (constant ½, {capped_rounds} rounds) …");
     let (kernel_scalar_ms, kernel_scalar) =
         time_plan(&kernel_plan(PropagationKernel::Scalar), &graph);
     eprintln!("  scalar 1-thread: {kernel_scalar_ms:.1} ms");
@@ -147,7 +195,7 @@ fn main() -> ExitCode {
         time_plan(&kernel_plan(PropagationKernel::Bitset), &graph);
     eprintln!("  bitset 1-thread: {kernel_bitset_ms:.1} ms");
 
-    eprintln!("simbench: end-to-end workload (feedback to termination) …");
+    eprintln!("simbench[simulator]: end-to-end workload (feedback to termination) …");
     let (fb_scalar_ms, fb_scalar) = time_plan(&feedback_plan(PropagationKernel::Scalar, 1), &graph);
     eprintln!("  scalar 1-thread: {fb_scalar_ms:.1} ms");
     let (fb_bitset_ms, fb_bitset) = time_plan(&feedback_plan(PropagationKernel::Bitset, 1), &graph);
@@ -165,15 +213,14 @@ fn main() -> ExitCode {
     // Equivalence gate: within each workload, every configuration must
     // agree run for run before any timing is reported.
     if kernel_scalar != kernel_bitset || fb_scalar != fb_bitset || fb_bitset != fb_parallel {
-        eprintln!("simbench: FATAL — kernel or thread count changed the results");
-        return ExitCode::FAILURE;
+        return Err("FATAL — kernel or thread count changed the results".to_owned());
     }
 
     let bitset_speedup = kernel_scalar_ms / kernel_bitset_ms.max(1e-9);
     let fb_speedup = fb_scalar_ms / fb_bitset_ms.max(1e-9);
     let thread_speedup = fb_bitset_ms / fb_jobs_ms.max(1e-9);
     eprintln!(
-        "simbench: bitset/scalar {bitset_speedup:.2}x on propagation, \
+        "simbench[simulator]: bitset/scalar {bitset_speedup:.2}x on propagation, \
          {fb_speedup:.2}x end-to-end; {jobs}-thread/1-thread {thread_speedup:.2}x"
     );
 
@@ -207,13 +254,146 @@ fn main() -> ExitCode {
         fjobs = fb_jobs_ms,
         tspeed = thread_speedup,
     );
-    match std::fs::File::create(&opts.out).and_then(|mut f| f.write_all(json.as_bytes())) {
-        Ok(()) => {
-            eprintln!("wrote {}", opts.out);
-            ExitCode::SUCCESS
+    write_json(out, &json)
+}
+
+/// The message-engine suite: fresh-`Vec` (pre-refactor) vs arena inbox
+/// delivery on a Luby-priority workload, 1 vs N workers.
+fn run_baselines_suite(opts: &Options) -> Result<(), String> {
+    // Luby's priority form exchanges a 64-bit value per edge per round —
+    // the allocation-heaviest message workload in the repo, and the one
+    // the arena refactor targets.
+    let (n, mean_degree, runs) = if opts.quick {
+        (2_000usize, 32.0, opts.runs.unwrap_or(4))
+    } else {
+        (10_000usize, 64.0, opts.runs.unwrap_or(8))
+    };
+    let jobs = opts.jobs.unwrap_or_else(mis_core::auto_jobs);
+    let out = opts.out.as_deref().unwrap_or("BENCH_baselines.json");
+
+    eprintln!("simbench[baselines]: building G({n}, d≈{mean_degree}) …");
+    let graph = gnp_mean_degree(n, mean_degree);
+    eprintln!(
+        "simbench[baselines]: {} nodes, {} edges, mean degree {:.1}; {} runs, {} jobs",
+        graph.node_count(),
+        graph.edge_count(),
+        graph.mean_degree(),
+        runs,
+        jobs
+    );
+
+    let plan = |strategy: InboxStrategy, jobs: usize| {
+        RunPlan::for_engine(
+            MessageEngine::new(LubyPriorityFactory::new()).with_inbox_strategy(strategy),
+            runs,
+        )
+        .with_master_seed(0xBA5E)
+        .with_jobs(jobs)
+    };
+
+    // Warm-up, untimed.
+    let _ = plan(InboxStrategy::Arena, 1)
+        .with_master_seed(1)
+        .execute(&graph);
+
+    // Interleave the configurations and keep per-config minima: this box
+    // may be shared, and timing the strategies back to back would charge
+    // any slow system phase to whichever ran during it.
+    let reps = if opts.quick { 2 } else { 3 };
+    eprintln!("simbench[baselines]: Luby-priority workload (to termination, {reps} reps) …");
+    let (mut fresh_ms, mut arena_ms, mut arena_jobs_ms) = (f64::MAX, f64::MAX, f64::MAX);
+    let (mut fresh, mut arena, mut arena_parallel) = (None, None, None);
+    for _ in 0..reps {
+        fresh = Some(time_plan_min(
+            &plan(InboxStrategy::FreshVecs, 1),
+            &graph,
+            &mut fresh_ms,
+        ));
+        arena = Some(time_plan_min(
+            &plan(InboxStrategy::Arena, 1),
+            &graph,
+            &mut arena_ms,
+        ));
+        if jobs > 1 {
+            arena_parallel = Some(time_plan_min(
+                &plan(InboxStrategy::Arena, jobs),
+                &graph,
+                &mut arena_jobs_ms,
+            ));
         }
+    }
+    let fresh = fresh.expect("at least one rep ran");
+    let arena = arena.expect("at least one rep ran");
+    let (arena_jobs_ms, arena_parallel) = if jobs > 1 {
+        (arena_jobs_ms, arena_parallel.expect("at least one rep ran"))
+    } else {
+        (arena_ms, arena.clone())
+    };
+    eprintln!("  fresh-vec 1-thread: {fresh_ms:.1} ms");
+    eprintln!("  arena     1-thread: {arena_ms:.1} ms");
+    if jobs > 1 {
+        eprintln!("  arena     {jobs}-thread: {arena_jobs_ms:.1} ms");
+    }
+
+    // Equivalence gate: the strategy and the worker count must not change
+    // a single record before any timing is reported.
+    if fresh != arena || arena != arena_parallel {
+        return Err("FATAL — inbox strategy or thread count changed the results".to_owned());
+    }
+
+    let arena_speedup = fresh_ms / arena_ms.max(1e-9);
+    let thread_speedup = arena_ms / arena_jobs_ms.max(1e-9);
+    eprintln!(
+        "simbench[baselines]: arena/fresh-vec {arena_speedup:.2}x single-thread; \
+         {jobs}-thread/1-thread {thread_speedup:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"baselines\",\n  \"mode\": \"{mode}\",\n  \
+         \"graph\": {{ \"family\": \"gnp\", \"nodes\": {nodes}, \"edges\": {edges}, \"mean_degree\": {md:.2} }},\n  \
+         \"runs\": {runs},\n  \
+         \"luby_priority_workload\": {{\n    \"algorithm\": \"luby_priority\",\n    \
+         \"rounds_mean\": {rounds:.2},\n    \
+         \"fresh_vecs_1thread_ms\": {fresh:.3},\n    \"arena_1thread_ms\": {arena:.3},\n    \
+         \"speedup\": {aspeed:.3},\n    \
+         \"jobs\": {jobs},\n    \"arena_jobs_ms\": {ajobs:.3},\n    \"thread_speedup\": {tspeed:.3}\n  }},\n  \
+         \"arena_speedup\": {aspeed:.3},\n  \
+         \"outcomes_identical\": true\n}}\n",
+        mode = if opts.quick { "quick" } else { "full" },
+        nodes = graph.node_count(),
+        edges = graph.edge_count(),
+        md = graph.mean_degree(),
+        runs = runs,
+        rounds = fresh.rounds().mean(),
+        fresh = fresh_ms,
+        arena = arena_ms,
+        aspeed = arena_speedup,
+        jobs = jobs,
+        ajobs = arena_jobs_ms,
+        tspeed = thread_speedup,
+    );
+    write_json(out, &json)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
         Err(e) => {
-            eprintln!("failed to write {}: {e}", opts.out);
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = match opts.suite {
+        Suite::Simulator => run_simulator_suite(&opts),
+        Suite::Baselines => run_baselines_suite(&opts),
+        Suite::All => run_simulator_suite(&opts).and_then(|()| run_baselines_suite(&opts)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("simbench: {e}");
             ExitCode::FAILURE
         }
     }

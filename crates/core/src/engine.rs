@@ -1,0 +1,243 @@
+//! The unified execution layer: one seed in, one run record out.
+//!
+//! The workspace drives two very different runtimes — the beeping
+//! simulator of `mis-beeping` (1-bit signals, two exchanges per round) and
+//! the message-passing runtime of `mis-baselines` (typed inboxes, two
+//! broadcast sub-rounds) — but every experiment consumes their runs the
+//! same way: *run one seed, reduce it to a compact record, aggregate
+//! thousands of records*. The [`Engine`] trait captures exactly that
+//! contract, so [`RunPlan`](crate::RunPlan) and the work-stealing batch
+//! runner can execute **any** algorithm family — feedback, sweep, science,
+//! Luby, Métivier, greedy-local — through one deterministic, seed-ordered,
+//! `--jobs N` parallel path.
+//!
+//! Two implementations ship with the workspace:
+//!
+//! * [`AlgorithmEngine`] (here) — wraps a beeping [`Algorithm`] plus a
+//!   [`SimConfig`];
+//! * `MessageEngine` (in `mis-baselines`) — wraps a
+//!   `MessageFactory` plus a round cap.
+//!
+//! The determinism contract is shared: [`Engine::run`] must be a pure
+//! function of `(graph, seed)`, so batches are bit-identical for any
+//! worker count and any record reproduces its run from
+//! [`EngineRecord::seed`] alone.
+//!
+//! # Examples
+//!
+//! Run a beeping algorithm through the unified path:
+//!
+//! ```
+//! use mis_core::engine::{AlgorithmEngine, Engine, EngineRecord, RunView};
+//! use mis_core::{Algorithm, RunPlan};
+//! use mis_graph::generators;
+//!
+//! let g = generators::grid2d(6, 6);
+//! let engine = AlgorithmEngine::new(Algorithm::feedback());
+//!
+//! // One seed through the engine directly …
+//! let outcome = engine.run(&g, 7);
+//! assert!(outcome.terminated());
+//! mis_core::verify::check_mis(&g, &outcome.mis())?;
+//!
+//! // … or a whole batch through the generic plan (seed-ordered, and
+//! // bit-identical for any job count).
+//! let report = RunPlan::for_engine(engine, 8)
+//!     .with_master_seed(3)
+//!     .with_jobs(2)
+//!     .execute(&g);
+//! assert_eq!(report.records().len(), 8);
+//! assert_eq!(report.unterminated(), 0);
+//! # Ok::<(), mis_core::verify::MisViolation>(())
+//! ```
+
+use mis_beeping::{RunOutcome, SimConfig};
+use mis_graph::{Graph, NodeId};
+
+use crate::{run_algorithm, Algorithm, RunRecord};
+
+/// Common read-only view of a completed run, whatever the engine.
+///
+/// Both `mis_beeping::RunOutcome` and `mis_baselines::MsgRunOutcome`
+/// implement this, so code that only needs the selected set, the round
+/// count and the termination flag can stay engine-agnostic (the baseline
+/// race does exactly that).
+pub trait RunView {
+    /// Nodes that joined the independent set, sorted ascending.
+    fn mis(&self) -> Vec<NodeId>;
+
+    /// Rounds executed.
+    fn rounds(&self) -> u32;
+
+    /// Whether every node became inactive before the round cap.
+    fn terminated(&self) -> bool;
+}
+
+impl RunView for RunOutcome {
+    fn mis(&self) -> Vec<NodeId> {
+        RunOutcome::mis(self)
+    }
+
+    fn rounds(&self) -> u32 {
+        RunOutcome::rounds(self)
+    }
+
+    fn terminated(&self) -> bool {
+        RunOutcome::terminated(self)
+    }
+}
+
+/// Compact per-run summary kept by batch plans: everything the statistical
+/// experiments consume, without per-node buffers.
+pub trait EngineRecord: Send {
+    /// The run's derived master seed — reproduces the run alone through
+    /// [`Engine::run`].
+    fn seed(&self) -> u64;
+
+    /// Rounds executed.
+    fn rounds(&self) -> u32;
+
+    /// Size of the selected independent set.
+    fn mis_size(&self) -> usize;
+
+    /// Whether every node became inactive before the round cap.
+    fn terminated(&self) -> bool;
+
+    /// The engine's headline per-run cost quantity: mean beeps per node
+    /// for beeping engines (Figure 5), mean bits per channel for message
+    /// engines. [`BatchReport`](crate::BatchReport) aggregates this.
+    fn cost(&self) -> f64;
+
+    /// Mean bits per channel — the one cost axis *comparable across
+    /// engines* (the paper's §5 bit-complexity discussion).
+    fn bits_per_channel(&self) -> f64;
+}
+
+/// A deterministic single-seed execution backend.
+///
+/// `run(graph, seed)` must be a pure function of its arguments: no
+/// wall-clock state, no global RNG. That is what lets
+/// [`RunPlan`](crate::RunPlan) fan seeds across work-stealing workers and
+/// still return bit-identical, seed-ordered results for any `--jobs`
+/// value.
+///
+/// See the [module docs](self) for a runnable example.
+pub trait Engine: Sync {
+    /// Full outcome of one run (statuses, metrics, …).
+    type Outcome: RunView;
+
+    /// Compact record a batch plan keeps per run.
+    type Record: EngineRecord;
+
+    /// Runs one seed to termination or the engine's round cap.
+    fn run(&self, graph: &Graph, seed: u64) -> Self::Outcome;
+
+    /// Reduces a completed run to its compact record. Called inside the
+    /// worker that produced `outcome`, before the next run starts, so
+    /// large batches never hold every full outcome in memory.
+    fn record(&self, graph: &Graph, seed: u64, outcome: &Self::Outcome) -> Self::Record;
+}
+
+/// The beeping execution engine: an [`Algorithm`] plus a [`SimConfig`],
+/// run through the same [`run_algorithm`] dispatch as the single-run path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgorithmEngine {
+    /// The algorithm every run executes.
+    pub algorithm: Algorithm,
+    /// Simulator configuration shared by every run.
+    pub config: SimConfig,
+}
+
+impl AlgorithmEngine {
+    /// An engine running `algorithm` with the default [`SimConfig`].
+    #[must_use]
+    pub fn new(algorithm: Algorithm) -> Self {
+        Self {
+            algorithm,
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Replaces the simulator configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+impl Engine for AlgorithmEngine {
+    type Outcome = RunOutcome;
+    type Record = RunRecord;
+
+    fn run(&self, graph: &Graph, seed: u64) -> RunOutcome {
+        run_algorithm(graph, &self.algorithm, seed, self.config.clone())
+    }
+
+    fn record(&self, graph: &Graph, seed: u64, outcome: &RunOutcome) -> RunRecord {
+        RunRecord {
+            seed,
+            rounds: outcome.rounds(),
+            mean_beeps_per_node: outcome.metrics().mean_beeps_per_node(),
+            mean_bits_per_channel: outcome.metrics().mean_channel_bits(graph),
+            mis_size: outcome.mis().len(),
+            terminated: outcome.terminated(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graph::generators;
+
+    #[test]
+    fn algorithm_engine_matches_run_algorithm() {
+        let g = generators::grid2d(5, 6);
+        let engine = AlgorithmEngine::new(Algorithm::feedback());
+        let direct = run_algorithm(&g, &Algorithm::feedback(), 9, SimConfig::default());
+        let via_engine = engine.run(&g, 9);
+        assert_eq!(direct, via_engine);
+    }
+
+    #[test]
+    fn record_reduces_the_outcome() {
+        let g = generators::cycle(18);
+        let engine = AlgorithmEngine::new(Algorithm::sweep());
+        let outcome = engine.run(&g, 4);
+        let record = engine.record(&g, 4, &outcome);
+        assert_eq!(EngineRecord::seed(&record), 4);
+        assert_eq!(EngineRecord::rounds(&record), outcome.rounds());
+        assert_eq!(EngineRecord::mis_size(&record), outcome.mis().len());
+        assert_eq!(EngineRecord::terminated(&record), outcome.terminated());
+        assert_eq!(
+            EngineRecord::cost(&record),
+            outcome.metrics().mean_beeps_per_node()
+        );
+        assert_eq!(
+            EngineRecord::bits_per_channel(&record),
+            outcome.metrics().channel_bit_stats(&g).0
+        );
+    }
+
+    #[test]
+    fn run_view_forwards_to_the_outcome() {
+        let g = generators::star(7);
+        let engine = AlgorithmEngine::new(Algorithm::feedback());
+        let outcome = engine.run(&g, 2);
+        let view: &dyn RunView = &outcome;
+        assert_eq!(view.mis(), outcome.mis());
+        assert_eq!(view.rounds(), outcome.rounds());
+        assert!(view.terminated());
+    }
+
+    #[test]
+    fn with_config_replaces_the_config() {
+        let engine = AlgorithmEngine::new(Algorithm::constant(1.0))
+            .with_config(SimConfig::default().with_max_rounds(3));
+        let g = generators::complete(2);
+        let outcome = engine.run(&g, 0);
+        assert!(!outcome.terminated());
+        assert_eq!(outcome.rounds(), 3);
+    }
+}

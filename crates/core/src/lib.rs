@@ -21,8 +21,14 @@
 //!   Theorem 2: the measure `µ_t`, the light/heavy neighbourhood split and
 //!   the event classification (E1)–(E4).
 //! * [`solve_mis`] / [`Algorithm`] — one-call entry points.
-//! * [`RunPlan`] — batched multi-seed execution across worker threads with
-//!   streaming `mis-stats` aggregates (bit-identical for any job count).
+//! * [`engine`] — the unified execution layer: the [`Engine`] trait every
+//!   runtime (beeping here, message-passing in `mis-baselines`)
+//!   implements, so one batched path runs every algorithm family.
+//! * [`RunPlan`] — batched multi-seed execution of any [`Engine`] across
+//!   worker threads with streaming `mis-stats` aggregates (bit-identical
+//!   for any job count). [`plan`] is also the façade re-exporting the
+//!   batch primitives ([`BatchPlan`], [`parallel_indexed_map`],
+//!   [`auto_jobs`]) so downstream code imports them from one place.
 //!
 //! # Examples
 //!
@@ -41,17 +47,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 mod feedback;
 mod global;
-mod plan;
+pub mod plan;
 mod run;
 mod schedule;
 pub mod theory;
 pub mod verify;
 
+pub use engine::{AlgorithmEngine, Engine, EngineRecord, RunView};
 pub use feedback::{FeedbackConfig, FeedbackFactory, FeedbackProcess};
 pub use global::{GlobalScheduleFactory, GlobalScheduleProcess};
-pub use plan::{BatchReport, RunPlan, RunRecord};
+pub use plan::{
+    auto_jobs, parallel_indexed_map, run_batch, run_batch_map, BatchPlan, BatchReport, RunPlan,
+    RunRecord,
+};
 pub use run::{run_algorithm, solve_mis, solve_mis_with_config, Algorithm, MisResult, SolveError};
 pub use schedule::{
     ConstantSchedule, CustomSchedule, DecreasingSchedule, ProbabilitySchedule, ScienceSchedule,

@@ -1,15 +1,24 @@
 //! Run plans: batched multi-seed execution with streaming statistics.
 //!
-//! A [`RunPlan`] pairs an [`Algorithm`] with a seed range, a worker count
-//! and a [`SimConfig`], and executes the whole batch through
-//! [`mis_beeping::batch`]. Per-run results are reduced to compact
-//! [`RunRecord`]s inside the workers and folded into `mis-stats`
-//! [`OnlineStats`] aggregates, so thousand-run batches never hold every
-//! full [`RunOutcome`](mis_beeping::RunOutcome) in memory at once.
+//! This module is the workspace's **plan façade**: it re-exports the batch
+//! primitives that used to live only in `mis_beeping::batch`
+//! ([`BatchPlan`], [`parallel_indexed_map`], [`auto_jobs`], [`run_batch`],
+//! [`run_batch_map`]) next to the engine-generic plan types, so downstream
+//! code imports everything batching-related from one place.
 //!
-//! The determinism contract is inherited from the batch engine: the
-//! records are bit-identical for any `jobs` value and match the
-//! single-run path seed for seed.
+//! A [`RunPlan`] pairs an [`Engine`] with a seed range and a worker count,
+//! and executes the whole batch through the work-stealing
+//! [`parallel_indexed_map`] scheduler. Per-run results are reduced to
+//! compact [`EngineRecord`]s inside the workers and folded into
+//! `mis-stats` [`OnlineStats`] aggregates, so thousand-run batches never
+//! hold every full outcome in memory at once. The default engine is the
+//! beeping [`AlgorithmEngine`]; `mis_baselines::MessageEngine` runs the
+//! message-passing families (Luby ×2, Métivier, greedy-local) through the
+//! very same plan.
+//!
+//! The determinism contract is inherited from the scheduler: the records
+//! are bit-identical for any `jobs` value and match the single-run path
+//! seed for seed.
 //!
 //! # Examples
 //!
@@ -32,15 +41,20 @@
 //! );
 //! ```
 
-use mis_beeping::batch::{parallel_indexed_map, BatchPlan};
+pub use mis_beeping::batch::{
+    auto_jobs, parallel_indexed_map, run_batch, run_batch_map, BatchPlan,
+};
+
 use mis_beeping::SimConfig;
 use mis_graph::Graph;
 use mis_stats::OnlineStats;
 
-use crate::{run_algorithm, Algorithm};
+use crate::engine::{AlgorithmEngine, Engine, EngineRecord};
+use crate::Algorithm;
 
-/// The compact per-run result a [`RunPlan`] keeps: everything the
-/// statistical experiments consume, without per-node buffers.
+/// The compact per-run result a [`RunPlan`] keeps for beeping engines:
+/// everything the statistical experiments consume, without per-node
+/// buffers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
     /// The run's derived master seed (reproduces the run alone via
@@ -50,6 +64,9 @@ pub struct RunRecord {
     pub rounds: u32,
     /// Mean beeps per node (the paper's Figure 5 quantity).
     pub mean_beeps_per_node: f64,
+    /// Mean bits per channel (the paper's §5 quantity — comparable with
+    /// the message engines' accounting).
+    pub mean_bits_per_channel: f64,
     /// Size of the selected independent set. The membership itself is not
     /// retained — on a million-node graph a thousand runs of `Vec<NodeId>`
     /// would dominate memory; reproduce the run from [`seed`](Self::seed)
@@ -59,11 +76,41 @@ pub struct RunRecord {
     pub terminated: bool,
 }
 
-/// A batched multi-seed execution of one algorithm on one graph.
+impl EngineRecord for RunRecord {
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    fn mis_size(&self) -> usize {
+        self.mis_size
+    }
+
+    fn terminated(&self) -> bool {
+        self.terminated
+    }
+
+    fn cost(&self) -> f64 {
+        self.mean_beeps_per_node
+    }
+
+    fn bits_per_channel(&self) -> f64 {
+        self.mean_bits_per_channel
+    }
+}
+
+/// A batched multi-seed execution of one [`Engine`] on one graph.
+///
+/// The default engine is the beeping [`AlgorithmEngine`] (so
+/// `RunPlan::new(Algorithm::feedback(), …)` keeps working); any other
+/// engine plugs in through [`RunPlan::for_engine`].
 #[derive(Debug, Clone, PartialEq)]
-pub struct RunPlan {
-    /// The algorithm every run executes.
-    pub algorithm: Algorithm,
+pub struct RunPlan<E: Engine = AlgorithmEngine> {
+    /// The engine every run executes.
+    pub engine: E,
     /// Master seed for the whole batch; run `i` derives its own seed.
     pub master_seed: u64,
     /// Number of independent runs.
@@ -71,20 +118,33 @@ pub struct RunPlan {
     /// Worker thread count (`0` = one per available core). Never affects
     /// the results, only the wall clock.
     pub jobs: usize,
-    /// Simulator configuration shared by every run.
-    pub config: SimConfig,
 }
 
-impl RunPlan {
-    /// A plan running `algorithm` for `runs` independent seeds.
+impl RunPlan<AlgorithmEngine> {
+    /// A plan running the beeping `algorithm` for `runs` independent
+    /// seeds.
     #[must_use]
     pub fn new(algorithm: Algorithm, runs: usize) -> Self {
+        Self::for_engine(AlgorithmEngine::new(algorithm), runs)
+    }
+
+    /// Replaces the shared simulator configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.engine.config = config;
+        self
+    }
+}
+
+impl<E: Engine> RunPlan<E> {
+    /// A plan running `engine` for `runs` independent seeds.
+    #[must_use]
+    pub fn for_engine(engine: E, runs: usize) -> Self {
         Self {
-            algorithm,
+            engine,
             master_seed: 0,
             runs,
             jobs: 0,
-            config: SimConfig::default(),
         }
     }
 
@@ -102,62 +162,81 @@ impl RunPlan {
         self
     }
 
-    /// Replaces the shared simulator configuration.
+    /// The seed-derivation view of this plan (the same [`BatchPlan`] the
+    /// beeping batch runner uses, so every execution path derives
+    /// identical per-run seeds).
     #[must_use]
-    pub fn with_config(mut self, config: SimConfig) -> Self {
-        self.config = config;
-        self
+    pub fn batch_plan(&self) -> BatchPlan {
+        BatchPlan::new(self.master_seed, self.runs).with_jobs(self.jobs)
     }
 
-    /// Executes every run and folds the results into a [`BatchReport`].
+    /// The master seed of run `run` — the value to pass to
+    /// [`Engine::run`] to reproduce that run alone.
+    #[must_use]
+    pub fn run_seed(&self, run: usize) -> u64 {
+        self.batch_plan().run_seed(run)
+    }
+
+    /// Executes every run and folds the records into a [`BatchReport`].
     ///
-    /// Each run goes through [`run_algorithm`] — the same dispatch the
+    /// Each run goes through [`Engine::run`] — the same call the
     /// single-run path uses — so the two can never diverge.
     #[must_use]
-    pub fn execute(&self, graph: &Graph) -> BatchReport {
-        let plan = BatchPlan::new(self.master_seed, self.runs).with_jobs(self.jobs);
+    pub fn execute(&self, graph: &Graph) -> BatchReport<E::Record> {
+        let plan = self.batch_plan();
         let records = parallel_indexed_map(plan.runs, plan.effective_jobs(), |i| {
             let seed = plan.run_seed(i);
-            let outcome = run_algorithm(graph, &self.algorithm, seed, self.config.clone());
-            RunRecord {
-                seed,
-                rounds: outcome.rounds(),
-                mean_beeps_per_node: outcome.metrics().mean_beeps_per_node(),
-                mis_size: outcome.mis().len(),
-                terminated: outcome.terminated(),
-            }
+            let outcome = self.engine.run(graph, seed);
+            self.engine.record(graph, seed, &outcome)
         });
         BatchReport::from_records(records)
     }
+
+    /// Executes every run and returns the **full** outcomes in seed order.
+    ///
+    /// Prefer [`execute`](Self::execute) for large batches — full outcomes
+    /// keep per-node buffers alive.
+    #[must_use]
+    pub fn execute_outcomes(&self, graph: &Graph) -> Vec<E::Outcome>
+    where
+        E::Outcome: Send,
+    {
+        let plan = self.batch_plan();
+        parallel_indexed_map(plan.runs, plan.effective_jobs(), |i| {
+            self.engine.run(graph, plan.run_seed(i))
+        })
+    }
 }
 
-/// Aggregated results of a [`RunPlan`]: per-seed [`RunRecord`]s plus
-/// streaming [`OnlineStats`] over the quantities the paper plots.
+/// Aggregated results of a [`RunPlan`]: per-seed records plus streaming
+/// [`OnlineStats`] over the quantities the paper plots.
 #[derive(Debug, Clone, PartialEq)]
-pub struct BatchReport {
-    records: Vec<RunRecord>,
+pub struct BatchReport<R: EngineRecord = RunRecord> {
+    records: Vec<R>,
     rounds: OnlineStats,
-    beeps_per_node: OnlineStats,
+    cost: OnlineStats,
     mis_size: OnlineStats,
     unterminated: usize,
 }
 
-impl BatchReport {
-    fn from_records(records: Vec<RunRecord>) -> Self {
+impl<R: EngineRecord> BatchReport<R> {
+    /// Folds per-run records into a report (records stay in seed order).
+    #[must_use]
+    pub fn from_records(records: Vec<R>) -> Self {
         let mut rounds = OnlineStats::new();
-        let mut beeps = OnlineStats::new();
+        let mut cost = OnlineStats::new();
         let mut mis_size = OnlineStats::new();
         let mut unterminated = 0;
         for r in &records {
-            rounds.push(f64::from(r.rounds));
-            beeps.push(r.mean_beeps_per_node);
-            mis_size.push(r.mis_size as f64);
-            unterminated += usize::from(!r.terminated);
+            rounds.push(f64::from(r.rounds()));
+            cost.push(r.cost());
+            mis_size.push(r.mis_size() as f64);
+            unterminated += usize::from(!r.terminated());
         }
         Self {
             records,
             rounds,
-            beeps_per_node: beeps,
+            cost,
             mis_size,
             unterminated,
         }
@@ -165,7 +244,7 @@ impl BatchReport {
 
     /// Per-seed records, in seed order.
     #[must_use]
-    pub fn records(&self) -> &[RunRecord] {
+    pub fn records(&self) -> &[R] {
         &self.records
     }
 
@@ -175,10 +254,12 @@ impl BatchReport {
         &self.rounds
     }
 
-    /// Statistics of mean-beeps-per-node across runs (Figure 5's y-axis).
+    /// Statistics of the engine's per-run [cost](EngineRecord::cost)
+    /// across runs: mean beeps per node for beeping engines, mean bits per
+    /// channel for message engines.
     #[must_use]
-    pub fn beeps_per_node(&self) -> &OnlineStats {
-        &self.beeps_per_node
+    pub fn cost(&self) -> &OnlineStats {
+        &self.cost
     }
 
     /// Statistics of the selected MIS sizes across runs.
@@ -194,10 +275,19 @@ impl BatchReport {
     }
 }
 
+impl BatchReport<RunRecord> {
+    /// Statistics of mean-beeps-per-node across runs (Figure 5's y-axis) —
+    /// the beeping engine's [cost](EngineRecord::cost) axis.
+    #[must_use]
+    pub fn beeps_per_node(&self) -> &OnlineStats {
+        &self.cost
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::CustomSchedule;
+    use crate::{run_algorithm, CustomSchedule};
     use mis_graph::generators;
     use rand::{rngs::SmallRng, SeedableRng};
 
@@ -212,10 +302,19 @@ mod tests {
         }
         // Seed for seed, the records reproduce the plain single-run path.
         for record in reference.records() {
-            let solo = run_algorithm(&g, &base.algorithm, record.seed, SimConfig::default());
+            let solo = run_algorithm(
+                &g,
+                &base.engine.algorithm,
+                record.seed,
+                SimConfig::default(),
+            );
             assert_eq!(record.rounds, solo.rounds());
             assert_eq!(record.mis_size, solo.mis().len());
             assert_eq!(record.terminated, solo.terminated());
+            assert_eq!(
+                record.mean_bits_per_channel,
+                solo.metrics().channel_bit_stats(&g).0
+            );
         }
     }
 
@@ -228,6 +327,7 @@ mod tests {
         assert_eq!(report.records().len(), 12);
         assert_eq!(report.rounds().count(), 12);
         assert_eq!(report.beeps_per_node().count(), 12);
+        assert_eq!(report.cost().count(), 12);
         assert_eq!(report.mis_size().count(), 12);
         assert_eq!(report.unterminated(), 0);
         assert!(report.rounds().mean() >= 1.0);
@@ -264,5 +364,33 @@ mod tests {
             .execute(&g);
         assert_eq!(report.unterminated(), 3);
         assert!(report.records().iter().all(|r| r.rounds == 20));
+    }
+
+    #[test]
+    fn execute_outcomes_matches_execute_records() {
+        let g = generators::gnp(30, 0.3, &mut SmallRng::seed_from_u64(6));
+        let plan = RunPlan::new(Algorithm::feedback(), 5)
+            .with_master_seed(4)
+            .with_jobs(2);
+        let outcomes = plan.execute_outcomes(&g);
+        let report = plan.execute(&g);
+        assert_eq!(outcomes.len(), report.records().len());
+        for (outcome, record) in outcomes.iter().zip(report.records()) {
+            assert_eq!(outcome.rounds(), record.rounds);
+            assert_eq!(outcome.mis().len(), record.mis_size);
+        }
+    }
+
+    #[test]
+    fn batch_plan_derives_the_same_seeds() {
+        let plan = RunPlan::new(Algorithm::feedback(), 6)
+            .with_master_seed(42)
+            .with_jobs(3);
+        let batch = plan.batch_plan();
+        assert_eq!(batch.runs, 6);
+        assert_eq!(batch.jobs, 3);
+        for i in 0..6 {
+            assert_eq!(plan.run_seed(i), batch.run_seed(i));
+        }
     }
 }

@@ -6,12 +6,19 @@
 //! size anchor. This substantiates the paper's positioning: feedback
 //! matches Luby's `O(log n)` rounds with 1-bit messages and `O(1)` bits
 //! per channel.
+//!
+//! Every contender — beeping or message-passing — executes through the
+//! unified [`Engine`] layer, and the trials fan out over the same
+//! work-stealing batch path as every other experiment ([`run_trials`]),
+//! so `xp race --jobs N` parallelises the whole figure with bit-identical
+//! tables for any job count.
 
 use mis_baselines::{
-    GreedyLocalFactory, LubyMarkingFactory, LubyPriorityFactory, MessageSimulator, MetivierFactory,
+    GreedyLocalFactory, LubyMarkingFactory, LubyPriorityFactory, MessageEngine, MetivierFactory,
 };
+use mis_core::engine::{AlgorithmEngine, Engine, EngineRecord, RunView};
 use mis_core::verify::{check_mis, greedy_mis};
-use mis_core::{solve_mis, Algorithm};
+use mis_core::Algorithm;
 use mis_graph::{generators, Graph};
 use mis_stats::{OnlineStats, Table};
 use rand::{rngs::SmallRng, SeedableRng};
@@ -105,8 +112,8 @@ impl Contender {
         }
     }
 
-    /// Runs this contender once, returning
-    /// `(rounds, MIS size, mean bits per channel)`.
+    /// Runs this contender once through the unified [`Engine`] layer,
+    /// returning `(rounds, MIS size, mean bits per channel)`.
     ///
     /// # Panics
     ///
@@ -114,33 +121,36 @@ impl Contender {
     #[must_use]
     pub fn run_once(&self, g: &Graph, seed: u64) -> (f64, f64, f64) {
         match self {
-            Contender::Feedback | Contender::Sweep | Contender::Science => {
-                let algo = match self {
-                    Contender::Feedback => Algorithm::feedback(),
-                    Contender::Sweep => Algorithm::sweep(),
-                    _ => Algorithm::science(),
-                };
-                let r = solve_mis(g, &algo, seed).expect("beeping contender terminates");
-                let (bits, _) = r.outcome().metrics().channel_bit_stats(g);
-                (f64::from(r.rounds()), r.mis().len() as f64, bits)
+            Contender::Feedback => {
+                run_engine(&AlgorithmEngine::new(Algorithm::feedback()), g, seed)
             }
-            Contender::LubyPriority => run_msg(g, &LubyPriorityFactory::new(), seed),
-            Contender::LubyMarking => run_msg(g, &LubyMarkingFactory::new(), seed),
-            Contender::Metivier => run_msg(g, &MetivierFactory::new(), seed),
-            Contender::GreedyLocal => run_msg(g, &GreedyLocalFactory::new(), seed),
+            Contender::Sweep => run_engine(&AlgorithmEngine::new(Algorithm::sweep()), g, seed),
+            Contender::Science => run_engine(&AlgorithmEngine::new(Algorithm::science()), g, seed),
+            Contender::LubyPriority => {
+                run_engine(&MessageEngine::new(LubyPriorityFactory::new()), g, seed)
+            }
+            Contender::LubyMarking => {
+                run_engine(&MessageEngine::new(LubyMarkingFactory::new()), g, seed)
+            }
+            Contender::Metivier => run_engine(&MessageEngine::new(MetivierFactory::new()), g, seed),
+            Contender::GreedyLocal => {
+                run_engine(&MessageEngine::new(GreedyLocalFactory::new()), g, seed)
+            }
         }
     }
 }
 
-fn run_msg<F: mis_baselines::MessageFactory>(g: &Graph, factory: &F, seed: u64) -> (f64, f64, f64) {
-    let outcome = MessageSimulator::new(g, factory, seed).run(1_000_000);
-    assert!(outcome.terminated(), "message contender hit the round cap");
-    let mis = outcome.mis();
-    check_mis(g, &mis).expect("message contender produced an invalid MIS");
+/// One verified run of any engine: beeping and message contenders share
+/// this code path (and its correctness checks) exactly.
+fn run_engine<E: Engine>(engine: &E, g: &Graph, seed: u64) -> (f64, f64, f64) {
+    let outcome = engine.run(g, seed);
+    assert!(outcome.terminated(), "contender hit the round cap");
+    check_mis(g, &outcome.mis()).expect("contender produced an invalid MIS");
+    let record = engine.record(g, seed, &outcome);
     (
-        f64::from(outcome.rounds()),
-        mis.len() as f64,
-        outcome.metrics().mean_bits_per_channel(g.edge_count()),
+        f64::from(record.rounds()),
+        record.mis_size() as f64,
+        record.bits_per_channel(),
     )
 }
 

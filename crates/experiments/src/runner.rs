@@ -1,9 +1,16 @@
 //! Deterministic multi-trial execution.
+//!
+//! [`run_trials`] is the experiment-level entry to the workspace's one
+//! batched execution path: it derives per-trial seeds through the same
+//! [`BatchPlan`] the engine-level [`RunPlan`](mis_core::RunPlan) uses and
+//! fans the trials across the same work-stealing
+//! [`parallel_indexed_map`] scheduler, so every figure — beeping or
+//! message-passing — parallelises under `xp --jobs N` with bit-identical
+//! results for any job count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use mis_beeping::batch::{auto_jobs, parallel_indexed_map};
-use mis_beeping::rng::trial_seed;
+use mis_core::{auto_jobs, parallel_indexed_map, BatchPlan};
 use mis_stats::OnlineStats;
 
 /// Worker-count override installed by [`set_default_jobs`] (`0` = one
@@ -62,8 +69,10 @@ where
     T: Send,
     F: Fn(u64, usize) -> T + Sync,
 {
-    let jobs = if jobs == 0 { auto_jobs() } else { jobs };
-    parallel_indexed_map(trials, jobs, |i| f(trial_seed(master_seed, i as u64), i))
+    // The same seed derivation and scheduler as the engine-level batch
+    // path, so trial runs and `RunPlan` runs can never diverge.
+    let plan = BatchPlan::new(master_seed, trials).with_jobs(jobs);
+    parallel_indexed_map(plan.runs, plan.effective_jobs(), |i| f(plan.run_seed(i), i))
 }
 
 /// One point of a measured series: an x-value (usually `n`) with the
