@@ -182,29 +182,46 @@ pub fn cluster_via_mis_with_config(
     config: SimConfig,
 ) -> Result<Clustering, SolveError> {
     let result = solve_mis_with_config(g, algorithm, seed, config)?;
-    let heads = result.mis().to_vec();
-    let n = g.node_count();
-    let mut is_head = vec![false; n];
-    for &h in &heads {
-        is_head[h as usize] = true;
+    Ok(Clustering::from_heads(
+        g,
+        result.mis().to_vec(),
+        result.rounds(),
+    ))
+}
+
+impl Clustering {
+    /// Performs the deterministic one-hop affiliation step for a verified
+    /// set of MIS heads. Shared by the one-shot constructor and
+    /// [`AppEngine`](crate::AppEngine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` fails to dominate `g` (impossible for a verified
+    /// MIS).
+    pub(crate) fn from_heads(g: &Graph, heads: Vec<NodeId>, rounds: u32) -> Self {
+        let n = g.node_count();
+        let mut is_head = vec![false; n];
+        for &h in &heads {
+            is_head[h as usize] = true;
+        }
+        let mut assignment = vec![0 as NodeId; n];
+        for v in g.nodes() {
+            assignment[v as usize] = if is_head[v as usize] {
+                v
+            } else {
+                *g.neighbors(v)
+                    .iter()
+                    .filter(|&&u| is_head[u as usize])
+                    .min()
+                    .expect("an MIS dominates every node")
+            };
+        }
+        Clustering {
+            heads,
+            assignment,
+            rounds,
+        }
     }
-    let mut assignment = vec![0 as NodeId; n];
-    for v in g.nodes() {
-        assignment[v as usize] = if is_head[v as usize] {
-            v
-        } else {
-            *g.neighbors(v)
-                .iter()
-                .filter(|&&u| is_head[u as usize])
-                .min()
-                .expect("an MIS dominates every node")
-        };
-    }
-    Ok(Clustering {
-        heads,
-        assignment,
-        rounds: result.rounds(),
-    })
 }
 
 /// Checks the one-hop clustering conditions, reporting the first violation.

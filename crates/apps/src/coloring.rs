@@ -18,9 +18,10 @@
 
 use core::fmt;
 
+use mis_beeping::rng::trial_seed;
 use mis_beeping::SimConfig;
 use mis_core::{solve_mis_with_config, Algorithm, SolveError};
-use mis_graph::{generators, ops, Graph, NodeId};
+use mis_graph::{Graph, InducedView, NodeId, ProductView};
 
 /// A verified proper colouring together with the cost of computing it.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,9 +77,19 @@ pub enum ColoringError {
     Solve(SolveError),
     /// The palette was too small: some node ended up with every colour
     /// blocked by neighbours (possible only when fewer than `Δ+1` colours
-    /// are requested).
+    /// are requested, including the degenerate `k = 0` palette on a
+    /// non-empty graph).
     PaletteExhausted {
         /// The node left uncoloured.
+        node: NodeId,
+    },
+    /// The product MIS claimed two colours for one node. Unreachable for a
+    /// *verified* MIS — product nodes `(v, a)` and `(v, b)` are adjacent,
+    /// so independence forbids this — but kept as a real error (rather
+    /// than a debug assertion) so a violation can never silently overwrite
+    /// a colour in release builds.
+    ConflictingColors {
+        /// The doubly-coloured node.
         node: NodeId,
     },
 }
@@ -90,6 +101,9 @@ impl fmt::Display for ColoringError {
             ColoringError::PaletteExhausted { node } => {
                 write!(f, "palette too small: node {node} left uncoloured")
             }
+            ColoringError::ConflictingColors { node } => {
+                write!(f, "product MIS assigned two colours to node {node}")
+            }
         }
     }
 }
@@ -98,7 +112,9 @@ impl std::error::Error for ColoringError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ColoringError::Solve(e) => Some(e),
-            ColoringError::PaletteExhausted { .. } => None,
+            ColoringError::PaletteExhausted { .. } | ColoringError::ConflictingColors { .. } => {
+                None
+            }
         }
     }
 }
@@ -180,16 +196,15 @@ pub fn product_coloring(
 ///
 /// Useful for graphs known to admit fewer colours (e.g. bipartite graphs
 /// with `k = 2`... though the reduction only *guarantees* success for
-/// `k ≥ Δ+1`).
+/// `k ≥ Δ+1`). The product graph `G □ K_k` is never materialised: the MIS
+/// runs on a lazy [`ProductView`] over the base CSR.
 ///
 /// # Errors
 ///
 /// [`ColoringError::PaletteExhausted`] if some node ends with all `k`
-/// colours blocked (possible when `k ≤ Δ`), or a propagated [`SolveError`].
-///
-/// # Panics
-///
-/// Panics if `k == 0` and the graph is non-empty.
+/// colours blocked (possible when `k ≤ Δ`, and always the outcome of a
+/// degenerate `k = 0` palette on a non-empty graph), or a propagated
+/// [`SolveError`].
 pub fn product_coloring_with_colors(
     g: &Graph,
     k: u32,
@@ -204,21 +219,9 @@ pub fn product_coloring_with_colors(
             rounds: 0,
         });
     }
-    assert!(k > 0, "palette must contain at least one colour");
-    let palette = generators::complete(k as usize);
-    let product = ops::cartesian_product(g, &palette);
-    let result = solve_mis_with_config(&product, algorithm, seed, SimConfig::default())?;
-    let mut colors = vec![u32::MAX; n];
-    for &node in result.mis() {
-        let v = node / k;
-        let c = node % k;
-        debug_assert_eq!(colors[v as usize], u32::MAX, "two colours for one node");
-        colors[v as usize] = c;
-    }
-    if let Some(v) = colors.iter().position(|&c| c == u32::MAX) {
-        return Err(ColoringError::PaletteExhausted { node: v as NodeId });
-    }
-    let color_count = distinct_colors(&colors);
+    let view = ProductView::new(g, k);
+    let result = solve_mis_with_config(&view, algorithm, seed, SimConfig::default())?;
+    let (colors, color_count) = decode_product_colors(n, k, result.mis())?;
     Ok(Coloring {
         colors,
         color_count,
@@ -226,8 +229,52 @@ pub fn product_coloring_with_colors(
     })
 }
 
+impl Coloring {
+    /// Assembles a coloring from already-decoded parts. Shared by the
+    /// constructors and [`AppEngine`](crate::AppEngine).
+    pub(crate) fn from_parts(colors: Vec<u32>, color_count: u32, rounds: u32) -> Self {
+        Coloring {
+            colors,
+            color_count,
+            rounds,
+        }
+    }
+}
+
+/// Decodes a product-graph MIS (node `(v, c)` numbered `v·k + c`) into a
+/// per-node colour vector, rejecting double assignments and uncoloured
+/// nodes. Shared by [`product_coloring_with_colors`] and
+/// [`AppEngine`](crate::AppEngine).
+pub(crate) fn decode_product_colors(
+    n: usize,
+    k: u32,
+    mis: &[NodeId],
+) -> Result<(Vec<u32>, u32), ColoringError> {
+    let mut colors = vec![u32::MAX; n];
+    for &node in mis {
+        let v = node / k.max(1);
+        let c = node % k.max(1);
+        if colors[v as usize] != u32::MAX {
+            return Err(ColoringError::ConflictingColors { node: v });
+        }
+        colors[v as usize] = c;
+    }
+    if let Some(v) = colors.iter().position(|&c| c == u32::MAX) {
+        return Err(ColoringError::PaletteExhausted { node: v as NodeId });
+    }
+    let color_count = distinct_colors(&colors);
+    Ok((colors, color_count))
+}
+
 /// Colours `g` by iterated MIS: phase `i` selects an MIS among the nodes
 /// still uncoloured and assigns it colour `i`. Uses at most `Δ+1` colours.
+///
+/// Each phase runs on a lazy [`InducedView`] of the still-uncoloured nodes
+/// (the active list stays sorted, which the view requires), so no per-phase
+/// subgraph is materialised. Phase seeds are derived from the caller seed
+/// through the same SplitMix64 mixing the batch planner uses
+/// ([`trial_seed`]); in particular caller seeds `s` and `s + 1` get fully
+/// decorrelated phase streams instead of replaying each other off by one.
 ///
 /// # Errors
 ///
@@ -243,16 +290,18 @@ pub fn iterated_mis_coloring(
     let mut rounds = 0u32;
     let mut color = 0u32;
     while !active.is_empty() {
-        let sub = ops::induced_subgraph(g, &active);
+        let sub = InducedView::new(g, &active);
         let result = solve_mis_with_config(
             &sub,
             algorithm,
-            seed.wrapping_add(u64::from(color)),
+            trial_seed(seed, u64::from(color)),
             SimConfig::default(),
         )?;
-        rounds += result.rounds();
+        // Saturate rather than wrap: pathological fault configurations can
+        // push the per-phase round counts towards the u32 cap.
+        rounds = rounds.saturating_add(result.rounds());
         for &local in result.mis() {
-            colors[active[local as usize] as usize] = color;
+            colors[sub.original(local) as usize] = color;
         }
         active.retain(|&v| colors[v as usize] == u32::MAX);
         color += 1;
@@ -324,6 +373,7 @@ fn distinct_colors(colors: &[u32]) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mis_graph::generators;
     use rand::{rngs::SmallRng, SeedableRng};
 
     #[test]
@@ -474,6 +524,48 @@ mod tests {
         assert!(err.source().is_none());
         let solve = ColoringError::Solve(SolveError::RoundLimitReached { rounds: 10 });
         assert!(solve.source().is_some());
+    }
+
+    #[test]
+    fn zero_palette_reports_exhaustion_not_panic() {
+        let g = generators::path(3);
+        let err = product_coloring_with_colors(&g, 0, &Algorithm::feedback(), 1).unwrap_err();
+        assert!(matches!(err, ColoringError::PaletteExhausted { node: 0 }));
+    }
+
+    #[test]
+    fn conflicting_colors_is_a_real_error() {
+        // Product nodes 0 = (0, 0) and 1 = (0, 1) both colour node 0; the
+        // decoder must reject this instead of silently overwriting.
+        let err = decode_product_colors(2, 2, &[0, 1]).unwrap_err();
+        assert_eq!(err, ColoringError::ConflictingColors { node: 0 });
+        assert!(err.to_string().contains("two colours"));
+        use std::error::Error as _;
+        assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn phase_seeds_of_adjacent_caller_seeds_are_decorrelated() {
+        // The old derivation (`seed + color`) made caller seeds s and s+1
+        // replay each other's phase streams off by one; the mixed
+        // derivation must give disjoint phase-seed sets.
+        for s in [0u64, 7, 1 << 40] {
+            let a: std::collections::HashSet<u64> = (0..16).map(|c| trial_seed(s, c)).collect();
+            let b: std::collections::HashSet<u64> = (0..16).map(|c| trial_seed(s + 1, c)).collect();
+            assert_eq!(a.len(), 16);
+            assert!(a.is_disjoint(&b), "seed {s} phase streams overlap");
+        }
+    }
+
+    #[test]
+    fn iterated_rounds_accumulate_saturating() {
+        // The accumulator clamps at u32::MAX instead of wrapping; pin the
+        // idiom the implementation uses.
+        let mut rounds = u32::MAX - 3;
+        for phase_rounds in [2u32, 2, 2] {
+            rounds = rounds.saturating_add(phase_rounds);
+        }
+        assert_eq!(rounds, u32::MAX);
     }
 
     #[test]

@@ -179,10 +179,18 @@ pub fn dominating_set_via_mis_with_config(
     config: SimConfig,
 ) -> Result<DominatingSet, SolveError> {
     let result = solve_mis_with_config(g, algorithm, seed, config)?;
-    Ok(DominatingSet {
-        nodes: result.mis().to_vec(),
-        rounds: result.rounds(),
-    })
+    Ok(DominatingSet::from_mis(
+        result.mis().to_vec(),
+        result.rounds(),
+    ))
+}
+
+impl DominatingSet {
+    /// Reinterprets a verified MIS as an independent dominating set.
+    /// Shared by the one-shot constructor and [`AppEngine`](crate::AppEngine).
+    pub(crate) fn from_mis(nodes: Vec<NodeId>, rounds: u32) -> Self {
+        DominatingSet { nodes, rounds }
+    }
 }
 
 /// Elects a connected dominating set: MIS heads plus, for every pair of

@@ -1,0 +1,535 @@
+//! The application execution engine: every reduction behind the unified
+//! [`Engine`] batch path.
+//!
+//! [`AppEngine`] wraps one of the four applications — matching, product
+//! colouring, dominating set, clusterhead election — as a
+//! `mis_core::engine::Engine`, so application workloads run through exactly
+//! the same deterministic, seed-ordered, work-stealing machinery as the
+//! algorithm families (`RunPlan::for_engine(engine, runs).with_jobs(n)`),
+//! with bit-identical records for any job count. The derived graph of each
+//! reduction is a lazy view ([`LineGraphView`], [`ProductView`]) computed
+//! from the base CSR — nothing is materialised per run.
+//!
+//! # Examples
+//!
+//! ```
+//! use mis_apps::AppEngine;
+//! use mis_core::{Algorithm, RunPlan};
+//! use mis_graph::generators;
+//!
+//! let g = generators::grid2d(6, 6);
+//! let engine = AppEngine::matching(Algorithm::feedback());
+//! let report = RunPlan::for_engine(engine, 4)
+//!     .with_master_seed(9)
+//!     .with_jobs(2)
+//!     .execute(&g);
+//! assert_eq!(report.records().len(), 4);
+//! assert_eq!(report.unterminated(), 0);
+//! ```
+
+use core::fmt;
+
+use mis_beeping::SimConfig;
+use mis_core::engine::{Engine, EngineRecord, RunView};
+use mis_core::verify::check_mis;
+use mis_core::{run_algorithm, Algorithm};
+use mis_graph::{Graph, GraphView, LineGraphView, NodeId, ProductView};
+
+use crate::clustering::Clustering;
+use crate::coloring::{decode_product_colors, Coloring};
+use crate::dominating::DominatingSet;
+use crate::matching::Matching;
+
+/// Which application an [`AppEngine`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum AppKind {
+    /// Maximal matching: MIS on the lazy line-graph view.
+    Matching,
+    /// `(Δ+1)`-colouring: MIS on the lazy `G □ K_{Δ+1}` product view.
+    Coloring,
+    /// Independent dominating set: MIS on the base graph, reinterpreted.
+    Dominating,
+    /// Clusterhead election: MIS heads plus one-hop affiliation.
+    Clustering,
+}
+
+impl AppKind {
+    /// Short name for tables and JSON records.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Matching => "matching",
+            AppKind::Coloring => "coloring",
+            AppKind::Dominating => "dominating",
+            AppKind::Clustering => "clustering",
+        }
+    }
+}
+
+impl fmt::Display for AppKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The structure an application run produced, when it terminated and
+/// verified.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AppResult {
+    /// A verified maximal matching.
+    Matching(Matching),
+    /// A verified `(Δ+1)`-colouring.
+    Coloring(Coloring),
+    /// A verified independent dominating set.
+    Dominating(DominatingSet),
+    /// A verified one-hop clustering.
+    Clustering(Clustering),
+}
+
+/// Full outcome of one [`AppEngine`] run: the derived-graph MIS, its cost
+/// metrics, and the decoded application structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppOutcome {
+    kind: AppKind,
+    mis: Vec<NodeId>,
+    rounds: u32,
+    terminated: bool,
+    mean_beeps_per_node: f64,
+    mean_bits_per_channel: f64,
+    result: Option<AppResult>,
+}
+
+impl AppOutcome {
+    /// Which application produced this outcome.
+    #[must_use]
+    pub fn kind(&self) -> AppKind {
+        self.kind
+    }
+
+    /// The decoded application structure (`None` when the run hit the
+    /// round cap or — possible only under fault injection — failed
+    /// verification).
+    #[must_use]
+    pub fn result(&self) -> Option<&AppResult> {
+        self.result.as_ref()
+    }
+
+    /// The matching, for a [`AppKind::Matching`] engine.
+    #[must_use]
+    pub fn matching(&self) -> Option<&Matching> {
+        match &self.result {
+            Some(AppResult::Matching(m)) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The colouring, for a [`AppKind::Coloring`] engine.
+    #[must_use]
+    pub fn coloring(&self) -> Option<&Coloring> {
+        match &self.result {
+            Some(AppResult::Coloring(c)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The dominating set, for a [`AppKind::Dominating`] engine.
+    #[must_use]
+    pub fn dominating(&self) -> Option<&DominatingSet> {
+        match &self.result {
+            Some(AppResult::Dominating(d)) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The clustering, for a [`AppKind::Clustering`] engine.
+    #[must_use]
+    pub fn clustering(&self) -> Option<&Clustering> {
+        match &self.result {
+            Some(AppResult::Clustering(c)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The application's headline size: matched edges, colours used,
+    /// dominators, or clusters (0 when the run failed).
+    #[must_use]
+    pub fn app_size(&self) -> usize {
+        match &self.result {
+            Some(AppResult::Matching(m)) => m.len(),
+            Some(AppResult::Coloring(c)) => c.color_count() as usize,
+            Some(AppResult::Dominating(d)) => d.len(),
+            Some(AppResult::Clustering(c)) => c.cluster_count(),
+            None => 0,
+        }
+    }
+
+    /// Mean beeps per *derived-graph* node (per edge for matching, per
+    /// product node for colouring).
+    #[must_use]
+    pub fn mean_beeps_per_node(&self) -> f64 {
+        self.mean_beeps_per_node
+    }
+
+    /// Beeping rounds of the underlying MIS election (inherent mirror of
+    /// [`RunView::rounds`] so callers need not import the trait).
+    #[must_use]
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Whether the election terminated before the round cap (inherent
+    /// mirror of [`RunView::terminated`]).
+    #[must_use]
+    pub fn terminated(&self) -> bool {
+        self.terminated
+    }
+}
+
+impl RunView for AppOutcome {
+    fn mis(&self) -> Vec<NodeId> {
+        self.mis.clone()
+    }
+
+    fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    fn terminated(&self) -> bool {
+        self.terminated
+    }
+}
+
+/// Compact per-run record an application batch keeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppRecord {
+    /// The run's derived master seed (reproduces the run alone through
+    /// [`Engine::run`]).
+    pub seed: u64,
+    /// Beeping rounds of the underlying MIS election.
+    pub rounds: u32,
+    /// Size of the derived-graph MIS.
+    pub mis_size: usize,
+    /// The application's headline size (matched edges, colours used,
+    /// dominators, clusters).
+    pub app_size: usize,
+    /// Whether the election terminated (and, for terminated runs, decoded
+    /// into a verified structure).
+    pub terminated: bool,
+    /// Mean beeps per derived-graph node.
+    pub mean_beeps_per_node: f64,
+    /// Mean bits per derived-graph channel.
+    pub mean_bits_per_channel: f64,
+}
+
+impl EngineRecord for AppRecord {
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    fn mis_size(&self) -> usize {
+        self.mis_size
+    }
+
+    fn terminated(&self) -> bool {
+        self.terminated
+    }
+
+    fn cost(&self) -> f64 {
+        self.mean_beeps_per_node
+    }
+
+    fn bits_per_channel(&self) -> f64 {
+        self.mean_bits_per_channel
+    }
+}
+
+/// An application behind the unified [`Engine`] interface: a reduction
+/// ([`AppKind`]), the MIS [`Algorithm`] driving it, and a shared
+/// [`SimConfig`].
+///
+/// `run(graph, seed)` is a pure function of its arguments (the view is
+/// rebuilt from the base CSR inside the call), so batches are bit-identical
+/// for any `--jobs` value — the same contract every other engine obeys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppEngine {
+    /// The application every run executes.
+    pub kind: AppKind,
+    /// The MIS algorithm driving the reduction.
+    pub algorithm: Algorithm,
+    /// Simulator configuration shared by every run.
+    pub config: SimConfig,
+}
+
+impl AppEngine {
+    /// An engine for `kind` driven by `algorithm` with the default
+    /// [`SimConfig`].
+    #[must_use]
+    pub fn new(kind: AppKind, algorithm: Algorithm) -> Self {
+        Self {
+            kind,
+            algorithm,
+            config: SimConfig::default(),
+        }
+    }
+
+    /// A maximal-matching engine (MIS on the lazy line-graph view).
+    #[must_use]
+    pub fn matching(algorithm: Algorithm) -> Self {
+        Self::new(AppKind::Matching, algorithm)
+    }
+
+    /// A `(Δ+1)`-colouring engine (MIS on the lazy product view).
+    #[must_use]
+    pub fn coloring(algorithm: Algorithm) -> Self {
+        Self::new(AppKind::Coloring, algorithm)
+    }
+
+    /// An independent-dominating-set engine.
+    #[must_use]
+    pub fn dominating(algorithm: Algorithm) -> Self {
+        Self::new(AppKind::Dominating, algorithm)
+    }
+
+    /// A clusterhead-election engine.
+    #[must_use]
+    pub fn clustering(algorithm: Algorithm) -> Self {
+        Self::new(AppKind::Clustering, algorithm)
+    }
+
+    /// Replaces the simulator configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs the MIS election on `view` and gathers the engine-level
+    /// quantities; `valid` is true exactly when the run terminated *and*
+    /// the selected set verified as an MIS of the view.
+    fn elect<G: GraphView + ?Sized>(&self, view: &G, seed: u64) -> (AppOutcome, bool) {
+        let outcome = run_algorithm(view, &self.algorithm, seed, self.config.clone());
+        let mis = outcome.mis();
+        let terminated = outcome.terminated();
+        let valid = terminated && check_mis(view, &mis).is_ok();
+        let out = AppOutcome {
+            kind: self.kind,
+            rounds: outcome.rounds(),
+            terminated,
+            mean_beeps_per_node: outcome.metrics().mean_beeps_per_node(),
+            mean_bits_per_channel: outcome.metrics().mean_channel_bits(view),
+            mis,
+            result: None,
+        };
+        (out, valid)
+    }
+}
+
+impl Engine for AppEngine {
+    type Outcome = AppOutcome;
+    type Record = AppRecord;
+
+    fn run(&self, graph: &Graph, seed: u64) -> AppOutcome {
+        match self.kind {
+            AppKind::Matching => {
+                let view = LineGraphView::new(graph);
+                let (mut out, valid) = self.elect(&view, seed);
+                if valid {
+                    out.result = Some(AppResult::Matching(Matching::from_line_mis(
+                        &view,
+                        &out.mis,
+                        out.rounds,
+                        out.mean_beeps_per_node,
+                    )));
+                }
+                out
+            }
+            AppKind::Coloring => {
+                let k = graph.max_degree() as u32 + 1;
+                let view = ProductView::new(graph, k);
+                let (mut out, valid) = self.elect(&view, seed);
+                if valid {
+                    // A verified MIS of G □ K_{Δ+1} always decodes: the
+                    // palette cannot be exhausted and colours cannot
+                    // conflict. Decode errors are therefore unreachable
+                    // here, but surfacing them as a missing result (rather
+                    // than panicking) keeps the engine total.
+                    out.result = decode_product_colors(graph.node_count(), k, &out.mis)
+                        .ok()
+                        .map(|(colors, count)| {
+                            AppResult::Coloring(Coloring::from_parts(colors, count, out.rounds))
+                        });
+                }
+                out
+            }
+            AppKind::Dominating => {
+                let (mut out, valid) = self.elect(graph, seed);
+                if valid {
+                    out.result = Some(AppResult::Dominating(DominatingSet::from_mis(
+                        out.mis.clone(),
+                        out.rounds,
+                    )));
+                }
+                out
+            }
+            AppKind::Clustering => {
+                let (mut out, valid) = self.elect(graph, seed);
+                if valid {
+                    out.result = Some(AppResult::Clustering(Clustering::from_heads(
+                        graph,
+                        out.mis.clone(),
+                        out.rounds,
+                    )));
+                }
+                out
+            }
+        }
+    }
+
+    fn record(&self, _graph: &Graph, seed: u64, outcome: &AppOutcome) -> AppRecord {
+        AppRecord {
+            seed,
+            rounds: outcome.rounds,
+            mis_size: outcome.mis.len(),
+            app_size: outcome.app_size(),
+            terminated: outcome.terminated && outcome.result.is_some(),
+            mean_beeps_per_node: outcome.mean_beeps_per_node,
+            mean_bits_per_channel: outcome.mean_bits_per_channel,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coloring::check_coloring;
+    use crate::matching::check_matching;
+    use mis_core::RunPlan;
+    use mis_graph::generators;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn engines() -> Vec<AppEngine> {
+        vec![
+            AppEngine::matching(Algorithm::feedback()),
+            AppEngine::coloring(Algorithm::feedback()),
+            AppEngine::dominating(Algorithm::feedback()),
+            AppEngine::clustering(Algorithm::feedback()),
+        ]
+    }
+
+    #[test]
+    fn engine_outcomes_decode_verified_structures() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = generators::gnp(30, 0.2, &mut rng);
+        for engine in engines() {
+            let out = engine.run(&g, 11);
+            assert!(out.terminated(), "{}", engine.kind);
+            assert!(out.result().is_some(), "{}", engine.kind);
+            assert_eq!(out.kind(), engine.kind);
+            match out.result().unwrap() {
+                AppResult::Matching(m) => assert!(check_matching(&g, m.edges()).is_ok()),
+                AppResult::Coloring(c) => assert!(check_coloring(&g, c.colors()).is_ok()),
+                AppResult::Dominating(d) => {
+                    assert!(crate::dominating::is_dominating_set(&g, d.nodes()));
+                }
+                AppResult::Clustering(c) => {
+                    assert!(crate::clustering::check_clustering(&g, c).is_ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_the_one_shot_constructors() {
+        let g = generators::grid2d(5, 5);
+        let seed = 21;
+
+        let m = AppEngine::matching(Algorithm::feedback()).run(&g, seed);
+        let direct = crate::matching::maximal_matching(&g, &Algorithm::feedback(), seed).unwrap();
+        assert_eq!(m.matching().unwrap(), &direct);
+
+        let c = AppEngine::coloring(Algorithm::feedback()).run(&g, seed);
+        let direct = crate::coloring::product_coloring(&g, &Algorithm::feedback(), seed).unwrap();
+        assert_eq!(c.coloring().unwrap(), &direct);
+
+        let d = AppEngine::dominating(Algorithm::feedback()).run(&g, seed);
+        let direct =
+            crate::dominating::dominating_set_via_mis(&g, &Algorithm::feedback(), seed).unwrap();
+        assert_eq!(d.dominating().unwrap(), &direct);
+
+        let cl = AppEngine::clustering(Algorithm::feedback()).run(&g, seed);
+        let direct = crate::clustering::cluster_via_mis(&g, &Algorithm::feedback(), seed).unwrap();
+        assert_eq!(cl.clustering().unwrap(), &direct);
+    }
+
+    #[test]
+    fn batch_records_are_job_count_invariant() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let g = generators::gnp(25, 0.25, &mut rng);
+        for engine in engines() {
+            let kind = engine.kind;
+            let base = RunPlan::for_engine(engine, 6).with_master_seed(5);
+            let solo = base.clone().with_jobs(1).execute(&g);
+            for jobs in [2, 4] {
+                let parallel = base.clone().with_jobs(jobs).execute(&g);
+                assert_eq!(parallel, solo, "{kind} at jobs = {jobs}");
+            }
+            assert_eq!(solo.unterminated(), 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn records_reduce_the_outcome() {
+        let g = generators::cycle(16);
+        let engine = AppEngine::matching(Algorithm::sweep());
+        let out = engine.run(&g, 2);
+        let record = engine.record(&g, 2, &out);
+        assert_eq!(record.seed, 2);
+        assert_eq!(record.rounds, out.rounds());
+        assert_eq!(record.mis_size, RunView::mis(&out).len());
+        assert_eq!(record.app_size, out.app_size());
+        assert!(record.terminated);
+        assert_eq!(EngineRecord::cost(&record), out.mean_beeps_per_node());
+        assert!(EngineRecord::bits_per_channel(&record) > 0.0);
+    }
+
+    #[test]
+    fn empty_graph_runs_trivially_for_every_kind() {
+        let g = mis_graph::Graph::empty(0);
+        for engine in engines() {
+            let out = engine.run(&g, 0);
+            assert!(out.terminated(), "{}", engine.kind);
+            assert_eq!(out.rounds(), 0);
+            assert_eq!(out.app_size(), 0);
+            assert!(out.result().is_some());
+        }
+    }
+
+    #[test]
+    fn round_cap_yields_no_result() {
+        // Constant p = 1 never terminates on K2's line graph (a single
+        // node would instantly win; use the triangle so L(G) = K3).
+        let g = generators::complete(3);
+        let engine = AppEngine::matching(Algorithm::constant(1.0))
+            .with_config(SimConfig::default().with_max_rounds(5));
+        let out = engine.run(&g, 1);
+        assert!(!out.terminated());
+        assert!(out.result().is_none());
+        assert_eq!(out.app_size(), 0);
+        let record = engine.record(&g, 1, &out);
+        assert!(!record.terminated);
+    }
+
+    #[test]
+    fn kind_names_and_display() {
+        assert_eq!(AppKind::Matching.name(), "matching");
+        assert_eq!(AppKind::Coloring.to_string(), "coloring");
+        assert_eq!(AppKind::Dominating.name(), "dominating");
+        assert_eq!(AppKind::Clustering.to_string(), "clustering");
+    }
+}

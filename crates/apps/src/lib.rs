@@ -21,6 +21,21 @@
 //! the number of beeping rounds consumed, so the applications can be
 //! benchmarked with the same methodology as the paper's figures.
 //!
+//! Two implementation properties matter at scale:
+//!
+//! * **Derived graphs are lazy views.** The reductions never materialise
+//!   their derived graph: matching runs on a
+//!   [`LineGraphView`](mis_graph::LineGraphView), the product colouring on
+//!   a [`ProductView`](mis_graph::ProductView), and each iterated-MIS phase
+//!   on an [`InducedView`](mis_graph::InducedView) — all `O(n + m)`
+//!   indexing state over the borrowed base CSR, with adjacency computed on
+//!   the fly by the generic simulator.
+//! * **Batch execution via [`AppEngine`].** Each application implements the
+//!   workspace's unified `Engine` contract through [`engine::AppEngine`],
+//!   so `mis_core::RunPlan::for_engine(AppEngine::matching(…), runs)`
+//!   fans application workloads across the deterministic work-stealing
+//!   batch path with bit-identical records for any `--jobs` count.
+//!
 //! # Quick start
 //!
 //! ```
@@ -42,6 +57,7 @@
 pub mod clustering;
 pub mod coloring;
 pub mod dominating;
+pub mod engine;
 pub mod matching;
 
 pub use clustering::{cluster_via_mis, cluster_via_mis_with_config, Clustering};
@@ -52,4 +68,5 @@ pub use dominating::{
     connected_dominating_set, dominating_set_via_mis, dominating_set_via_mis_with_config,
     ConnectedDominatingSet, DominatingSet, DominatingSetError,
 };
+pub use engine::{AppEngine, AppKind, AppOutcome, AppRecord, AppResult};
 pub use matching::{maximal_matching, maximal_matching_with_config, Matching};

@@ -10,8 +10,11 @@
 //!
 //! In a real network the line graph is not materialised: each edge is
 //! simulated by one of its endpoints, and a line-graph beep is a one-bit
-//! message on the two incident stars. The simulation here runs the MIS on
-//! an explicit `L(G)` for clarity; the round/beep accounting is identical.
+//! message on the two incident stars. The simulation mirrors that exactly —
+//! it runs the MIS on a lazy [`LineGraphView`] that computes line-graph
+//! adjacency on the fly from the base CSR, so no `O(Σ deg²)` derived
+//! adjacency is ever allocated; the round/beep accounting is identical to
+//! a run on the materialised `L(G)`.
 
 use core::fmt;
 
@@ -19,7 +22,7 @@ use rand::Rng;
 
 use mis_beeping::SimConfig;
 use mis_core::{solve_mis_with_config, Algorithm, SolveError};
-use mis_graph::{ops, Graph, NodeId};
+use mis_graph::{Graph, LineGraphView, NodeId};
 
 /// A verified maximal matching together with the cost of electing it.
 #[derive(Debug, Clone, PartialEq)]
@@ -163,16 +166,35 @@ pub fn maximal_matching_with_config(
     seed: u64,
     config: SimConfig,
 ) -> Result<Matching, SolveError> {
-    let (lg, edge_of) = ops::line_graph(g);
-    let result = solve_mis_with_config(&lg, algorithm, seed, config)?;
-    let mut edges: Vec<(NodeId, NodeId)> =
-        result.mis().iter().map(|&i| edge_of[i as usize]).collect();
-    edges.sort_unstable();
-    Ok(Matching {
-        edges,
-        rounds: result.rounds(),
-        mean_beeps_per_edge: result.mean_beeps_per_node(),
-    })
+    let view = LineGraphView::new(g);
+    let result = solve_mis_with_config(&view, algorithm, seed, config)?;
+    Ok(Matching::from_line_mis(
+        &view,
+        result.mis(),
+        result.rounds(),
+        result.mean_beeps_per_node(),
+    ))
+}
+
+impl Matching {
+    /// Decodes a verified line-graph MIS into the matching it stands for.
+    /// Shared by the one-shot constructor and [`AppEngine`](crate::AppEngine).
+    pub(crate) fn from_line_mis(
+        view: &LineGraphView<'_>,
+        mis: &[NodeId],
+        rounds: u32,
+        mean_beeps_per_edge: f64,
+    ) -> Self {
+        // MIS ids ascend and edge ids are canonical-order, so the decoded
+        // edge list is already sorted.
+        let edges: Vec<(NodeId, NodeId)> = mis.iter().map(|&i| view.edge_of(i)).collect();
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        Matching {
+            edges,
+            rounds,
+            mean_beeps_per_edge,
+        }
+    }
 }
 
 /// Checks the maximal-matching conditions, reporting the first violation.

@@ -3,7 +3,7 @@
 //! The paper's headline claims (`O(log n)` rounds w.h.p., `O(1)` expected
 //! beeps per node) are statistical, so every figure and theory check needs
 //! hundreds of independent runs. This module fans a
-//! ([`Graph`], seed range, [`SimConfig`]) plan across scoped worker
+//! ([`GraphView`], seed range, [`SimConfig`]) plan across scoped worker
 //! threads. Each run draws its node RNG streams from its own derived seed
 //! (via [`trial_seed`], the same derivation the
 //! experiment harness uses), so the per-run [`RunOutcome`]s are
@@ -46,7 +46,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use mis_graph::Graph;
+use mis_graph::GraphView;
 
 use crate::rng::trial_seed;
 use crate::{ProcessFactory, RunOutcome, SimConfig, Simulator};
@@ -179,8 +179,9 @@ where
 /// Results are bit-identical for any `jobs` value; see the
 /// [module docs](self) for the determinism contract.
 #[must_use]
-pub fn run_batch<F>(graph: &Graph, factory: &F, plan: &BatchPlan) -> Vec<RunOutcome>
+pub fn run_batch<G, F>(graph: &G, factory: &F, plan: &BatchPlan) -> Vec<RunOutcome>
 where
+    G: GraphView + ?Sized,
     F: ProcessFactory + Sync,
 {
     run_batch_map(graph, factory, plan, |_, outcome| outcome)
@@ -194,9 +195,10 @@ where
 /// memory: the reduction runs before the next outcome is computed, so only
 /// the reduced values accumulate. The returned vector is in seed order.
 #[must_use]
-pub fn run_batch_map<T, F, M>(graph: &Graph, factory: &F, plan: &BatchPlan, map: M) -> Vec<T>
+pub fn run_batch_map<T, G, F, M>(graph: &G, factory: &F, plan: &BatchPlan, map: M) -> Vec<T>
 where
     T: Send,
+    G: GraphView + ?Sized,
     F: ProcessFactory + Sync,
     M: Fn(usize, RunOutcome) -> T + Sync,
 {
@@ -210,7 +212,7 @@ where
 mod tests {
     use super::*;
     use crate::{BeepingProcess, FnFactory, NetworkInfo, Verdict};
-    use mis_graph::generators;
+    use mis_graph::{generators, Graph};
     use rand::rngs::SmallRng;
     use rand::Rng;
 

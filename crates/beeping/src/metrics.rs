@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use mis_graph::Graph;
+use mis_graph::{Graph, GraphView};
 
 /// Quantities measured during a simulation run.
 ///
@@ -86,19 +86,19 @@ impl Metrics {
     ///
     /// Panics if `g` has more nodes than the metrics were recorded for.
     #[must_use]
-    pub fn mean_channel_bits(&self, g: &Graph) -> f64 {
+    pub fn mean_channel_bits<G: GraphView + ?Sized>(&self, g: &G) -> f64 {
         assert!(
             g.node_count() <= self.signals.len(),
             "graph larger than the simulated network"
         );
-        if g.edge_count() == 0 {
+        let edges = g.edge_count();
+        if edges == 0 {
             return 0.0;
         }
-        let total: u64 = g
-            .nodes()
-            .map(|v| u64::from(self.signals[v as usize]) * g.degree(v) as u64)
+        let total: u64 = (0..g.node_count())
+            .map(|v| u64::from(self.signals[v]) * g.degree(v as u32) as u64)
             .sum();
-        total as f64 / g.edge_count() as f64
+        total as f64 / edges as f64
     }
 
     /// Mean and maximum bits per channel over all edges of `g`

@@ -1,9 +1,17 @@
 //! The synchronous two-exchange round engine.
+//!
+//! The engine is generic over [`GraphView`], so it runs identically on a
+//! materialised CSR [`Graph`] and on the lazy derived-graph adapters
+//! (`LineGraphView`, `ProductView`, `InducedView`) — adjacency is only ever
+//! consumed through ascending-order neighbour iteration, which every view
+//! provides.
+
+use core::ops::ControlFlow;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use mis_graph::{Graph, NodeId};
+use mis_graph::{Graph, GraphView, NodeId};
 
 use crate::rng::node_rng;
 use crate::{
@@ -102,14 +110,15 @@ impl RunOutcome {
 /// Construct with [`Simulator::new`], then either call [`run`](Self::run)
 /// (or [`run_with_observer`](Self::run_with_observer)) to completion, or
 /// convert [`into_stepper`](Self::into_stepper) for round-by-round control.
-pub struct Simulator<'g, F: ProcessFactory> {
-    stepper: Stepper<'g, F>,
+pub struct Simulator<'g, F: ProcessFactory, G: GraphView + ?Sized = Graph> {
+    stepper: Stepper<'g, F, G>,
 }
 
-impl<'g, F: ProcessFactory> Simulator<'g, F> {
-    /// Creates a simulator over `graph` with per-node processes built by
-    /// `factory`, deriving all randomness from `master_seed`.
-    pub fn new(graph: &'g Graph, factory: &F, master_seed: u64, config: SimConfig) -> Self {
+impl<'g, F: ProcessFactory, G: GraphView + ?Sized> Simulator<'g, F, G> {
+    /// Creates a simulator over `graph` (a CSR [`Graph`] or any lazy
+    /// [`GraphView`]) with per-node processes built by `factory`, deriving
+    /// all randomness from `master_seed`.
+    pub fn new(graph: &'g G, factory: &F, master_seed: u64, config: SimConfig) -> Self {
         Self {
             stepper: Stepper::new(graph, factory, master_seed, config),
         }
@@ -134,7 +143,7 @@ impl<'g, F: ProcessFactory> Simulator<'g, F> {
 
     /// Converts into a [`Stepper`] for incremental, inspectable execution.
     #[must_use]
-    pub fn into_stepper(self) -> Stepper<'g, F> {
+    pub fn into_stepper(self) -> Stepper<'g, F, G> {
         self.stepper
     }
 }
@@ -181,8 +190,8 @@ impl<'g, F: ProcessFactory> Simulator<'g, F> {
 /// let outcome = stepper.finish();
 /// assert!(outcome.terminated());
 /// ```
-pub struct Stepper<'g, F: ProcessFactory> {
-    graph: &'g Graph,
+pub struct Stepper<'g, F: ProcessFactory, G: GraphView + ?Sized = Graph> {
+    graph: &'g G,
     config: SimConfig,
     processes: Vec<F::Process>,
     status: Vec<NodeStatus>,
@@ -202,8 +211,8 @@ pub struct Stepper<'g, F: ProcessFactory> {
     round: u32,
 }
 
-impl<'g, F: ProcessFactory> Stepper<'g, F> {
-    fn new(graph: &'g Graph, factory: &F, master_seed: u64, config: SimConfig) -> Self {
+impl<'g, F: ProcessFactory, G: GraphView + ?Sized> Stepper<'g, F, G> {
+    fn new(graph: &'g G, factory: &F, master_seed: u64, config: SimConfig) -> Self {
         let n = graph.node_count();
         let info = NetworkInfo {
             node_count: n,
@@ -459,8 +468,8 @@ impl<'g, F: ProcessFactory> Stepper<'g, F> {
 
 /// Computes `heard[v] = OR of beeps delivered to v from its neighbours`,
 /// applying per-delivery message loss when `lossy`.
-fn broadcast(
-    graph: &Graph,
+fn broadcast<G: GraphView + ?Sized>(
+    graph: &G,
     status: &[NodeStatus],
     fault_rng: &mut SmallRng,
     loss: f64,
@@ -473,16 +482,18 @@ fn broadcast(
         if !b {
             continue;
         }
-        for &u in graph.neighbors(v as NodeId) {
+        // Ascending neighbour order is part of the GraphView contract, so
+        // the loss RNG consumes draws in exactly the CSR reference order.
+        graph.for_each_neighbor(v as NodeId, |u| {
             // Sleeping nodes hear nothing.
             if status[u as usize] == NodeStatus::Asleep {
-                continue;
+                return;
             }
             if lossy && fault_rng.random_bool(loss) {
-                continue;
+                return;
             }
             heard[u as usize] = true;
-        }
+        });
     }
 }
 
@@ -521,8 +532,8 @@ fn unpack_bits(words: &[u64], bits: &mut [bool]) {
 /// * **push** (sparse beeps) — scan the beep words, skip zero words whole,
 ///   and OR each beeper's neighbour bits into the heard bitset; asleep
 ///   listeners are cleared afterwards in one pass.
-fn broadcast_bitset(
-    graph: &Graph,
+fn broadcast_bitset<G: GraphView + ?Sized>(
+    graph: &G,
     status: &[NodeStatus],
     sleepy: bool,
     beeps: &[bool],
@@ -535,25 +546,36 @@ fn broadcast_bitset(
     heard_words.fill(0);
     let beepers: usize = beep_words.iter().map(|w| w.count_ones() as usize).sum();
     if beepers * PULL_CROSSOVER >= n && beepers > 0 {
-        // Pull: per-listener early-exit scan over word-grouped neighbours.
+        // Pull: per-listener early-exit scan over word-grouped neighbours
+        // (ascending iteration keeps same-word neighbours contiguous).
         for v in 0..n {
             if sleepy && status[v] == NodeStatus::Asleep {
                 continue;
             }
-            let nbrs = graph.neighbors(v as NodeId);
-            let mut i = 0;
-            while i < nbrs.len() {
-                let w = (nbrs[i] as usize) / WORD_BITS;
-                let mut mask = 1u64 << (nbrs[i] as usize % WORD_BITS);
-                i += 1;
-                while i < nbrs.len() && nbrs[i] as usize / WORD_BITS == w {
-                    mask |= 1u64 << (nbrs[i] as usize % WORD_BITS);
-                    i += 1;
+            let mut cur_word = usize::MAX;
+            let mut mask = 0u64;
+            let mut hit = false;
+            let flow = graph.try_for_each_neighbor(v as NodeId, |u| {
+                let w = u as usize / WORD_BITS;
+                if w != cur_word {
+                    if cur_word != usize::MAX && beep_words[cur_word] & mask != 0 {
+                        hit = true;
+                        return ControlFlow::Break(());
+                    }
+                    cur_word = w;
+                    mask = 0;
                 }
-                if beep_words[w] & mask != 0 {
-                    heard_words[v / WORD_BITS] |= 1u64 << (v % WORD_BITS);
-                    break;
-                }
+                mask |= 1u64 << (u as usize % WORD_BITS);
+                ControlFlow::Continue(())
+            });
+            if flow == ControlFlow::Continue(())
+                && cur_word != usize::MAX
+                && beep_words[cur_word] & mask != 0
+            {
+                hit = true;
+            }
+            if hit {
+                heard_words[v / WORD_BITS] |= 1u64 << (v % WORD_BITS);
             }
         }
     } else {
@@ -563,9 +585,9 @@ fn broadcast_bitset(
             while bits != 0 {
                 let v = wi * WORD_BITS + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                for &u in graph.neighbors(v as NodeId) {
+                graph.for_each_neighbor(v as NodeId, |u| {
                     heard_words[u as usize / WORD_BITS] |= 1u64 << (u as usize % WORD_BITS);
-                }
+                });
             }
         }
         if sleepy && beepers > 0 {
@@ -580,7 +602,7 @@ fn broadcast_bitset(
     unpack_bits(heard_words, heard);
 }
 
-impl<F: ProcessFactory> core::fmt::Debug for Simulator<'_, F> {
+impl<F: ProcessFactory, G: GraphView + ?Sized> core::fmt::Debug for Simulator<'_, F, G> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Simulator")
             .field("nodes", &self.stepper.graph.node_count())
@@ -589,7 +611,7 @@ impl<F: ProcessFactory> core::fmt::Debug for Simulator<'_, F> {
     }
 }
 
-impl<F: ProcessFactory> core::fmt::Debug for Stepper<'_, F> {
+impl<F: ProcessFactory, G: GraphView + ?Sized> core::fmt::Debug for Stepper<'_, F, G> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Stepper")
             .field("nodes", &self.graph.node_count())

@@ -12,9 +12,14 @@
 //!   pre-refactor fresh-`Vec` path vs the arena path on a Luby-priority
 //!   gnp workload, plus 1 worker vs N workers. Writes
 //!   `BENCH_baselines.json`.
+//! * **apps** — the application reductions: maximal matching as MIS on a
+//!   **materialised** line graph (the pre-view path) vs the lazy
+//!   `LineGraphView`, on a ≥10k-node workload whose line graph dwarfs the
+//!   base CSR, plus `AppEngine` batch determinism at 1 vs N workers.
+//!   Writes `BENCH_apps.json`.
 //!
 //! ```text
-//! simbench [--quick] [--suite simulator|baselines|all] [--out FILE]
+//! simbench [--quick] [--suite simulator|baselines|apps|all] [--out FILE]
 //!          [--runs N] [--jobs N]
 //! ```
 //!
@@ -26,17 +31,19 @@ use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use mis_apps::AppEngine;
 use mis_baselines::{InboxStrategy, LubyPriorityFactory, MessageEngine};
 use mis_beeping::{PropagationKernel, SimConfig};
 use mis_bench::gnp_mean_degree;
 use mis_core::engine::Engine;
-use mis_core::{Algorithm, BatchReport, RunPlan};
-use mis_graph::Graph;
+use mis_core::{solve_mis_with_config, Algorithm, BatchPlan, BatchReport, RunPlan};
+use mis_graph::{ops, Graph, GraphView as _, LineGraphView, NodeId};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Suite {
     Simulator,
     Baselines,
+    Apps,
     All,
 }
 
@@ -49,7 +56,7 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: simbench [--quick] [--suite simulator|baselines|all] [--out FILE] [--runs N] [--jobs N]"
+    "usage: simbench [--quick] [--suite simulator|baselines|apps|all] [--out FILE] [--runs N] [--jobs N]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -69,6 +76,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.suite = match v.as_str() {
                     "simulator" => Suite::Simulator,
                     "baselines" => Suite::Baselines,
+                    "apps" => Suite::Apps,
                     "all" => Suite::All,
                     other => return Err(format!("unknown suite {other:?}\n{}", usage())),
                 };
@@ -375,6 +383,173 @@ fn run_baselines_suite(opts: &Options) -> Result<(), String> {
     write_json(out, &json)
 }
 
+/// The application suite: maximal matching via a materialised line graph
+/// (the pre-view reduction) vs the lazy `LineGraphView`, plus `AppEngine`
+/// batch determinism at 1 vs N workers.
+fn run_apps_suite(opts: &Options) -> Result<(), String> {
+    // A base graph whose line graph dwarfs it: G(10k, d≈64) turns into a
+    // ~320k-node line graph whose materialised adjacency holds ~40M
+    // entries — the memory blow-up the lazy view exists to avoid.
+    let (n, mean_degree, runs) = if opts.quick {
+        (2_000usize, 16.0, opts.runs.unwrap_or(2))
+    } else {
+        (10_000usize, 64.0, opts.runs.unwrap_or(4))
+    };
+    let jobs = opts.jobs.unwrap_or_else(mis_core::auto_jobs);
+    let out = opts.out.as_deref().unwrap_or("BENCH_apps.json");
+
+    eprintln!("simbench[apps]: building G({n}, d≈{mean_degree}) …");
+    let graph = gnp_mean_degree(n, mean_degree);
+    let line_nodes = graph.edge_count();
+    let line_edges = {
+        let view = LineGraphView::new(&graph);
+        view.edge_count()
+    };
+    eprintln!(
+        "simbench[apps]: {} nodes, {} edges (line graph: {} nodes, {} edges); {} runs, {} jobs",
+        graph.node_count(),
+        graph.edge_count(),
+        line_nodes,
+        line_edges,
+        runs,
+        jobs
+    );
+
+    // Size of the derived adjacency the materialised reduction allocates
+    // per run (CSR: two u32 entries per edge plus one usize offset per
+    // node) vs the view's auxiliary indexing (the canonical edge list plus
+    // one u32 edge id per base half-edge plus base offsets).
+    let materialized_adjacency_bytes = 2 * line_edges * 4 + (line_nodes + 1) * 8;
+    let view_aux_bytes = line_nodes * 8 + 2 * graph.edge_count() * 4 + (graph.node_count() + 1) * 8;
+
+    let plan = BatchPlan::new(0xA995, runs);
+    let seeds: Vec<u64> = (0..runs).map(|i| plan.run_seed(i)).collect();
+
+    type RunDigest = (Vec<NodeId>, u32);
+    let solve_materialized = |seed: u64| -> RunDigest {
+        let (lg, _edges) = ops::line_graph(&graph);
+        let r = solve_mis_with_config(&lg, &Algorithm::feedback(), seed, SimConfig::default())
+            .expect("feedback terminates on a fault-free network");
+        (r.mis().to_vec(), r.rounds())
+    };
+    let solve_view = |seed: u64| -> RunDigest {
+        let view = LineGraphView::new(&graph);
+        let r = solve_mis_with_config(&view, &Algorithm::feedback(), seed, SimConfig::default())
+            .expect("feedback terminates on a fault-free network");
+        (r.mis().to_vec(), r.rounds())
+    };
+
+    // Warm-up, untimed.
+    let _ = solve_view(1);
+
+    // Interleave the two reductions and keep per-path minima (the
+    // noise-robust estimator the other suites use). Each timed pass runs
+    // every seed, rebuilding its derived graph per run exactly as the
+    // application entry points do.
+    let reps = 2;
+    eprintln!("simbench[apps]: matching workload (feedback on L(G), {reps} reps × {runs} runs) …");
+    let (mut mat_ms, mut view_ms) = (f64::MAX, f64::MAX);
+    let (mut mat_digest, mut view_digest) = (None, None);
+    for _ in 0..reps {
+        let started = Instant::now();
+        let digest: Vec<RunDigest> = seeds.iter().map(|&s| solve_materialized(s)).collect();
+        mat_ms = mat_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        mat_digest = Some(digest);
+
+        let started = Instant::now();
+        let digest: Vec<RunDigest> = seeds.iter().map(|&s| solve_view(s)).collect();
+        view_ms = view_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        view_digest = Some(digest);
+    }
+    let mat_digest = mat_digest.expect("at least one rep ran");
+    let view_digest = view_digest.expect("at least one rep ran");
+    eprintln!("  materialized L(G): {mat_ms:.1} ms");
+    eprintln!("  lazy view:         {view_ms:.1} ms");
+
+    // Engine batch path: the records must be bit-identical for any worker
+    // count, and match the single-run view path seed for seed.
+    let engine_plan = |jobs: usize| {
+        RunPlan::for_engine(AppEngine::matching(Algorithm::feedback()), runs)
+            .with_master_seed(0xA995)
+            .with_jobs(jobs)
+    };
+    let (engine_solo_ms, engine_solo) = time_plan(&engine_plan(1), &graph);
+    let (engine_jobs_ms, engine_parallel) = if jobs > 1 {
+        let (ms, report) = time_plan(&engine_plan(jobs), &graph);
+        eprintln!("  engine {jobs}-thread:   {ms:.1} ms (1-thread {engine_solo_ms:.1} ms)");
+        (ms, report)
+    } else {
+        (engine_solo_ms, engine_solo.clone())
+    };
+
+    // Equivalence gate: the materialised reduction, the lazy view, and the
+    // engine batch path (at every worker count) must agree run for run
+    // before any timing is reported. The engine comparison checks the
+    // full MIS content (via an untimed outcome pass), not just sizes, so
+    // a divergence that happens to preserve cardinality still trips it.
+    let digests_match = mat_digest == view_digest;
+    let engine_outcomes = engine_plan(1).execute_outcomes(&graph);
+    let engine_matches = engine_solo == engine_parallel
+        && engine_outcomes
+            .iter()
+            .zip(&view_digest)
+            .all(|(out, (mis, rounds))| {
+                mis_core::engine::RunView::mis(out) == *mis
+                    && mis_core::engine::RunView::rounds(out) == *rounds
+            });
+    if !digests_match || !engine_matches {
+        return Err("FATAL — view, materialised path or thread count changed the results".into());
+    }
+
+    let view_speedup = mat_ms / view_ms.max(1e-9);
+    let memory_ratio = materialized_adjacency_bytes as f64 / view_aux_bytes as f64;
+    let thread_speedup = engine_solo_ms / engine_jobs_ms.max(1e-9);
+    let rounds_mean =
+        view_digest.iter().map(|(_, r)| f64::from(*r)).sum::<f64>() / runs.max(1) as f64;
+    eprintln!(
+        "simbench[apps]: view/materialized {view_speedup:.2}x wall-clock, \
+         {memory_ratio:.1}x less derived-adjacency memory; \
+         {jobs}-thread/1-thread {thread_speedup:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"apps\",\n  \"mode\": \"{mode}\",\n  \
+         \"graph\": {{ \"family\": \"gnp\", \"nodes\": {nodes}, \"edges\": {edges}, \"mean_degree\": {md:.2} }},\n  \
+         \"runs\": {runs},\n  \
+         \"matching_workload\": {{\n    \"algorithm\": \"feedback\",\n    \
+         \"line_graph\": {{ \"nodes\": {lnodes}, \"edges\": {ledges} }},\n    \
+         \"rounds_mean\": {rounds:.2},\n    \
+         \"materialized_ms\": {mat:.3},\n    \"view_ms\": {view:.3},\n    \
+         \"speedup\": {vspeed:.3},\n    \
+         \"materialized_adjacency_bytes\": {mbytes},\n    \"view_aux_bytes\": {vbytes},\n    \
+         \"memory_ratio\": {mratio:.3},\n    \
+         \"jobs\": {jobs},\n    \"engine_1thread_ms\": {esolo:.3},\n    \
+         \"engine_jobs_ms\": {ejobs:.3},\n    \"thread_speedup\": {tspeed:.3}\n  }},\n  \
+         \"view_speedup\": {vspeed:.3},\n  \
+         \"memory_ratio\": {mratio:.3},\n  \
+         \"outcomes_identical\": true\n}}\n",
+        mode = if opts.quick { "quick" } else { "full" },
+        nodes = graph.node_count(),
+        edges = graph.edge_count(),
+        md = graph.mean_degree(),
+        runs = runs,
+        lnodes = line_nodes,
+        ledges = line_edges,
+        rounds = rounds_mean,
+        mat = mat_ms,
+        view = view_ms,
+        vspeed = view_speedup,
+        mbytes = materialized_adjacency_bytes,
+        vbytes = view_aux_bytes,
+        mratio = memory_ratio,
+        jobs = jobs,
+        esolo = engine_solo_ms,
+        ejobs = engine_jobs_ms,
+        tspeed = thread_speedup,
+    );
+    write_json(out, &json)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
@@ -388,7 +563,10 @@ fn main() -> ExitCode {
     let result = match opts.suite {
         Suite::Simulator => run_simulator_suite(&opts),
         Suite::Baselines => run_baselines_suite(&opts),
-        Suite::All => run_simulator_suite(&opts).and_then(|()| run_baselines_suite(&opts)),
+        Suite::Apps => run_apps_suite(&opts),
+        Suite::All => run_simulator_suite(&opts)
+            .and_then(|()| run_baselines_suite(&opts))
+            .and_then(|()| run_apps_suite(&opts)),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -4,7 +4,7 @@ use core::fmt;
 use std::sync::Arc;
 
 use mis_beeping::{RunOutcome, SimConfig, Simulator};
-use mis_graph::{Graph, NodeId};
+use mis_graph::{GraphView, NodeId};
 
 use crate::verify::{check_mis, MisViolation};
 use crate::{
@@ -175,9 +175,13 @@ impl MisResult {
 /// configuration, **without** verifying the result. Fault-injection
 /// experiments use this to observe violations; prefer [`solve_mis`]
 /// otherwise.
+///
+/// Generic over [`GraphView`], so the same dispatch runs on a materialised
+/// CSR graph or on a lazy derived-graph view (`LineGraphView`,
+/// `ProductView`, `InducedView`) without building the derived adjacency.
 #[must_use]
-pub fn run_algorithm(
-    graph: &Graph,
+pub fn run_algorithm<G: GraphView + ?Sized>(
+    graph: &G,
     algorithm: &Algorithm,
     seed: u64,
     config: SimConfig,
@@ -220,7 +224,11 @@ pub fn run_algorithm(
 /// round cap is hit, or [`SolveError::InvalidResult`] if verification fails
 /// (impossible for these algorithms on a fault-free network; it would
 /// indicate a bug).
-pub fn solve_mis(graph: &Graph, algorithm: &Algorithm, seed: u64) -> Result<MisResult, SolveError> {
+pub fn solve_mis<G: GraphView + ?Sized>(
+    graph: &G,
+    algorithm: &Algorithm,
+    seed: u64,
+) -> Result<MisResult, SolveError> {
     solve_mis_with_config(graph, algorithm, seed, SimConfig::default())
 }
 
@@ -230,8 +238,8 @@ pub fn solve_mis(graph: &Graph, algorithm: &Algorithm, seed: u64) -> Result<MisR
 ///
 /// As [`solve_mis`]; note that fault-injecting configurations can make
 /// both error variants reachable.
-pub fn solve_mis_with_config(
-    graph: &Graph,
+pub fn solve_mis_with_config<G: GraphView + ?Sized>(
+    graph: &G,
     algorithm: &Algorithm,
     seed: u64,
     config: SimConfig,
@@ -250,7 +258,7 @@ pub fn solve_mis_with_config(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mis_graph::generators;
+    use mis_graph::{generators, Graph};
     use rand::{rngs::SmallRng, SeedableRng};
 
     fn families() -> Vec<(&'static str, Graph)> {

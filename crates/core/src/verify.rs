@@ -10,7 +10,7 @@ use core::fmt;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use mis_graph::{Graph, NodeId};
+use mis_graph::{Graph, GraphView, NodeId};
 
 /// A violation of the maximal-independent-set conditions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,7 +70,7 @@ impl std::error::Error for MisViolation {}
 /// assert!(check_mis(&g, &[0]).is_err()); // node 2 uncovered
 /// assert!(check_mis(&g, &[0, 1]).is_err()); // adjacent members
 /// ```
-pub fn check_mis(g: &Graph, set: &[NodeId]) -> Result<(), MisViolation> {
+pub fn check_mis<G: GraphView + ?Sized>(g: &G, set: &[NodeId]) -> Result<(), MisViolation> {
     let n = g.node_count();
     let mut member = vec![false; n];
     for &v in set {
@@ -80,18 +80,36 @@ pub fn check_mis(g: &Graph, set: &[NodeId]) -> Result<(), MisViolation> {
         member[v as usize] = true;
     }
     for &v in set {
-        for &u in g.neighbors(v) {
+        let mut offender = None;
+        let _ = g.try_for_each_neighbor(v, |u| {
             if member[u as usize] {
-                return Err(MisViolation::AdjacentMembers {
-                    u: u.min(v),
-                    v: u.max(v),
-                });
+                offender = Some(u);
+                core::ops::ControlFlow::Break(())
+            } else {
+                core::ops::ControlFlow::Continue(())
             }
+        });
+        if let Some(u) = offender {
+            return Err(MisViolation::AdjacentMembers {
+                u: u.min(v),
+                v: u.max(v),
+            });
         }
     }
-    for v in g.nodes() {
-        if !member[v as usize] && !g.neighbors(v).iter().any(|&u| member[u as usize]) {
-            return Err(MisViolation::UncoveredNode { node: v });
+    for v in 0..n as NodeId {
+        if !member[v as usize] {
+            let mut covered = false;
+            let _ = g.try_for_each_neighbor(v, |u| {
+                if member[u as usize] {
+                    covered = true;
+                    core::ops::ControlFlow::Break(())
+                } else {
+                    core::ops::ControlFlow::Continue(())
+                }
+            });
+            if !covered {
+                return Err(MisViolation::UncoveredNode { node: v });
+            }
         }
     }
     Ok(())
@@ -99,7 +117,7 @@ pub fn check_mis(g: &Graph, set: &[NodeId]) -> Result<(), MisViolation> {
 
 /// Whether `set` is an independent set of `g` (ignoring maximality).
 #[must_use]
-pub fn is_independent_set(g: &Graph, set: &[NodeId]) -> bool {
+pub fn is_independent_set<G: GraphView + ?Sized>(g: &G, set: &[NodeId]) -> bool {
     let n = g.node_count();
     let mut member = vec![false; n];
     for &v in set {
@@ -108,13 +126,23 @@ pub fn is_independent_set(g: &Graph, set: &[NodeId]) -> bool {
         }
         member[v as usize] = true;
     }
-    set.iter()
-        .all(|&v| g.neighbors(v).iter().all(|&u| !member[u as usize]))
+    set.iter().all(|&v| {
+        let mut clean = true;
+        let _ = g.try_for_each_neighbor(v, |u| {
+            if member[u as usize] {
+                clean = false;
+                core::ops::ControlFlow::Break(())
+            } else {
+                core::ops::ControlFlow::Continue(())
+            }
+        });
+        clean
+    })
 }
 
 /// Whether `set` is a *maximal* independent set of `g`.
 #[must_use]
-pub fn is_maximal_independent_set(g: &Graph, set: &[NodeId]) -> bool {
+pub fn is_maximal_independent_set<G: GraphView + ?Sized>(g: &G, set: &[NodeId]) -> bool {
     check_mis(g, set).is_ok()
 }
 

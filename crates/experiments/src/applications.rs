@@ -8,17 +8,32 @@
 //! distributed primitive and inherits its round behaviour.
 //!
 //! All three tables fan their trials out through [`run_trials`] — the
-//! unified work-stealing batch path — so `xp apps --jobs N` parallelises
-//! one of the slowest figures in the repo with bit-identical tables for
-//! any job count.
+//! unified work-stealing batch path — and each per-trial application run
+//! executes through an [`AppEngine`] (the PR-3 `Engine` implementation for
+//! the reductions), so `xp apps --jobs N` parallelises one of the slowest
+//! figures in the repo with bit-identical tables for any job count and the
+//! derived graphs stay lazy views (no line-graph or product
+//! materialisation per trial).
 
-use mis_apps::{clustering, coloring, dominating, matching};
+use mis_apps::{coloring, dominating, matching, AppEngine};
+use mis_beeping::rng::trial_seed;
+use mis_core::engine::Engine as _;
 use mis_core::Algorithm;
 use mis_graph::{generators, ops, Graph};
 use mis_stats::{OnlineStats, Table};
 use rand::{rngs::SmallRng, SeedableRng};
 
 use crate::run_trials;
+
+/// Per-algorithm sub-stream tags. Each one is mixed into the trial seed
+/// through the same SplitMix64 derivation the batch planner uses
+/// ([`trial_seed`]), so distinct (workload, trial, algorithm) triples get
+/// fully decorrelated seeds — the previous `trial_seed ^ 0xA` / `^ 0xB`
+/// derivation made adjacent algorithms' streams single-bit flips of each
+/// other.
+const FEEDBACK_STREAM: u64 = 0xA;
+/// See [`FEEDBACK_STREAM`].
+const SWEEP_STREAM: u64 = 0xB;
 
 /// Configuration for the applications experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -153,18 +168,24 @@ pub fn run(config: &AppsConfig) -> AppsResults {
     let mut matching_rows = Vec::new();
     let mut coloring_rows = Vec::new();
     let mut backbone_rows = Vec::new();
+    let matching_feedback = AppEngine::matching(Algorithm::feedback());
+    let matching_sweep = AppEngine::matching(Algorithm::sweep());
+    let product_coloring = AppEngine::coloring(Algorithm::feedback());
+    let clustering_engine = AppEngine::clustering(Algorithm::feedback());
     for (wi, (name, make_graph)) in workloads().into_iter().enumerate() {
         let master = config.seed ^ ((wi as u64 + 1) << 24);
 
-        let samples = run_trials(config.trials, master, |trial_seed, _| {
-            let g = make_graph(trial_seed);
-            let feedback = matching::maximal_matching(&g, &Algorithm::feedback(), trial_seed ^ 0xA)
-                .expect("terminates");
-            let sweep = matching::maximal_matching(&g, &Algorithm::sweep(), trial_seed ^ 0xB)
-                .expect("terminates");
+        let samples = run_trials(config.trials, master, |tseed, _| {
+            let g = make_graph(tseed);
+            let feedback = matching_feedback.run(&g, trial_seed(tseed, FEEDBACK_STREAM));
+            let sweep = matching_sweep.run(&g, trial_seed(tseed, SWEEP_STREAM));
             let greedy = matching::greedy_matching(&g).len() as f64;
+            assert!(
+                feedback.matching().is_some() && sweep.matching().is_some(),
+                "matching elections terminate and verify"
+            );
             (
-                feedback.len() as f64,
+                feedback.app_size() as f64,
                 f64::from(feedback.rounds()),
                 f64::from(sweep.rounds()),
                 greedy,
@@ -178,11 +199,14 @@ pub fn run(config: &AppsConfig) -> AppsResults {
             greedy_size: samples.iter().map(|&(_, _, _, d)| d).collect(),
         });
 
-        let samples = run_trials(config.trials, master ^ 0xC0105, |trial_seed, _| {
-            let g = make_graph(trial_seed);
-            let product = coloring::product_coloring(&g, &Algorithm::feedback(), trial_seed)
-                .expect("Δ+1 palette cannot be exhausted");
-            let iterated = coloring::iterated_mis_coloring(&g, &Algorithm::feedback(), trial_seed)
+        let samples = run_trials(config.trials, master ^ 0xC0105, |tseed, _| {
+            let g = make_graph(tseed);
+            let product = product_coloring.run(&g, tseed);
+            let product = product
+                .coloring()
+                .expect("Δ+1 palette cannot be exhausted")
+                .clone();
+            let iterated = coloring::iterated_mis_coloring(&g, &Algorithm::feedback(), tseed)
                 .expect("terminates");
             let greedy = coloring::greedy_coloring(&g);
             let greedy_colors = greedy.iter().max().map_or(0, |&c| c + 1);
@@ -205,15 +229,20 @@ pub fn run(config: &AppsConfig) -> AppsResults {
             greedy_colors: samples.iter().map(|&(.., f)| f).collect(),
         });
 
-        let samples = run_trials(config.trials, master ^ 0xBB0E, |trial_seed, _| {
-            let g = make_graph(trial_seed);
+        let samples = run_trials(config.trials, master ^ 0xBB0E, |tseed, _| {
+            let g = make_graph(tseed);
             if !ops::is_connected(&g) {
                 return None; // backbone undefined on disconnected draws
             }
-            let clusters = clustering::cluster_via_mis(&g, &Algorithm::feedback(), trial_seed)
-                .expect("terminates");
-            let cds = dominating::connected_dominating_set(&g, &Algorithm::feedback(), trial_seed)
+            // Deliberately the same seed for both calls: the backbone row
+            // describes ONE election, so the CDS must be built over the
+            // same MIS the clusterheads came from (heads == CDS core);
+            // decorrelating them would pair connectors with foreign heads.
+            let clusters = clustering_engine.run(&g, tseed);
+            let clusters = clusters.clustering().expect("terminates").clone();
+            let cds = dominating::connected_dominating_set(&g, &Algorithm::feedback(), tseed)
                 .expect("connected");
+            debug_assert_eq!(clusters.heads(), cds.heads(), "one election, one MIS");
             Some((
                 clusters.cluster_count() as f64,
                 cds.connectors().len() as f64,
@@ -333,6 +362,39 @@ impl AppsResults {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn per_algorithm_seed_streams_are_well_separated() {
+        // Regression test for the old `trial_seed ^ 0xA` / `^ 0xB`
+        // derivation, which handed adjacent algorithms single-bit-flip
+        // seeds. Every (workload, trial, algorithm) triple must now map to
+        // a distinct seed, and no two seeds may be near-collisions in
+        // Hamming distance (well-mixed 64-bit values differ in ≈32 bits;
+        // anything below 10 would indicate structured correlation).
+        let mut seeds = Vec::new();
+        for wi in 0..5u64 {
+            let master = 2013 ^ ((wi + 1) << 24);
+            let plan = mis_core::BatchPlan::new(master, 4);
+            for t in 0..4 {
+                let tseed = plan.run_seed(t);
+                for tag in [FEEDBACK_STREAM, SWEEP_STREAM] {
+                    seeds.push(trial_seed(tseed, tag));
+                }
+            }
+        }
+        for i in 0..seeds.len() {
+            for j in (i + 1)..seeds.len() {
+                let dist = (seeds[i] ^ seeds[j]).count_ones();
+                assert!(
+                    dist >= 10,
+                    "seeds {i} and {j} differ in only {dist} bits \
+                     ({:#x} vs {:#x})",
+                    seeds[i],
+                    seeds[j]
+                );
+            }
+        }
+    }
 
     #[test]
     fn apps_experiment_is_sane() {

@@ -198,14 +198,25 @@ pub fn to_dimacs(g: &Graph) -> String {
 
 /// Parses DIMACS `edge` format: `c` comment lines, one `p edge <n> <m>`
 /// problem line, and `e <u> <v>` edge lines with 1-indexed endpoints.
-/// Duplicate edges are tolerated (deduplicated), matching common DIMACS
-/// instance files.
+///
+/// The accepted-input behaviour is pinned:
+///
+/// * **duplicate edges** — `e 2 3` repeated, or reversed as `e 3 2` — are
+///   silently deduplicated, matching common DIMACS instance files (the
+///   declared `m` is not checked against the deduplicated count);
+/// * **self-loops** (`e 2 2`) are rejected with [`GraphError::SelfLoop`] —
+///   the graphs here are simple, and silently dropping the line would
+///   mask a corrupt instance;
+/// * the problem line must carry **both** counts (`p edge <n> <m>`); a
+///   header missing the edge count is malformed.
 ///
 /// # Errors
 ///
 /// Returns [`GraphError::Parse`] when the problem line is missing,
-/// repeated or malformed, when an edge line is malformed or precedes the
-/// problem line, or when an endpoint is `0`/out of range.
+/// repeated or malformed (unsupported format, missing or non-numeric
+/// node/edge count), when an edge line is malformed or precedes the
+/// problem line, or when an endpoint is `0`/out of range; and
+/// [`GraphError::SelfLoop`] for a self-loop edge line.
 ///
 /// # Examples
 ///
@@ -249,6 +260,14 @@ pub fn parse_dimacs(text: &str) -> Result<Graph, GraphError> {
                         line: line_no,
                         reason: "problem line needs a node count".into(),
                     })?;
+            let _declared_edges: usize =
+                parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| GraphError::Parse {
+                        line: line_no,
+                        reason: "problem line needs an edge count".into(),
+                    })?;
             node_count = Some(n);
             continue;
         }
@@ -276,6 +295,11 @@ pub fn parse_dimacs(text: &str) -> Result<Graph, GraphError> {
                 Ok((raw - 1) as NodeId)
             };
             let (u, v) = (endpoint()?, endpoint()?);
+            if u == v {
+                // Reject at the offending line rather than deferring to
+                // construction, so the named error carries the right node.
+                return Err(GraphError::SelfLoop { node: u });
+            }
             edges.push((u, v));
             continue;
         }
@@ -357,6 +381,38 @@ mod tests {
     fn dimacs_tolerates_duplicates_and_col_format() {
         let g = parse_dimacs("p col 3 4\ne 1 2\ne 2 1\ne 2 3\ne 2 3\n").unwrap();
         assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn dimacs_dedupes_silently_and_round_trips() {
+        // Duplicate and reversed-duplicate edge lines collapse to one edge
+        // each; serialising the result and re-parsing is the identity.
+        let g = parse_dimacs("p edge 4 5\ne 1 2\ne 2 1\ne 2 3\ne 2 3\ne 3 4\n").unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(2, 3));
+        assert_eq!(parse_dimacs(&to_dimacs(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn dimacs_rejects_self_loop_with_named_error() {
+        let err = parse_dimacs("p edge 3 1\ne 2 2\n").unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: 1 }); // 0-indexed node
+                                                           // A later self-loop is still caught, after valid lines.
+        let err = parse_dimacs("p edge 3 2\ne 1 2\ne 3 3\n").unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: 2 });
+    }
+
+    #[test]
+    fn dimacs_rejects_header_without_edge_count() {
+        let err = parse_dimacs("p edge 3\ne 1 2\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, reason } => {
+                assert_eq!(line, 1);
+                assert!(reason.contains("edge count"), "{reason}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(parse_dimacs("p edge 3 x\n").is_err()); // non-numeric m
     }
 
     #[test]

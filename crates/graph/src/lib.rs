@@ -13,6 +13,9 @@
 //!   trees, regular graphs, hypercubes and the classic fixed topologies;
 //! * [`ops`] — connected components, induced subgraphs, disjoint unions,
 //!   complements and degree statistics;
+//! * [`view`] — the [`GraphView`] adjacency trait plus lazy derived-graph
+//!   adapters ([`LineGraphView`], [`ProductView`], [`InducedView`]) that the
+//!   simulator can run on without materialising the derived graph;
 //! * [`io`] — an edge-list text format and Graphviz DOT export.
 //!
 //! # Examples
@@ -40,10 +43,12 @@ pub mod generators;
 mod graph;
 pub mod io;
 pub mod ops;
+pub mod view;
 
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{EdgeIter, Graph, NodeIter};
+pub use view::{GraphView, InducedView, LineGraphView, ProductView};
 
 /// Index of a node in a [`Graph`].
 ///

@@ -1,0 +1,193 @@
+//! The lazy derived-graph views are proven structurally identical to the
+//! materialised `ops::*` constructions, generator by generator, and the
+//! `AppEngine` batch path is proven job-count invariant for every
+//! application.
+
+use beeping_mis::apps::AppEngine;
+use beeping_mis::core::engine::Engine as _;
+use beeping_mis::core::{Algorithm, RunPlan};
+use beeping_mis::graph::view::{GraphView, InducedView, LineGraphView, ProductView};
+use beeping_mis::graph::{generators, ops, Graph, NodeId};
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+
+/// Asserts that `view` and `graph` describe the same simple graph: node
+/// and edge counts, per-node degrees, and full ascending neighbour lists.
+fn assert_same_adjacency(view: &impl GraphView, graph: &Graph, label: &str) {
+    assert_eq!(view.node_count(), graph.node_count(), "{label}: node count");
+    assert_eq!(
+        GraphView::edge_count(view),
+        graph.edge_count(),
+        "{label}: edge count"
+    );
+    assert_eq!(
+        GraphView::max_degree(view),
+        graph.max_degree(),
+        "{label}: max degree"
+    );
+    for v in graph.nodes() {
+        assert_eq!(
+            GraphView::degree(view, v),
+            graph.degree(v),
+            "{label}: degree({v})"
+        );
+        assert_eq!(
+            view.neighbors_vec(v),
+            graph.neighbors(v),
+            "{label}: neighbors({v})"
+        );
+    }
+}
+
+/// Every third node of `g` — a deterministic sorted selection.
+fn sparse_selection(g: &Graph) -> Vec<NodeId> {
+    (0..g.node_count() as NodeId).step_by(3).collect()
+}
+
+fn assert_views_match_ops(g: &Graph, label: &str) {
+    let line = LineGraphView::new(g);
+    let (materialized_line, edges) = ops::line_graph(g);
+    assert_eq!(line.edges(), &edges[..], "{label}: edge numbering");
+    assert_same_adjacency(&line, &materialized_line, &format!("{label}: line"));
+
+    for k in [1u32, 3] {
+        let product = ProductView::new(g, k);
+        let materialized_product = ops::cartesian_product(g, &generators::complete(k as usize));
+        assert_same_adjacency(
+            &product,
+            &materialized_product,
+            &format!("{label}: product k={k}"),
+        );
+    }
+
+    let selection = sparse_selection(g);
+    let induced = InducedView::new(g, &selection);
+    let materialized_induced = ops::induced_subgraph(g, &selection);
+    assert_same_adjacency(
+        &induced,
+        &materialized_induced,
+        &format!("{label}: induced"),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Erdős–Rényi graphs across the full density range.
+    #[test]
+    fn views_match_ops_on_gnp(
+        n in 0usize..60,
+        p in 0.0f64..1.0,
+        graph_seed in any::<u64>(),
+    ) {
+        let g = generators::gnp(n, p, &mut SmallRng::seed_from_u64(graph_seed));
+        assert_views_match_ops(&g, "gnp");
+    }
+
+    /// Rectangular grids, including degenerate 1-row/1-column shapes.
+    #[test]
+    fn views_match_ops_on_grids(rows in 1usize..10, cols in 1usize..10) {
+        let g = generators::grid2d(rows, cols);
+        assert_views_match_ops(&g, "grid");
+    }
+
+    /// Scale-free social workloads (Barabási–Albert attachment) — the
+    /// high-degree hubs stress the line view's merge of long incident runs.
+    #[test]
+    fn views_match_ops_on_social_graphs(
+        n in 5usize..50,
+        m in 1usize..4,
+        graph_seed in any::<u64>(),
+    ) {
+        let g = generators::barabasi_albert(n, m, &mut SmallRng::seed_from_u64(graph_seed));
+        assert_views_match_ops(&g, "barabasi-albert");
+    }
+
+    /// Random trees — the sparse extreme (line graph of a tree is again
+    /// sparse; the induced selection cuts it into a forest).
+    #[test]
+    fn views_match_ops_on_trees(n in 1usize..60, graph_seed in any::<u64>()) {
+        let g = generators::random_tree(n, &mut SmallRng::seed_from_u64(graph_seed));
+        assert_views_match_ops(&g, "tree");
+    }
+
+    /// Random sorted selections for the induced view, beyond the
+    /// every-third-node default used above.
+    #[test]
+    fn induced_view_matches_ops_on_random_selections(
+        n in 1usize..50,
+        p in 0.0f64..0.6,
+        selection_seed in any::<u64>(),
+        graph_seed in any::<u64>(),
+    ) {
+        use rand::Rng as _;
+        let g = generators::gnp(n, p, &mut SmallRng::seed_from_u64(graph_seed));
+        let mut pick = SmallRng::seed_from_u64(selection_seed);
+        let selection: Vec<NodeId> = (0..g.node_count() as NodeId)
+            .filter(|_| pick.random_bool(0.5))
+            .collect();
+        let view = InducedView::new(&g, &selection);
+        let materialized = ops::induced_subgraph(&g, &selection);
+        assert_same_adjacency(&view, &materialized, "induced/random");
+    }
+}
+
+/// `AppEngine` batches are bit-identical for any worker count, for all
+/// four applications (the PR-3 determinism contract extended to the
+/// application layer).
+#[test]
+fn app_engine_batches_are_job_count_invariant() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let g = generators::gnp(35, 0.2, &mut rng);
+    let engines = [
+        AppEngine::matching(Algorithm::feedback()),
+        AppEngine::coloring(Algorithm::feedback()),
+        AppEngine::dominating(Algorithm::feedback()),
+        AppEngine::clustering(Algorithm::feedback()),
+    ];
+    for engine in engines {
+        let kind = engine.kind;
+        let base = RunPlan::for_engine(engine, 6).with_master_seed(17);
+        let solo = base.clone().with_jobs(1).execute(&g);
+        let quad = base.clone().with_jobs(4).execute(&g);
+        assert_eq!(solo, quad, "{kind}: jobs 4 diverged from jobs 1");
+        assert_eq!(solo.unterminated(), 0, "{kind}");
+        // The records also reproduce the engine's single-run path seed
+        // for seed.
+        for (i, record) in solo.records().iter().enumerate() {
+            let outcome = base.engine.run(&g, base.run_seed(i));
+            assert_eq!(
+                base.engine.record(&g, base.run_seed(i), &outcome),
+                *record,
+                "{kind}: record {i}"
+            );
+        }
+    }
+}
+
+/// The view-backed applications agree with runs on the materialised
+/// derived graphs: simulating `L(G)` lazily or concretely is the same
+/// random process.
+#[test]
+fn view_and_materialized_elections_agree() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    for trial in 0..3u64 {
+        let g = generators::gnp(25, 0.25, &mut rng);
+
+        let view = LineGraphView::new(&g);
+        let (lg, _) = ops::line_graph(&g);
+        let on_view = beeping_mis::core::solve_mis(&view, &Algorithm::feedback(), trial).unwrap();
+        let on_graph = beeping_mis::core::solve_mis(&lg, &Algorithm::feedback(), trial).unwrap();
+        assert_eq!(on_view.mis(), on_graph.mis());
+        assert_eq!(on_view.rounds(), on_graph.rounds());
+
+        let k = g.max_degree() as u32 + 1;
+        let pview = ProductView::new(&g, k);
+        let product = ops::cartesian_product(&g, &generators::complete(k as usize));
+        let on_view = beeping_mis::core::solve_mis(&pview, &Algorithm::feedback(), trial).unwrap();
+        let on_graph =
+            beeping_mis::core::solve_mis(&product, &Algorithm::feedback(), trial).unwrap();
+        assert_eq!(on_view.mis(), on_graph.mis());
+        assert_eq!(on_view.rounds(), on_graph.rounds());
+    }
+}
