@@ -4,7 +4,10 @@
 //! [`mis_core::engine::Engine`], so the message-passing baselines (Luby
 //! ×2, Métivier, greedy-local) run through the **same** deterministic,
 //! seed-ordered, work-stealing batch path
-//! ([`RunPlan`](mis_core::RunPlan)) as the beeping algorithms.
+//! ([`RunPlan`](mis_core::RunPlan)) as the beeping algorithms. The engine
+//! is implemented for every [`GraphView`], so a message family races the
+//! beeping algorithms on a lazy derived-graph view (line graph, product,
+//! induced subgraph) through the identical plan.
 //!
 //! # Examples
 //!
@@ -26,7 +29,7 @@
 //! ```
 
 use mis_core::engine::{Engine, EngineRecord, RunView};
-use mis_graph::{Graph, NodeId};
+use mis_graph::{GraphView, NodeId};
 
 use crate::{InboxStrategy, MessageFactory, MessageSimulator, MsgRunOutcome};
 
@@ -140,17 +143,17 @@ impl RunView for MsgRunOutcome {
     }
 }
 
-impl<F: MessageFactory + Sync> Engine for MessageEngine<F> {
+impl<F: MessageFactory + Sync, G: GraphView + ?Sized> Engine<G> for MessageEngine<F> {
     type Outcome = MsgRunOutcome;
     type Record = MessageRunRecord;
 
-    fn run(&self, graph: &Graph, seed: u64) -> MsgRunOutcome {
+    fn run(&self, graph: &G, seed: u64) -> MsgRunOutcome {
         MessageSimulator::new(graph, &self.factory, seed)
             .with_inbox_strategy(self.inbox_strategy)
             .run(self.max_rounds)
     }
 
-    fn record(&self, graph: &Graph, seed: u64, outcome: &MsgRunOutcome) -> MessageRunRecord {
+    fn record(&self, graph: &G, seed: u64, outcome: &MsgRunOutcome) -> MessageRunRecord {
         MessageRunRecord {
             seed,
             rounds: outcome.rounds(),

@@ -21,9 +21,14 @@
 //! announcements), inboxes are delivered in ascending neighbour id order
 //! out of an arena buffer, and every message's size in bits is accounted,
 //! so the message/bit complexities of beeping and messaging algorithms can
-//! be compared on the same workloads. [`MessageEngine`] adapts the runtime
-//! to `mis_core`'s [`Engine`](mis_core::engine::Engine) abstraction, so
-//! the baselines run through the same deterministic `--jobs N` batch path
+//! be compared on the same workloads. The runtime is generic over
+//! `mis_graph::GraphView`, so every family also runs on the lazy
+//! derived-graph views — Luby on a `LineGraphView` is a classical
+//! distributed maximal-matching baseline, raced against beeping-MIS on
+//! the same implicit view by `xp race --on line`. [`MessageEngine`]
+//! adapts the runtime to `mis_core`'s
+//! [`Engine`](mis_core::engine::Engine) abstraction, so the baselines run
+//! through the same deterministic `--jobs N` batch path
 //! ([`RunPlan`](mis_core::RunPlan)) as the beeping algorithms.
 //!
 //! # Examples

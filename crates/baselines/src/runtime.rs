@@ -10,16 +10,24 @@
 //! Inboxes are delivered in **ascending neighbour id order** — a pinned
 //! part of the runtime contract (see [`InboxStrategy`]), so algorithms
 //! whose decisions scan their inbox left to right are deterministic by
-//! construction. Delivery walks the graph's sorted CSR neighbour lists
-//! into one arena buffer reused across sub-rounds; the pre-arena
-//! fresh-`Vec` path is kept as [`InboxStrategy::FreshVecs`] for
-//! equivalence tests and benchmarking.
+//! construction. Delivery walks the graph's ascending neighbour iteration
+//! (the [`GraphView`] contract) into one arena buffer reused across
+//! sub-rounds; the pre-arena fresh-`Vec` path is kept as
+//! [`InboxStrategy::FreshVecs`] for equivalence tests and benchmarking.
+//!
+//! # Graph representation
+//!
+//! [`MessageSimulator`] is generic over [`GraphView`] (defaulting to the
+//! CSR [`Graph`]), so every message family runs on the lazy derived-graph
+//! views — Luby on a `LineGraphView` *is* a distributed maximal-matching
+//! baseline — without materialising the derived adjacency. The inbox
+//! arena is sized from [`GraphView::degree`], never from CSR offsets.
 
 use rand::rngs::SmallRng;
 
 use mis_beeping::rng::node_rng;
 use mis_beeping::{NetworkInfo, NodeStatus, Verdict};
-use mis_graph::{Graph, NodeId};
+use mis_graph::{Graph, GraphView, NodeId};
 
 /// A message-passing automaton run at each node by [`MessageSimulator`].
 pub trait MessageProcess {
@@ -141,9 +149,9 @@ impl MsgRunOutcome {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum InboxStrategy {
     /// One arena buffer, reused across sub-rounds, holding every node's
-    /// inbox as a fixed slice laid out in CSR order (the default). Zero
-    /// steady-state allocations and a single fused delivery/accounting
-    /// pass per sub-round.
+    /// inbox as a fixed slice laid out in ascending node order (the
+    /// default). Zero steady-state allocations and a single fused
+    /// delivery/accounting pass per sub-round.
     #[default]
     Arena,
     /// A fresh `Vec` inbox per node per sub-round plus a separate
@@ -153,21 +161,47 @@ pub enum InboxStrategy {
 }
 
 /// Synchronous message-passing engine (reliable network, static topology).
-pub struct MessageSimulator<'g, F: MessageFactory> {
-    graph: &'g Graph,
+///
+/// Generic over the graph representation `G` (any [`GraphView`]; the CSR
+/// [`Graph`] by default), so the same runtime drives a message family on a
+/// materialised graph or on a lazy derived-graph view.
+///
+/// # Examples
+///
+/// Luby's random-priority algorithm on the line-graph view — a maximal
+/// *matching* of the base graph, elected by a classical message-passing
+/// baseline without building `L(G)`:
+///
+/// ```
+/// use mis_baselines::{LubyPriorityFactory, MessageSimulator};
+/// use mis_graph::{generators, GraphView, LineGraphView};
+///
+/// let g = generators::grid2d(4, 4);
+/// let lg = LineGraphView::new(&g);
+/// let outcome = MessageSimulator::new(&lg, &LubyPriorityFactory::new(), 7).run(10_000);
+/// assert!(outcome.terminated());
+/// // The elected MIS of L(G) is a maximal matching of G.
+/// mis_core::verify::check_mis(&lg, &outcome.mis()).unwrap();
+/// let edges: Vec<_> = outcome.mis().iter().map(|&i| lg.edge_of(i)).collect();
+/// assert!(!edges.is_empty());
+/// ```
+pub struct MessageSimulator<'g, F: MessageFactory, G: GraphView + ?Sized = Graph> {
+    graph: &'g G,
     processes: Vec<F::Process>,
     status: Vec<NodeStatus>,
     rngs: Vec<SmallRng>,
     strategy: InboxStrategy,
+    max_degree: usize,
 }
 
-impl<'g, F: MessageFactory> MessageSimulator<'g, F> {
+impl<'g, F: MessageFactory, G: GraphView + ?Sized> MessageSimulator<'g, F, G> {
     /// Creates a simulator over `graph`, seeding all node streams from
     /// `master_seed`.
-    pub fn new(graph: &'g Graph, factory: &F, master_seed: u64) -> Self {
+    pub fn new(graph: &'g G, factory: &F, master_seed: u64) -> Self {
+        let max_degree = graph.max_degree();
         let info = NetworkInfo {
             node_count: graph.node_count(),
-            max_degree: graph.max_degree(),
+            max_degree,
         };
         let processes = (0..graph.node_count() as NodeId)
             .map(|v| factory.create(v, graph.degree(v), &info))
@@ -182,6 +216,7 @@ impl<'g, F: MessageFactory> MessageSimulator<'g, F> {
             status,
             rngs,
             strategy: InboxStrategy::default(),
+            max_degree,
         }
     }
 
@@ -219,9 +254,11 @@ impl<'g, F: MessageFactory> MessageSimulator<'g, F> {
         let mut outbox1: Vec<Option<<F::Process as MessageProcess>::Msg>> = vec![None; n];
         let mut outbox2: Vec<Option<<F::Process as MessageProcess>::Msg>> = vec![None; n];
         // Pull direction: one inbox buffer reused by every receiver, so
-        // each delivery + consumption happens in cache and the buffer
-        // stops reallocating once it has seen the largest degree.
-        let mut inbox: Vec<<F::Process as MessageProcess>::Msg> = Vec::new();
+        // each delivery + consumption happens in cache. Sized up front
+        // from the view's maximum degree (an inbox can never be larger),
+        // so it never reallocates — views have no CSR offsets to size from.
+        let mut inbox: Vec<<F::Process as MessageProcess>::Msg> =
+            Vec::with_capacity(self.max_degree);
         // Push direction: all inboxes laid out as fixed per-node slices
         // (`spans[v]..spans[v + 1]` indexes `arena` for node v).
         let mut arena: Vec<<F::Process as MessageProcess>::Msg> = Vec::new();
@@ -245,7 +282,7 @@ impl<'g, F: MessageFactory> MessageSimulator<'g, F> {
             // Sub-round 2: deliver the first inboxes, collect second
             // broadcasts.
             if push_wins(&outbox1, remaining) {
-                push_deliver::<F>(
+                push_deliver::<F, G>(
                     graph,
                     &self.status,
                     &outbox1,
@@ -262,7 +299,7 @@ impl<'g, F: MessageFactory> MessageSimulator<'g, F> {
             } else {
                 for (v, out) in outbox2.iter_mut().enumerate() {
                     *out = if self.status[v] == NodeStatus::Active {
-                        pull_inbox::<F>(graph, v as NodeId, &outbox1, &mut inbox);
+                        pull_inbox::<F, G>(graph, v as NodeId, &outbox1, &mut inbox);
                         account_inbox::<F>(&inbox, &mut delivered, &mut bits);
                         self.processes[v].broadcast2(&inbox)
                     } else {
@@ -273,7 +310,7 @@ impl<'g, F: MessageFactory> MessageSimulator<'g, F> {
 
             // Decisions from the second inboxes.
             if push_wins(&outbox2, remaining) {
-                push_deliver::<F>(
+                push_deliver::<F, G>(
                     graph,
                     &self.status,
                     &outbox2,
@@ -292,7 +329,7 @@ impl<'g, F: MessageFactory> MessageSimulator<'g, F> {
                     if self.status[v] != NodeStatus::Active {
                         continue;
                     }
-                    pull_inbox::<F>(graph, v as NodeId, &outbox2, &mut inbox);
+                    pull_inbox::<F, G>(graph, v as NodeId, &outbox2, &mut inbox);
                     account_inbox::<F>(&inbox, &mut delivered, &mut bits);
                     let verdict = self.processes[v].decide(&inbox);
                     apply_verdict(verdict, &mut self.status[v], &mut remaining);
@@ -371,17 +408,20 @@ impl<'g, F: MessageFactory> MessageSimulator<'g, F> {
     }
 
     /// Fresh-`Vec` inbox collection (ascending neighbour id order — the
-    /// CSR lists are sorted, so both strategies share the pinned order).
+    /// [`GraphView`] iteration contract, so both strategies share the
+    /// pinned order).
     fn collect_inbox(
-        graph: &Graph,
+        graph: &G,
         v: NodeId,
         outbox: &[Option<<F::Process as MessageProcess>::Msg>],
     ) -> Vec<<F::Process as MessageProcess>::Msg> {
-        graph
-            .neighbors(v)
-            .iter()
-            .filter_map(|&u| outbox[u as usize].clone())
-            .collect()
+        let mut inbox = Vec::new();
+        graph.for_each_neighbor(v, |u| {
+            if let Some(msg) = &outbox[u as usize] {
+                inbox.push(msg.clone());
+            }
+        });
+        inbox
     }
 
     /// Counts deliveries: each broadcast reaches every *active* neighbour.
@@ -392,12 +432,10 @@ impl<'g, F: MessageFactory> MessageSimulator<'g, F> {
     ) {
         for (v, msg) in outbox.iter().enumerate() {
             let Some(msg) = msg else { continue };
-            let recipients = self
-                .graph
-                .neighbors(v as NodeId)
-                .iter()
-                .filter(|&&u| self.status[u as usize] == NodeStatus::Active)
-                .count() as u64;
+            let mut recipients = 0u64;
+            self.graph.for_each_neighbor(v as NodeId, |u| {
+                recipients += u64::from(self.status[u as usize] == NodeStatus::Active);
+            });
             metrics.messages_delivered += recipients;
             metrics.bits_total += recipients * F::Process::message_bits(msg);
         }
@@ -439,19 +477,20 @@ fn push_wins<M>(outbox: &[Option<M>], active: usize) -> bool {
 
 /// Pull direction: rebuilds `inbox` (a buffer reused across receivers)
 /// with the messages v's neighbours broadcast, in ascending neighbour id
-/// order — the pinned delivery contract.
-fn pull_inbox<F: MessageFactory>(
-    graph: &Graph,
+/// order — the pinned delivery contract, inherited from the
+/// [`GraphView`] iteration order.
+fn pull_inbox<F: MessageFactory, G: GraphView + ?Sized>(
+    graph: &G,
     v: NodeId,
     outbox: &[Option<MsgOf<F>>],
     inbox: &mut Vec<MsgOf<F>>,
 ) {
     inbox.clear();
-    for &u in graph.neighbors(v) {
+    graph.for_each_neighbor(v, |u| {
         if let Some(msg) = &outbox[u as usize] {
             inbox.push(msg.clone());
         }
-    }
+    });
 }
 
 /// Accounts one delivered inbox (each message reached one active
@@ -469,8 +508,8 @@ fn account_inbox<F: MessageFactory>(inbox: &[MsgOf<F>], delivered: &mut u64, bit
 /// sum lays them out, and a second pass over the senders (ascending id, so
 /// the pinned delivery order is preserved) fills them. Accounting rides
 /// the counting pass.
-fn push_deliver<F: MessageFactory>(
-    graph: &Graph,
+fn push_deliver<F: MessageFactory, G: GraphView + ?Sized>(
+    graph: &G,
     status: &[NodeStatus],
     outbox: &[Option<MsgOf<F>>],
     (arena, spans, cursors): (&mut Vec<MsgOf<F>>, &mut [usize], &mut [usize]),
@@ -484,13 +523,13 @@ fn push_deliver<F: MessageFactory>(
         let Some(msg) = slot else { continue };
         filler = Some(msg);
         let msg_bits = F::Process::message_bits(msg);
-        for &v in graph.neighbors(u as NodeId) {
+        graph.for_each_neighbor(u as NodeId, |v| {
             if status[v as usize] == NodeStatus::Active {
                 cursors[v as usize] += 1;
                 *delivered += 1;
                 *bits += msg_bits;
             }
-        }
+        });
     }
     // Lay the slices out; reuse `cursors` as per-receiver fill positions.
     spans[0] = 0;
@@ -503,16 +542,16 @@ fn push_deliver<F: MessageFactory>(
     arena.resize(spans[n], Clone::clone(filler));
     for (u, slot) in outbox.iter().enumerate() {
         let Some(msg) = slot else { continue };
-        for &v in graph.neighbors(u as NodeId) {
+        graph.for_each_neighbor(u as NodeId, |v| {
             if status[v as usize] == NodeStatus::Active {
                 arena[cursors[v as usize]] = msg.clone();
                 cursors[v as usize] += 1;
             }
-        }
+        });
     }
 }
 
-impl<F: MessageFactory> core::fmt::Debug for MessageSimulator<'_, F> {
+impl<F: MessageFactory, G: GraphView + ?Sized> core::fmt::Debug for MessageSimulator<'_, F, G> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("MessageSimulator")
             .field("nodes", &self.graph.node_count())

@@ -10,7 +10,9 @@
 //!   runner. Writes `BENCH_simulator.json`.
 //! * **baselines** — the message-passing engine's inbox delivery: the
 //!   pre-refactor fresh-`Vec` path vs the arena path on a Luby-priority
-//!   gnp workload, plus 1 worker vs N workers. Writes
+//!   gnp workload, plus 1 worker vs N workers, plus a **views point**
+//!   (the same Luby-priority engine on the lazy `LineGraphView` vs on a
+//!   materialised `L(G)`, records gated bit-identical). Writes
 //!   `BENCH_baselines.json`.
 //! * **apps** — the application reductions: maximal matching as MIS on a
 //!   **materialised** line graph (the pre-view path) vs the lazy
@@ -37,7 +39,7 @@ use mis_beeping::{PropagationKernel, SimConfig};
 use mis_bench::gnp_mean_degree;
 use mis_core::engine::Engine;
 use mis_core::{solve_mis_with_config, Algorithm, BatchPlan, BatchReport, RunPlan};
-use mis_graph::{ops, Graph, GraphView as _, LineGraphView, NodeId};
+use mis_graph::{ops, GraphView, LineGraphView, NodeId};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Suite {
@@ -109,8 +111,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-/// Wall-clock milliseconds of one full batch execution.
-fn time_plan<E: Engine>(plan: &RunPlan<E>, graph: &Graph) -> (f64, BatchReport<E::Record>) {
+/// Wall-clock milliseconds of one full batch execution (on any graph
+/// representation the engine accepts).
+fn time_plan<G, E>(plan: &RunPlan<E>, graph: &G) -> (f64, BatchReport<E::Record>)
+where
+    G: GraphView + ?Sized,
+    E: Engine<G>,
+{
     let started = Instant::now();
     let report = plan.execute(graph);
     (started.elapsed().as_secs_f64() * 1e3, report)
@@ -120,11 +127,11 @@ fn time_plan<E: Engine>(plan: &RunPlan<E>, graph: &Graph) -> (f64, BatchReport<E
 /// noise-robust estimator on shared machines), plus the report of the
 /// last execution. Callers interleave the configurations under comparison
 /// so slow system phases hit them all equally.
-fn time_plan_min<E: Engine>(
-    plan: &RunPlan<E>,
-    graph: &Graph,
-    best: &mut f64,
-) -> BatchReport<E::Record> {
+fn time_plan_min<G, E>(plan: &RunPlan<E>, graph: &G, best: &mut f64) -> BatchReport<E::Record>
+where
+    G: GraphView + ?Sized,
+    E: Engine<G>,
+{
     let (ms, report) = time_plan(plan, graph);
     if ms < *best {
         *best = ms;
@@ -356,6 +363,67 @@ fn run_baselines_suite(opts: &Options) -> Result<(), String> {
          {jobs}-thread/1-thread {thread_speedup:.2}x"
     );
 
+    // Views workload — the same Luby-priority engine racing on the lazy
+    // line-graph view vs on a materialised L(G). Each timed pass rebuilds
+    // its derived graph from the base CSR (exactly what a pre-view
+    // reduction pays per workload), so the point measures the whole
+    // derived-graph pipeline, not just the rounds.
+    let (vn, vdeg, view_runs) = if opts.quick {
+        (600usize, 8.0, opts.runs.unwrap_or(2))
+    } else {
+        (3_000usize, 16.0, opts.runs.unwrap_or(4))
+    };
+    eprintln!("simbench[baselines]: building views base G({vn}, d≈{vdeg}) …");
+    let view_base = gnp_mean_degree(vn, vdeg);
+    let line_nodes = view_base.edge_count();
+    let line_edges = LineGraphView::new(&view_base).edge_count();
+    eprintln!(
+        "simbench[baselines]: Luby-priority on L(G) ({line_nodes} nodes, {line_edges} edges), \
+         lazy view vs materialised, {view_runs} runs …"
+    );
+    let view_plan = RunPlan::for_engine(MessageEngine::new(LubyPriorityFactory::new()), view_runs)
+        .with_master_seed(0x11E4)
+        .with_jobs(1);
+    let (mut view_ms, mut mat_ms) = (f64::MAX, f64::MAX);
+    let (mut on_view, mut on_materialized) = (None, None);
+    for _ in 0..reps {
+        let started = Instant::now();
+        let view = LineGraphView::new(&view_base);
+        let report = view_plan.execute(&view);
+        view_ms = view_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        on_view = Some(report);
+
+        let started = Instant::now();
+        let (lg, _edges) = ops::line_graph(&view_base);
+        let report = view_plan.execute(&lg);
+        mat_ms = mat_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        on_materialized = Some(report);
+    }
+    let on_view = on_view.expect("at least one rep ran");
+    let on_materialized = on_materialized.expect("at least one rep ran");
+    eprintln!("  lazy view:         {view_ms:.1} ms");
+    eprintln!("  materialized L(G): {mat_ms:.1} ms");
+
+    // Equivalence gate: the graph representation must not change a single
+    // record — Luby on the lazy view and Luby on the materialised line
+    // graph are the same runs, bit for bit.
+    if on_view != on_materialized {
+        return Err("FATAL — the lazy view changed the results".to_owned());
+    }
+
+    let view_speedup = mat_ms / view_ms.max(1e-9);
+    // Derived-adjacency memory: the materialised CSR (two u32 entries per
+    // line edge plus offsets) vs the view's auxiliary indexing (canonical
+    // edge list + one u32 edge id per base half-edge + base offsets).
+    let materialized_adjacency_bytes = 2 * line_edges * 4 + (line_nodes + 1) * 8;
+    let view_aux_bytes =
+        line_nodes * 8 + 2 * view_base.edge_count() * 4 + (view_base.node_count() + 1) * 8;
+    let view_memory_ratio = materialized_adjacency_bytes as f64 / view_aux_bytes as f64;
+    eprintln!(
+        "simbench[baselines]: view/materialized {view_speedup:.2}x wall-clock, \
+         {view_memory_ratio:.1}x less derived-adjacency memory on Luby-matching"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"baselines\",\n  \"mode\": \"{mode}\",\n  \
          \"graph\": {{ \"family\": \"gnp\", \"nodes\": {nodes}, \"edges\": {edges}, \"mean_degree\": {md:.2} }},\n  \
@@ -365,7 +433,16 @@ fn run_baselines_suite(opts: &Options) -> Result<(), String> {
          \"fresh_vecs_1thread_ms\": {fresh:.3},\n    \"arena_1thread_ms\": {arena:.3},\n    \
          \"speedup\": {aspeed:.3},\n    \
          \"jobs\": {jobs},\n    \"arena_jobs_ms\": {ajobs:.3},\n    \"thread_speedup\": {tspeed:.3}\n  }},\n  \
+         \"views_workload\": {{\n    \"algorithm\": \"luby_priority\",\n    \"surface\": \"line_graph\",\n    \
+         \"base\": {{ \"nodes\": {vnodes}, \"edges\": {vedges} }},\n    \
+         \"line_graph\": {{ \"nodes\": {lnodes}, \"edges\": {ledges} }},\n    \
+         \"runs\": {vruns},\n    \"rounds_mean\": {vrounds:.2},\n    \
+         \"materialized_ms\": {vmat:.3},\n    \"view_ms\": {vview:.3},\n    \
+         \"speedup\": {vspeed:.3},\n    \
+         \"materialized_adjacency_bytes\": {vmbytes},\n    \"view_aux_bytes\": {vabytes},\n    \
+         \"memory_ratio\": {vmem:.3},\n    \"outcomes_identical\": true\n  }},\n  \
          \"arena_speedup\": {aspeed:.3},\n  \
+         \"view_speedup\": {vspeed:.3},\n  \
          \"outcomes_identical\": true\n}}\n",
         mode = if opts.quick { "quick" } else { "full" },
         nodes = graph.node_count(),
@@ -379,6 +456,18 @@ fn run_baselines_suite(opts: &Options) -> Result<(), String> {
         jobs = jobs,
         ajobs = arena_jobs_ms,
         tspeed = thread_speedup,
+        vnodes = view_base.node_count(),
+        vedges = view_base.edge_count(),
+        lnodes = line_nodes,
+        ledges = line_edges,
+        vruns = view_runs,
+        vrounds = on_view.rounds().mean(),
+        vmat = mat_ms,
+        vview = view_ms,
+        vspeed = view_speedup,
+        vmbytes = materialized_adjacency_bytes,
+        vabytes = view_aux_bytes,
+        vmem = view_memory_ratio,
     );
     write_json(out, &json)
 }

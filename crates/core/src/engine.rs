@@ -23,6 +23,11 @@
 //! worker count and any record reproduces its run from
 //! [`EngineRecord::seed`] alone.
 //!
+//! The trait is generic over [`GraphView`], so both stacks run on lazy
+//! derived-graph views (`LineGraphView`, `ProductView`, `InducedView`)
+//! exactly as they run on a materialised CSR [`Graph`] — the derived-graph
+//! baseline races execute every contender on the *same* implicit view.
+//!
 //! # Examples
 //!
 //! Run a beeping algorithm through the unified path:
@@ -52,7 +57,7 @@
 //! ```
 
 use mis_beeping::{RunOutcome, SimConfig};
-use mis_graph::{Graph, NodeId};
+use mis_graph::{Graph, GraphView, NodeId};
 
 use crate::{run_algorithm, Algorithm, RunRecord};
 
@@ -121,8 +126,27 @@ pub trait EngineRecord: Send {
 /// still return bit-identical, seed-ordered results for any `--jobs`
 /// value.
 ///
-/// See the [module docs](self) for a runnable example.
-pub trait Engine: Sync {
+/// The trait is parameterised by the graph representation `G` (defaulting
+/// to the CSR [`Graph`]), so an engine implemented for every
+/// [`GraphView`] — [`AlgorithmEngine`] here, `MessageEngine` in
+/// `mis-baselines` — runs unchanged on the lazy derived-graph views.
+///
+/// See the [module docs](self) for a runnable example on a concrete
+/// graph; on a view the calls look identical:
+///
+/// ```
+/// use mis_core::engine::{AlgorithmEngine, Engine, RunView};
+/// use mis_core::Algorithm;
+/// use mis_graph::{generators, LineGraphView};
+///
+/// let g = generators::grid2d(4, 4);
+/// let view = LineGraphView::new(&g); // MIS of L(G) = maximal matching
+/// let engine = AlgorithmEngine::new(Algorithm::feedback());
+/// let outcome = engine.run(&view, 5);
+/// assert!(outcome.terminated());
+/// mis_core::verify::check_mis(&view, &outcome.mis()).unwrap();
+/// ```
+pub trait Engine<G: GraphView + ?Sized = Graph>: Sync {
     /// Full outcome of one run (statuses, metrics, …).
     type Outcome: RunView;
 
@@ -130,12 +154,12 @@ pub trait Engine: Sync {
     type Record: EngineRecord;
 
     /// Runs one seed to termination or the engine's round cap.
-    fn run(&self, graph: &Graph, seed: u64) -> Self::Outcome;
+    fn run(&self, graph: &G, seed: u64) -> Self::Outcome;
 
     /// Reduces a completed run to its compact record. Called inside the
     /// worker that produced `outcome`, before the next run starts, so
     /// large batches never hold every full outcome in memory.
-    fn record(&self, graph: &Graph, seed: u64, outcome: &Self::Outcome) -> Self::Record;
+    fn record(&self, graph: &G, seed: u64, outcome: &Self::Outcome) -> Self::Record;
 }
 
 /// The beeping execution engine: an [`Algorithm`] plus a [`SimConfig`],
@@ -166,15 +190,15 @@ impl AlgorithmEngine {
     }
 }
 
-impl Engine for AlgorithmEngine {
+impl<G: GraphView + ?Sized> Engine<G> for AlgorithmEngine {
     type Outcome = RunOutcome;
     type Record = RunRecord;
 
-    fn run(&self, graph: &Graph, seed: u64) -> RunOutcome {
+    fn run(&self, graph: &G, seed: u64) -> RunOutcome {
         run_algorithm(graph, &self.algorithm, seed, self.config.clone())
     }
 
-    fn record(&self, graph: &Graph, seed: u64, outcome: &RunOutcome) -> RunRecord {
+    fn record(&self, graph: &G, seed: u64, outcome: &RunOutcome) -> RunRecord {
         RunRecord {
             seed,
             rounds: outcome.rounds(),

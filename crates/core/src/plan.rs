@@ -14,7 +14,9 @@
 //! hold every full outcome in memory at once. The default engine is the
 //! beeping [`AlgorithmEngine`]; `mis_baselines::MessageEngine` runs the
 //! message-passing families (Luby ×2, Métivier, greedy-local) through the
-//! very same plan.
+//! very same plan. [`RunPlan::execute`] is generic over
+//! [`GraphView`], so a plan runs on a lazy derived-graph view (line graph,
+//! product, induced subgraph) exactly as it runs on a CSR graph.
 //!
 //! The determinism contract is inherited from the scheduler: the records
 //! are bit-identical for any `jobs` value and match the single-run path
@@ -46,7 +48,7 @@ pub use mis_beeping::batch::{
 };
 
 use mis_beeping::SimConfig;
-use mis_graph::Graph;
+use mis_graph::GraphView;
 use mis_stats::OnlineStats;
 
 use crate::engine::{AlgorithmEngine, Engine, EngineRecord};
@@ -106,9 +108,13 @@ impl EngineRecord for RunRecord {
 ///
 /// The default engine is the beeping [`AlgorithmEngine`] (so
 /// `RunPlan::new(Algorithm::feedback(), …)` keeps working); any other
-/// engine plugs in through [`RunPlan::for_engine`].
+/// engine plugs in through [`RunPlan::for_engine`]. [`execute`] accepts
+/// any [`GraphView`] the engine is implemented for, so one plan runs on a
+/// materialised CSR graph or a lazy derived-graph view alike.
+///
+/// [`execute`]: Self::execute
 #[derive(Debug, Clone, PartialEq)]
-pub struct RunPlan<E: Engine = AlgorithmEngine> {
+pub struct RunPlan<E = AlgorithmEngine> {
     /// The engine every run executes.
     pub engine: E,
     /// Master seed for the whole batch; run `i` derives its own seed.
@@ -136,7 +142,7 @@ impl RunPlan<AlgorithmEngine> {
     }
 }
 
-impl<E: Engine> RunPlan<E> {
+impl<E> RunPlan<E> {
     /// A plan running `engine` for `runs` independent seeds.
     #[must_use]
     pub fn for_engine(engine: E, runs: usize) -> Self {
@@ -180,9 +186,15 @@ impl<E: Engine> RunPlan<E> {
     /// Executes every run and folds the records into a [`BatchReport`].
     ///
     /// Each run goes through [`Engine::run`] — the same call the
-    /// single-run path uses — so the two can never diverge.
+    /// single-run path uses — so the two can never diverge. `graph` may be
+    /// any [`GraphView`] the engine is implemented for: a CSR `Graph` or a
+    /// lazy derived-graph view.
     #[must_use]
-    pub fn execute(&self, graph: &Graph) -> BatchReport<E::Record> {
+    pub fn execute<G>(&self, graph: &G) -> BatchReport<E::Record>
+    where
+        G: GraphView + ?Sized,
+        E: Engine<G>,
+    {
         let plan = self.batch_plan();
         let records = parallel_indexed_map(plan.runs, plan.effective_jobs(), |i| {
             let seed = plan.run_seed(i);
@@ -197,8 +209,10 @@ impl<E: Engine> RunPlan<E> {
     /// Prefer [`execute`](Self::execute) for large batches — full outcomes
     /// keep per-node buffers alive.
     #[must_use]
-    pub fn execute_outcomes(&self, graph: &Graph) -> Vec<E::Outcome>
+    pub fn execute_outcomes<G>(&self, graph: &G) -> Vec<E::Outcome>
     where
+        G: GraphView + ?Sized,
+        E: Engine<G>,
         E::Outcome: Send,
     {
         let plan = self.batch_plan();

@@ -10,7 +10,7 @@ use core::fmt;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use mis_graph::{Graph, GraphView, NodeId};
+use mis_graph::{GraphView, NodeId};
 
 /// A violation of the maximal-independent-set conditions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,6 +149,10 @@ pub fn is_maximal_independent_set<G: GraphView + ?Sized>(g: &G, set: &[NodeId]) 
 /// The trivial sequential MIS: scan nodes in ascending order, adding each
 /// node whose neighbours are all outside the set (§1 of the paper).
 ///
+/// Generic over [`GraphView`], so the sequential size anchor works on the
+/// lazy derived-graph views too (the derived-graph baseline race uses it
+/// there).
+///
 /// # Examples
 ///
 /// ```
@@ -160,8 +164,8 @@ pub fn is_maximal_independent_set<G: GraphView + ?Sized>(g: &G, set: &[NodeId]) 
 /// assert!(check_mis(&g, &mis).is_ok());
 /// ```
 #[must_use]
-pub fn greedy_mis(g: &Graph) -> Vec<NodeId> {
-    greedy_mis_in_order(g, g.nodes())
+pub fn greedy_mis<G: GraphView + ?Sized>(g: &G) -> Vec<NodeId> {
+    greedy_mis_in_order(g, 0..g.node_count() as NodeId)
 }
 
 /// Greedy MIS scanning nodes in the order produced by `order`.
@@ -172,8 +176,9 @@ pub fn greedy_mis(g: &Graph) -> Vec<NodeId> {
 /// # Panics
 ///
 /// Panics if `order` yields an out-of-range node.
-pub fn greedy_mis_in_order<I>(g: &Graph, order: I) -> Vec<NodeId>
+pub fn greedy_mis_in_order<G, I>(g: &G, order: I) -> Vec<NodeId>
 where
+    G: GraphView + ?Sized,
     I: IntoIterator<Item = NodeId>,
 {
     let mut blocked = vec![false; g.node_count()];
@@ -182,9 +187,9 @@ where
         if !blocked[v as usize] {
             mis.push(v);
             blocked[v as usize] = true;
-            for &u in g.neighbors(v) {
+            g.for_each_neighbor(v, |u| {
                 blocked[u as usize] = true;
-            }
+            });
         }
     }
     mis.sort_unstable();
@@ -193,8 +198,12 @@ where
 
 /// Greedy MIS over a uniformly random node order — the natural randomised
 /// sequential baseline for MIS-size comparisons.
-pub fn random_greedy_mis<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Vec<NodeId> {
-    let mut order: Vec<NodeId> = g.nodes().collect();
+pub fn random_greedy_mis<G, R>(g: &G, rng: &mut R) -> Vec<NodeId>
+where
+    G: GraphView + ?Sized,
+    R: Rng + ?Sized,
+{
+    let mut order: Vec<NodeId> = (0..g.node_count() as NodeId).collect();
     order.shuffle(rng);
     greedy_mis_in_order(g, order)
 }

@@ -1,7 +1,8 @@
 //! `xp` — the experiment driver.
 //!
 //! ```text
-//! xp <experiment> [--quick] [--seed N] [--trials N] [--jobs N] [--science] [--out FILE]
+//! xp <experiment> [--quick] [--seed N] [--trials N] [--jobs N] [--science]
+//!                 [--on base|line|product|induced] [--out FILE]
 //!
 //! experiments:
 //!   fig3         Figure 3: rounds vs n on G(n, ½)
@@ -11,7 +12,8 @@
 //!   tails        Theorem 2: termination-time tails
 //!   robustness   §6: parameter ablations
 //!   faults       extension: message loss & late wake-ups
-//!   race         extension: baselines comparison
+//!   race         extension: baselines comparison (--on races every
+//!                contender on a lazy derived-graph view of each workload)
 //!   quality      extension: MIS sizes vs exact optimum
 //!   decay        extension: active-node decay curves
 //!   apps         extension: matching / colouring / backbone via MIS
@@ -36,12 +38,13 @@ struct Options {
     trials: Option<usize>,
     jobs: Option<usize>,
     science: bool,
+    on: Option<race::RaceSurface>,
     out: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: xp <fig3|fig5|grid|lower-bound|tails|robustness|faults|race|quality|decay|apps|sop|potential|all> \
-     [--quick] [--seed N] [--trials N] [--jobs N] [--science] [--out FILE]"
+     [--quick] [--seed N] [--trials N] [--jobs N] [--science] [--on base|line|product|induced] [--out FILE]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -54,6 +57,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         trials: None,
         jobs: None,
         science: false,
+        on: None,
         out: None,
     };
     while let Some(arg) = it.next() {
@@ -75,6 +79,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err("--jobs must be at least 1".to_owned());
                 }
                 opts.jobs = Some(jobs);
+            }
+            "--on" => {
+                let v = it.next().ok_or("--on needs a value")?;
+                opts.on = Some(race::RaceSurface::parse(v).ok_or_else(|| {
+                    format!("unknown race surface {v:?} (expected base|line|product|induced)")
+                })?);
             }
             "--out" => {
                 let v = it.next().ok_or("--out needs a file path")?;
@@ -240,11 +250,22 @@ fn run_race(opts: &Options) -> (String, String) {
     if let Some(t) = opts.trials {
         config.trials = t;
     }
-    eprintln!("race: {} trials per workload", config.trials);
-    (
-        "Extension — baseline race".into(),
-        race::run(&config).render(),
-    )
+    if let Some(surface) = opts.on {
+        config.surface = surface;
+    }
+    eprintln!(
+        "race: {} trials per workload, surface {}",
+        config.trials,
+        config.surface.name()
+    );
+    let title = match config.surface {
+        race::RaceSurface::Base => "Extension — baseline race".to_owned(),
+        surface => format!(
+            "Extension — baseline race on the lazy {} view",
+            surface.name()
+        ),
+    };
+    (title, race::run(&config).render())
 }
 
 fn run_quality(opts: &Options) -> (String, String) {
@@ -437,7 +458,25 @@ mod tests {
         assert_eq!(opts.trials, Some(12));
         assert_eq!(opts.jobs, Some(4));
         assert!(!opts.science);
+        assert_eq!(opts.on, None);
         assert_eq!(opts.out, None);
+    }
+
+    #[test]
+    fn parses_race_surface() {
+        for (value, surface) in [
+            ("base", race::RaceSurface::Base),
+            ("line", race::RaceSurface::Line),
+            ("product", race::RaceSurface::Product),
+            ("induced", race::RaceSurface::Induced),
+        ] {
+            let opts = parse(&["race", "--on", value]).unwrap();
+            assert_eq!(opts.on, Some(surface));
+        }
+        assert!(parse(&["race", "--on"]).is_err());
+        let err = parse(&["race", "--on", "torus"]).unwrap_err();
+        assert!(err.contains("torus"));
+        assert!(err.contains("base|line|product|induced"));
     }
 
     #[test]

@@ -12,18 +12,81 @@
 //! work-stealing batch path as every other experiment ([`run_trials`]),
 //! so `xp race --jobs N` parallelises the whole figure with bit-identical
 //! tables for any job count.
+//!
+//! With `xp race --on {line,product,induced}` the whole field races on a
+//! **lazy derived-graph view** of each workload instead of the base graph
+//! ([`RaceSurface`]): Luby on `L(G)` is a classical distributed
+//! maximal-matching baseline, raced head-to-head against beeping-MIS on
+//! the very same implicit view — the derived adjacency is never
+//! materialised for any contender.
 
 use mis_baselines::{
     GreedyLocalFactory, LubyMarkingFactory, LubyPriorityFactory, MessageEngine, MetivierFactory,
 };
 use mis_core::engine::{AlgorithmEngine, Engine, EngineRecord, RunView};
-use mis_core::verify::{check_mis, greedy_mis};
+use mis_core::verify::{check_mis, random_greedy_mis};
 use mis_core::Algorithm;
-use mis_graph::{generators, Graph};
+use mis_graph::{generators, Graph, GraphView, InducedView, LineGraphView, NodeId, ProductView};
 use mis_stats::{OnlineStats, Table};
 use rand::{rngs::SmallRng, SeedableRng};
 
 use crate::run_trials;
+
+/// The graph surface every contender races on: the base workload graph or
+/// a lazy derived-graph view of it (`xp race --on …`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum RaceSurface {
+    /// The base workload graph itself.
+    #[default]
+    Base,
+    /// The line graph `L(G)` as a [`LineGraphView`] — the elected MIS is a
+    /// maximal *matching* of the base graph, so this pits beeping-MIS
+    /// against Luby-style matching baselines.
+    Line,
+    /// The cartesian product `G □ K₃` as a [`ProductView`] (a fixed
+    /// 3-colour palette keeps the node count at `3n` across workloads).
+    Product,
+    /// The subgraph induced by the even-numbered nodes, as an
+    /// [`InducedView`] — the iterated-MIS phase shape.
+    Induced,
+}
+
+impl RaceSurface {
+    /// Short name for flags, titles and tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RaceSurface::Base => "base",
+            RaceSurface::Line => "line",
+            RaceSurface::Product => "product",
+            RaceSurface::Induced => "induced",
+        }
+    }
+
+    /// Parses a `--on` flag value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "base" => Some(RaceSurface::Base),
+            "line" => Some(RaceSurface::Line),
+            "product" => Some(RaceSurface::Product),
+            "induced" => Some(RaceSurface::Induced),
+            _ => None,
+        }
+    }
+
+    /// The label appended to workload names ("L(G)", "G □ K₃", …).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RaceSurface::Base => "",
+            RaceSurface::Line => " on L(G)",
+            RaceSurface::Product => " on G □ K₃",
+            RaceSurface::Induced => " on G[even]",
+        }
+    }
+}
 
 /// Configuration for the race.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +97,8 @@ pub struct RaceConfig {
     pub seed: u64,
     /// Workload scale multiplier (1 = full).
     pub scale: usize,
+    /// The surface raced on (base graph or a lazy derived view).
+    pub surface: RaceSurface,
 }
 
 impl RaceConfig {
@@ -44,6 +109,7 @@ impl RaceConfig {
             trials: 30,
             seed: 2013,
             scale: 1,
+            surface: RaceSurface::Base,
         }
     }
 
@@ -54,7 +120,15 @@ impl RaceConfig {
             trials: 6,
             seed: 2013,
             scale: 2, // divides workload sizes by 2
+            surface: RaceSurface::Base,
         }
+    }
+
+    /// Replaces the race surface.
+    #[must_use]
+    pub fn on(mut self, surface: RaceSurface) -> Self {
+        self.surface = surface;
+        self
     }
 }
 
@@ -113,13 +187,15 @@ impl Contender {
     }
 
     /// Runs this contender once through the unified [`Engine`] layer,
-    /// returning `(rounds, MIS size, mean bits per channel)`.
+    /// returning `(rounds, MIS size, mean bits per channel)`. Generic over
+    /// [`GraphView`], so the same dispatch races on a base graph or on a
+    /// lazy derived-graph view.
     ///
     /// # Panics
     ///
     /// Panics if the run fails to terminate or yields an invalid MIS.
     #[must_use]
-    pub fn run_once(&self, g: &Graph, seed: u64) -> (f64, f64, f64) {
+    pub fn run_once<G: GraphView + ?Sized>(&self, g: &G, seed: u64) -> (f64, f64, f64) {
         match self {
             Contender::Feedback => {
                 run_engine(&AlgorithmEngine::new(Algorithm::feedback()), g, seed)
@@ -141,8 +217,13 @@ impl Contender {
 }
 
 /// One verified run of any engine: beeping and message contenders share
-/// this code path (and its correctness checks) exactly.
-fn run_engine<E: Engine>(engine: &E, g: &Graph, seed: u64) -> (f64, f64, f64) {
+/// this code path (and its correctness checks) exactly, on any
+/// [`GraphView`].
+fn run_engine<G, E>(engine: &E, g: &G, seed: u64) -> (f64, f64, f64)
+where
+    G: GraphView + ?Sized,
+    E: Engine<G>,
+{
     let outcome = engine.run(g, seed);
     assert!(outcome.terminated(), "contender hit the round cap");
     check_mis(g, &outcome.mis()).expect("contender produced an invalid MIS");
@@ -223,6 +304,18 @@ fn workloads(scale: usize) -> Vec<(String, WorkloadGen)> {
     ]
 }
 
+/// One trial of the whole field on one surface: the sequential greedy
+/// size anchor plus every contender, all on the same [`GraphView`].
+fn trial_on<G: GraphView + ?Sized>(g: &G, trial_seed: u64) -> (f64, Vec<(f64, f64, f64)>) {
+    let mut rng = SmallRng::seed_from_u64(trial_seed ^ 0x9EED);
+    let greedy = random_greedy_mis(g, &mut rng).len() as f64;
+    let runs: Vec<(f64, f64, f64)> = Contender::all()
+        .iter()
+        .map(|c| c.run_once(g, trial_seed ^ 0xC047))
+        .collect();
+    (greedy, runs)
+}
+
 /// Runs the race.
 ///
 /// # Panics
@@ -234,16 +327,21 @@ pub fn run(config: &RaceConfig) -> RaceResults {
     let mut results = Vec::new();
     for (wi, (name, make_graph)) in workloads(config.scale).into_iter().enumerate() {
         let master = config.seed ^ ((wi as u64 + 1) << 20);
+        let surface = config.surface;
         let per_trial = run_trials(config.trials, master, |trial_seed, _| {
             let g = make_graph(trial_seed);
-            let mut rng = SmallRng::seed_from_u64(trial_seed ^ 0x9EED);
-            let greedy = mis_core::verify::random_greedy_mis(&g, &mut rng).len() as f64;
-            let _ = greedy_mis(&g); // exercised for parity; random order reported
-            let runs: Vec<(f64, f64, f64)> = Contender::all()
-                .iter()
-                .map(|c| c.run_once(&g, trial_seed ^ 0xC047))
-                .collect();
-            (greedy, runs)
+            // The view is rebuilt from the base CSR inside the trial (the
+            // same purity contract as `Engine::run`), so trials stay
+            // independent and job-count invariant.
+            match surface {
+                RaceSurface::Base => trial_on(&g, trial_seed),
+                RaceSurface::Line => trial_on(&LineGraphView::new(&g), trial_seed),
+                RaceSurface::Product => trial_on(&ProductView::new(&g, 3), trial_seed),
+                RaceSurface::Induced => {
+                    let even: Vec<NodeId> = (0..g.node_count() as NodeId).step_by(2).collect();
+                    trial_on(&InducedView::new(&g, &even), trial_seed)
+                }
+            }
         });
         let contenders = Contender::all()
             .iter()
@@ -256,7 +354,7 @@ pub fn run(config: &RaceConfig) -> RaceResults {
             })
             .collect();
         results.push(WorkloadResults {
-            name,
+            name: format!("{name}{}", surface.label()),
             contenders,
             greedy_size: per_trial.iter().map(|&(g, _)| g).collect(),
         });
@@ -334,6 +432,7 @@ mod tests {
             trials: 4,
             seed: 77,
             scale: 3,
+            surface: RaceSurface::Base,
         })
     }
 
@@ -378,6 +477,56 @@ mod tests {
                 luby.bits_per_channel.mean()
             );
         }
+    }
+
+    #[test]
+    fn derived_surface_races_fill_every_cell() {
+        // The derived-graph race: all seven contenders on the same lazy
+        // view, every surface, with the correctness checks of run_engine
+        // live on every run.
+        for surface in [
+            RaceSurface::Line,
+            RaceSurface::Product,
+            RaceSurface::Induced,
+        ] {
+            let results = run(&RaceConfig {
+                trials: 2,
+                seed: 5,
+                scale: 3,
+                surface,
+            });
+            assert_eq!(results.workloads.len(), 5, "{}", surface.name());
+            for w in &results.workloads {
+                assert!(w.name.ends_with(surface.label().trim_start()), "{}", w.name);
+                assert_eq!(w.contenders.len(), 7);
+                for c in &w.contenders {
+                    assert!(
+                        c.rounds.mean() >= 1.0,
+                        "{} on {}",
+                        c.contender.name(),
+                        w.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn surface_names_parse_and_label() {
+        for surface in [
+            RaceSurface::Base,
+            RaceSurface::Line,
+            RaceSurface::Product,
+            RaceSurface::Induced,
+        ] {
+            assert_eq!(RaceSurface::parse(surface.name()), Some(surface));
+        }
+        assert_eq!(RaceSurface::parse("torus"), None);
+        assert_eq!(RaceSurface::default(), RaceSurface::Base);
+        assert!(RaceSurface::Base.label().is_empty());
+        assert!(RaceSurface::Line.label().contains("L(G)"));
+        let config = RaceConfig::quick().on(RaceSurface::Line);
+        assert_eq!(config.surface, RaceSurface::Line);
     }
 
     #[test]

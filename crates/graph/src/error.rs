@@ -32,6 +32,15 @@ pub enum GraphError {
         /// Description of the problem.
         reason: String,
     },
+    /// A DIMACS header declared an edge count that does not match the
+    /// deduplicated edge count of the instance (strict parsing only; see
+    /// [`io::parse_dimacs_strict`](crate::io::parse_dimacs_strict)).
+    EdgeCountMismatch {
+        /// The `m` the `p edge n m` problem line declared.
+        declared: usize,
+        /// The number of distinct edges the instance actually contains.
+        found: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -54,6 +63,10 @@ impl fmt::Display for GraphError {
             GraphError::Parse { line, reason } => {
                 write!(f, "parse error on line {line}: {reason}")
             }
+            GraphError::EdgeCountMismatch { declared, found } => write!(
+                f,
+                "header declares {declared} edges but the instance has {found} distinct edges"
+            ),
         }
     }
 }
@@ -80,6 +93,11 @@ mod tests {
             reason: "bad token".into(),
         };
         assert!(e.to_string().contains("line 2"));
+        let e = GraphError::EdgeCountMismatch {
+            declared: 5,
+            found: 3,
+        };
+        assert!(e.to_string().contains('5') && e.to_string().contains('3'));
     }
 
     #[test]

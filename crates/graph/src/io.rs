@@ -203,7 +203,8 @@ pub fn to_dimacs(g: &Graph) -> String {
 ///
 /// * **duplicate edges** — `e 2 3` repeated, or reversed as `e 3 2` — are
 ///   silently deduplicated, matching common DIMACS instance files (the
-///   declared `m` is not checked against the deduplicated count);
+///   declared `m` is not checked against the deduplicated count; use
+///   [`parse_dimacs_strict`] when it should be);
 /// * **self-loops** (`e 2 2`) are rejected with [`GraphError::SelfLoop`] —
 ///   the graphs here are simple, and silently dropping the line would
 ///   mask a corrupt instance;
@@ -229,7 +230,62 @@ pub fn to_dimacs(g: &Graph) -> String {
 /// # Ok::<(), mis_graph::GraphError>(())
 /// ```
 pub fn parse_dimacs(text: &str) -> Result<Graph, GraphError> {
+    parse_dimacs_inner(text).map(|(g, _declared)| g)
+}
+
+/// [`parse_dimacs`] with the declared edge count **cross-checked**: after
+/// parsing (and the usual silent deduplication), the header's `m` must
+/// equal the number of distinct edges of the instance.
+///
+/// Use this for instances you generate or control — [`to_dimacs`] always
+/// writes the deduplicated count, so everything it emits round-trips
+/// through strict parsing. Keep the lenient [`parse_dimacs`] for instance
+/// files from the wild, whose headers are frequently off by the
+/// duplicates they contain.
+///
+/// # Errors
+///
+/// Everything [`parse_dimacs`] returns, plus
+/// [`GraphError::EdgeCountMismatch`] when the declared `m` differs from
+/// the deduplicated edge count.
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::io::parse_dimacs_strict;
+/// use mis_graph::GraphError;
+///
+/// let g = parse_dimacs_strict("p edge 3 2\ne 1 2\ne 2 3\n")?;
+/// assert_eq!(g.edge_count(), 2);
+///
+/// // The same instance with a duplicate edge line: the lenient parser
+/// // dedupes silently, the strict one reports the header mismatch.
+/// let err = parse_dimacs_strict("p edge 3 3\ne 1 2\ne 2 1\ne 2 3\n").unwrap_err();
+/// assert_eq!(
+///     err,
+///     GraphError::EdgeCountMismatch {
+///         declared: 3,
+///         found: 2
+///     }
+/// );
+/// # Ok::<(), mis_graph::GraphError>(())
+/// ```
+pub fn parse_dimacs_strict(text: &str) -> Result<Graph, GraphError> {
+    let (g, declared) = parse_dimacs_inner(text)?;
+    if g.edge_count() != declared {
+        return Err(GraphError::EdgeCountMismatch {
+            declared,
+            found: g.edge_count(),
+        });
+    }
+    Ok(g)
+}
+
+/// The shared DIMACS parser: returns the graph plus the `m` the problem
+/// line declared, so the strict entry point can cross-check it.
+fn parse_dimacs_inner(text: &str) -> Result<(Graph, usize), GraphError> {
     let mut node_count: Option<usize> = None;
+    let mut declared_edges = 0usize;
     let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -260,7 +316,7 @@ pub fn parse_dimacs(text: &str) -> Result<Graph, GraphError> {
                         line: line_no,
                         reason: "problem line needs a node count".into(),
                     })?;
-            let _declared_edges: usize =
+            declared_edges =
                 parts
                     .next()
                     .and_then(|s| s.parse().ok())
@@ -312,7 +368,7 @@ pub fn parse_dimacs(text: &str) -> Result<Graph, GraphError> {
         line: 0,
         reason: "missing problem line".into(),
     })?;
-    Graph::from_edges(n, edges)
+    Graph::from_edges(n, edges).map(|g| (g, declared_edges))
 }
 
 /// Round-trips a graph through the edge-list format (serialise then parse).
@@ -391,6 +447,64 @@ mod tests {
         assert_eq!(g.edge_count(), 3);
         assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(2, 3));
         assert_eq!(parse_dimacs(&to_dimacs(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn strict_dimacs_round_trips_generated_instances() {
+        // to_dimacs always writes the deduplicated count, so its output
+        // must satisfy the strict parser for any graph.
+        let mut rng = SmallRng::seed_from_u64(13);
+        for g in [
+            generators::gnp(40, 0.25, &mut rng),
+            generators::path(9),
+            Graph::empty(5),
+            Graph::empty(0),
+            generators::complete(7),
+        ] {
+            assert_eq!(parse_dimacs_strict(&to_dimacs(&g)).unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn strict_dimacs_rejects_header_mismatch() {
+        // Duplicates shrink the real count below the declared m …
+        let err = parse_dimacs_strict("p edge 3 3\ne 1 2\ne 2 1\ne 2 3\n").unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::EdgeCountMismatch {
+                declared: 3,
+                found: 2
+            }
+        );
+        // … an undercount is a mismatch too …
+        let err = parse_dimacs_strict("p edge 3 1\ne 1 2\ne 2 3\n").unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::EdgeCountMismatch {
+                declared: 1,
+                found: 2
+            }
+        );
+        // … and an exact header passes, duplicates included.
+        let g = parse_dimacs_strict("p edge 3 2\ne 1 2\ne 2 1\ne 2 3\ne 3 2\n").unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn strict_dimacs_keeps_the_lenient_errors() {
+        // Structural errors surface before the count check, unchanged.
+        assert!(matches!(
+            parse_dimacs_strict("p edge 3 1\ne 2 2\n"),
+            Err(GraphError::SelfLoop { node: 1 })
+        ));
+        assert!(matches!(
+            parse_dimacs_strict(""),
+            Err(GraphError::Parse { .. })
+        ));
+        // And the lenient parser still accepts what strict rejects.
+        let text = "p edge 3 3\ne 1 2\ne 2 1\ne 2 3\n";
+        assert!(parse_dimacs(text).is_ok());
+        assert!(parse_dimacs_strict(text).is_err());
     }
 
     #[test]

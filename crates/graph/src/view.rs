@@ -49,11 +49,30 @@ use crate::{Graph, NodeId};
 
 /// Read-only adjacency interface shared by [`Graph`] and the lazy views.
 ///
-/// The beeping simulator's propagation kernels and `mis-core`'s
-/// `solve_mis_with_config` are generic over this trait, so a derived graph
-/// never has to be materialised to be *simulated*. See the
-/// [module docs](self) for the adjacency contract implementations must
-/// uphold.
+/// The beeping simulator's propagation kernels, the message-passing
+/// runtime of `mis-baselines`, and `mis-core`'s solve/verify path are all
+/// generic over this trait, so a derived graph never has to be
+/// materialised to be *simulated*. See the [module docs](self) for the
+/// adjacency contract implementations must uphold.
+///
+/// # Examples
+///
+/// Code written against the trait runs identically on a CSR graph and on
+/// any lazy adapter:
+///
+/// ```
+/// use mis_graph::{generators, GraphView, ProductView};
+///
+/// fn isolated_nodes<G: GraphView + ?Sized>(g: &G) -> usize {
+///     (0..g.node_count() as u32).filter(|&v| g.degree(v) == 0).count()
+/// }
+///
+/// let g = generators::path(3);
+/// assert_eq!(isolated_nodes(&g), 0);
+/// let product = ProductView::new(&g, 2); // P₃ □ K₂: still no isolates
+/// assert_eq!(isolated_nodes(&product), 0);
+/// assert_eq!(product.max_degree(), g.max_degree() + 1);
+/// ```
 pub trait GraphView: Sync {
     /// Number of nodes; valid ids are exactly `0..node_count()`.
     fn node_count(&self) -> usize;

@@ -148,6 +148,7 @@ fn race_tables_are_identical_for_any_job_count() {
         trials: 3,
         seed: 99,
         scale: 3,
+        surface: race::RaceSurface::Base,
     };
     set_default_jobs(1);
     let one = race::run(&config).render();
