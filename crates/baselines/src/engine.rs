@@ -28,6 +28,9 @@
 //! assert!(report.cost().mean() > 0.0);
 //! ```
 
+use std::sync::Arc;
+
+use mis_beeping::scenario::{scenario_eq, Scenario};
 use mis_core::engine::{Engine, EngineRecord, RunView};
 use mis_graph::{GraphView, NodeId};
 
@@ -39,8 +42,8 @@ use crate::{InboxStrategy, MessageFactory, MessageSimulator, MsgRunOutcome};
 pub const DEFAULT_MESSAGE_ROUND_CAP: u32 = 1_000_000;
 
 /// A message-passing execution engine: a [`MessageFactory`] plus a round
-/// cap and an [`InboxStrategy`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// cap, an [`InboxStrategy`], and an optional adversarial scenario.
+#[derive(Debug, Clone)]
 pub struct MessageEngine<F> {
     /// Builds the per-node processes of every run.
     pub factory: F,
@@ -48,7 +51,23 @@ pub struct MessageEngine<F> {
     pub max_rounds: u32,
     /// Inbox delivery strategy (never affects results, only speed).
     pub inbox_strategy: InboxStrategy,
+    /// Optional composable adversary every run of this engine faces
+    /// (see `mis_beeping::scenario`).
+    pub scenario: Option<Arc<dyn Scenario>>,
 }
+
+impl<F: PartialEq> PartialEq for MessageEngine<F> {
+    fn eq(&self, other: &Self) -> bool {
+        // Scenarios compare by canonical spec (equal specs imply
+        // identical behaviour), keeping this an equivalence relation.
+        self.factory == other.factory
+            && self.max_rounds == other.max_rounds
+            && self.inbox_strategy == other.inbox_strategy
+            && scenario_eq(self.scenario.as_ref(), other.scenario.as_ref())
+    }
+}
+
+impl<F: Eq> Eq for MessageEngine<F> {}
 
 impl<F> MessageEngine<F> {
     /// An engine running `factory`'s processes with the default round cap
@@ -59,6 +78,7 @@ impl<F> MessageEngine<F> {
             factory,
             max_rounds: DEFAULT_MESSAGE_ROUND_CAP,
             inbox_strategy: InboxStrategy::default(),
+            scenario: None,
         }
     }
 
@@ -78,6 +98,14 @@ impl<F> MessageEngine<F> {
     #[must_use]
     pub fn with_inbox_strategy(mut self, strategy: InboxStrategy) -> Self {
         self.inbox_strategy = strategy;
+        self
+    }
+
+    /// Attaches a composable adversary that every run of this engine
+    /// faces (see `mis_beeping::scenario`).
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: Arc<dyn Scenario>) -> Self {
+        self.scenario = Some(scenario);
         self
     }
 }
@@ -148,9 +176,12 @@ impl<F: MessageFactory + Sync, G: GraphView + ?Sized> Engine<G> for MessageEngin
     type Record = MessageRunRecord;
 
     fn run(&self, graph: &G, seed: u64) -> MsgRunOutcome {
-        MessageSimulator::new(graph, &self.factory, seed)
-            .with_inbox_strategy(self.inbox_strategy)
-            .run(self.max_rounds)
+        let mut sim = MessageSimulator::new(graph, &self.factory, seed)
+            .with_inbox_strategy(self.inbox_strategy);
+        if let Some(scenario) = &self.scenario {
+            sim = sim.with_scenario(Arc::clone(scenario));
+        }
+        sim.run(self.max_rounds)
     }
 
     fn record(&self, graph: &G, seed: u64, outcome: &MsgRunOutcome) -> MessageRunRecord {

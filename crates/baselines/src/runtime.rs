@@ -23,9 +23,12 @@
 //! baseline — without materialising the derived adjacency. The inbox
 //! arena is sized from [`GraphView::degree`], never from CSR offsets.
 
+use std::sync::Arc;
+
 use rand::rngs::SmallRng;
 
 use mis_beeping::rng::node_rng;
+use mis_beeping::scenario::{Delivery, Scenario};
 use mis_beeping::{NetworkInfo, NodeStatus, Verdict};
 use mis_graph::{Graph, GraphView, NodeId};
 
@@ -191,6 +194,7 @@ pub struct MessageSimulator<'g, F: MessageFactory, G: GraphView + ?Sized = Graph
     status: Vec<NodeStatus>,
     rngs: Vec<SmallRng>,
     strategy: InboxStrategy,
+    scenario: Option<Arc<dyn Scenario>>,
     max_degree: usize,
 }
 
@@ -216,6 +220,7 @@ impl<'g, F: MessageFactory, G: GraphView + ?Sized> MessageSimulator<'g, F, G> {
             status,
             rngs,
             strategy: InboxStrategy::default(),
+            scenario: None,
             max_degree,
         }
     }
@@ -228,6 +233,16 @@ impl<'g, F: MessageFactory, G: GraphView + ?Sized> MessageSimulator<'g, F, G> {
         self
     }
 
+    /// Attaches a composable adversary (see `mis_beeping::scenario`) so
+    /// the message families face the same loss/delay/wake/churn schedules
+    /// as the beeping algorithms. A run with a scenario always takes the
+    /// scenario reference path, regardless of the inbox strategy.
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: Arc<dyn Scenario>) -> Self {
+        self.scenario = Some(scenario);
+        self
+    }
+
     /// Runs until every node is inactive or `max_rounds` is hit.
     ///
     /// # Panics
@@ -236,6 +251,9 @@ impl<'g, F: MessageFactory, G: GraphView + ?Sized> MessageSimulator<'g, F, G> {
     #[must_use]
     pub fn run(self, max_rounds: u32) -> MsgRunOutcome {
         assert!(max_rounds > 0, "round cap must be positive");
+        if let Some(scenario) = self.scenario.clone() {
+            return self.run_scenario(max_rounds, &*scenario);
+        }
         match self.strategy {
             InboxStrategy::Arena => self.run_arena(max_rounds),
             InboxStrategy::FreshVecs => self.run_fresh_vecs(max_rounds),
@@ -407,6 +425,119 @@ impl<'g, F: MessageFactory, G: GraphView + ?Sized> MessageSimulator<'g, F, G> {
         }
     }
 
+    /// The scenario reference path: like
+    /// [`run_fresh_vecs`](Self::run_fresh_vecs), but the attached
+    /// [`Scenario`] decides each delivery's fate (per sub-round, the
+    /// message analogue of the beeping exchanges), staggers wake-ups, and
+    /// churns nodes in and out.
+    ///
+    /// Semantics mirror the beeping scenario path: sleeping and absent
+    /// nodes neither send nor receive and their processes are frozen;
+    /// delayed messages arrive in the same sub-round slot `d` rounds
+    /// later, appended after the on-time inbox in `(send round, sender)`
+    /// order; a delayed message whose receiver is not listening on arrival
+    /// is lost. With a do-nothing scenario this path is bit-identical to
+    /// the reliable strategies.
+    fn run_scenario(mut self, max_rounds: u32, scenario: &dyn Scenario) -> MsgRunOutcome {
+        let graph = self.graph;
+        let n = graph.node_count();
+        let degrees: Vec<usize> = (0..n as NodeId).map(|v| graph.degree(v)).collect();
+        let scenario_wake = scenario.wake_schedule(&degrees);
+        let wake: Vec<u32> = (0..n)
+            .map(|v| scenario_wake.get(v).copied().unwrap_or(0))
+            .collect();
+        for (v, &w) in wake.iter().enumerate() {
+            if w > 0 {
+                self.status[v] = NodeStatus::Asleep;
+            }
+        }
+        let churn = scenario.has_churn();
+        let mut away = vec![false; n];
+        let mut metrics = MessageMetrics::default();
+        let mut outbox1: Vec<Option<MsgOf<F>>> = vec![None; n];
+        let mut outbox2: Vec<Option<MsgOf<F>>> = vec![None; n];
+        // Per-receiver delayed deliveries:
+        // (arrival round, sub-round, send round, sender, message).
+        let mut pending: Vec<Vec<PendingMsg<MsgOf<F>>>> = vec![Vec::new(); n];
+        let mut remaining = self.status.iter().filter(|s| !s.is_inactive()).count();
+        let mut rounds = 0u32;
+
+        while remaining > 0 && rounds < max_rounds {
+            let round = rounds;
+            for (v, &w) in wake.iter().enumerate() {
+                if self.status[v] == NodeStatus::Asleep && w <= round {
+                    self.status[v] = NodeStatus::Active;
+                }
+            }
+            if churn {
+                for (v, a) in away.iter_mut().enumerate() {
+                    *a = scenario.absent(v as NodeId, round);
+                }
+            }
+            // Sub-round 1 broadcasts (frozen nodes stay silent).
+            for (v, out) in outbox1.iter_mut().enumerate() {
+                *out = if self.status[v] == NodeStatus::Active && !(churn && away[v]) {
+                    self.processes[v].broadcast1(&mut self.rngs[v])
+                } else {
+                    None
+                };
+            }
+
+            // Sub-round 2: deliver the first inboxes through the scenario,
+            // collect second broadcasts.
+            for v in 0..n {
+                outbox2[v] = if self.status[v] == NodeStatus::Active && !(churn && away[v]) {
+                    let inbox = collect_scenario_inbox::<F, G>(
+                        graph,
+                        v as NodeId,
+                        &outbox1,
+                        scenario,
+                        round,
+                        0,
+                        &mut pending[v],
+                        &mut metrics,
+                    );
+                    self.processes[v].broadcast2(&inbox)
+                } else {
+                    // A non-collecting receiver loses what was due now.
+                    drop_missed(&mut pending[v], round, 0);
+                    None
+                };
+            }
+
+            // Decisions from the second inboxes.
+            for v in 0..n {
+                if self.status[v] == NodeStatus::Active && !(churn && away[v]) {
+                    let inbox = collect_scenario_inbox::<F, G>(
+                        graph,
+                        v as NodeId,
+                        &outbox2,
+                        scenario,
+                        round,
+                        1,
+                        &mut pending[v],
+                        &mut metrics,
+                    );
+                    let verdict = self.processes[v].decide(&inbox);
+                    apply_verdict(verdict, &mut self.status[v], &mut remaining);
+                } else {
+                    drop_missed(&mut pending[v], round, 1);
+                }
+            }
+            rounds += 1;
+        }
+
+        for p in &self.processes {
+            metrics.bits_total += p.bits_consumed();
+        }
+        MsgRunOutcome {
+            statuses: self.status,
+            rounds,
+            terminated: remaining == 0,
+            metrics,
+        }
+    }
+
     /// Fresh-`Vec` inbox collection (ascending neighbour id order — the
     /// [`GraphView`] iteration contract, so both strategies share the
     /// pinned order).
@@ -444,6 +575,10 @@ impl<'g, F: MessageFactory, G: GraphView + ?Sized> MessageSimulator<'g, F, G> {
 
 /// Shorthand for the message type of a factory's process.
 type MsgOf<F> = <<F as MessageFactory>::Process as MessageProcess>::Msg;
+
+/// One delayed delivery awaiting its receiver:
+/// (arrival round, sub-round, send round, sender, message).
+type PendingMsg<M> = (u32, u8, u32, NodeId, M);
 
 /// Applies one node's end-of-round [`Verdict`] — shared by every delivery
 /// path so the status transitions can never diverge between them.
@@ -491,6 +626,67 @@ fn pull_inbox<F: MessageFactory, G: GraphView + ?Sized>(
             inbox.push(msg.clone());
         }
     });
+}
+
+/// Scenario-path inbox collection for receiver `v` in sub-round `sub` of
+/// `round`: on-time deliveries in ascending neighbour id order (the pinned
+/// contract), each gated by the scenario's per-delivery fate, followed by
+/// the delayed deliveries due this slot in `(send round, sender)` order.
+/// Accounting happens on arrival, so dropped and lost messages consume no
+/// bits.
+#[allow(clippy::too_many_arguments)]
+fn collect_scenario_inbox<F: MessageFactory, G: GraphView + ?Sized>(
+    graph: &G,
+    v: NodeId,
+    outbox: &[Option<MsgOf<F>>],
+    scenario: &dyn Scenario,
+    round: u32,
+    sub: u8,
+    pending: &mut Vec<PendingMsg<MsgOf<F>>>,
+    metrics: &mut MessageMetrics,
+) -> Vec<MsgOf<F>> {
+    let mut inbox = Vec::new();
+    graph.for_each_neighbor(v, |u| {
+        if let Some(msg) = &outbox[u as usize] {
+            match scenario.delivery(u, v, round, u32::from(sub)) {
+                Delivery::OnTime => inbox.push(msg.clone()),
+                Delivery::Dropped => {}
+                Delivery::Delayed(d) => {
+                    pending.push((round + d.max(1), sub, round, u, msg.clone()));
+                }
+            }
+        }
+    });
+    // Split off what comes due this slot (entries pushed above always
+    // have a strictly later arrival round, so they stay parked).
+    let mut due: Vec<(u32, u8, u32, NodeId, MsgOf<F>)> = Vec::new();
+    let mut keep: Vec<(u32, u8, u32, NodeId, MsgOf<F>)> = Vec::new();
+    for entry in pending.drain(..) {
+        let (arrival, s, ..) = entry;
+        if arrival > round || (arrival == round && s > sub) {
+            keep.push(entry);
+        } else if arrival == round && s == sub {
+            due.push(entry);
+        }
+        // Entries the receiver slept/churned through are lost.
+    }
+    *pending = keep;
+    due.sort_by_key(|&(_, _, sent, sender, _)| (sent, sender));
+    for (_, _, _, _, msg) in due {
+        inbox.push(msg);
+    }
+    metrics.messages_delivered += inbox.len() as u64;
+    for msg in &inbox {
+        metrics.bits_total += F::Process::message_bits(msg);
+    }
+    inbox
+}
+
+/// Discards the delayed deliveries that came due in sub-round `sub` of
+/// `round` for a receiver that was not collecting (asleep, absent, or
+/// already decided) — those messages are lost.
+fn drop_missed<M>(pending: &mut Vec<PendingMsg<M>>, round: u32, sub: u8) {
+    pending.retain(|&(arrival, s, ..)| arrival > round || (arrival == round && s > sub));
 }
 
 /// Accounts one delivered inbox (each message reached one active
@@ -786,6 +982,142 @@ mod tests {
                 winner: false,
             }
         }
+    }
+
+    #[test]
+    fn trivial_scenario_matches_reliable_paths() {
+        // A do-nothing scenario must be bit-identical to both reliable
+        // strategies — the scenario path is a strict generalisation.
+        use mis_beeping::scenario::ScenarioSpec;
+
+        for g in [
+            generators::path(10),
+            generators::complete(6),
+            generators::grid2d(4, 4),
+            mis_graph::Graph::empty(5),
+        ] {
+            for seed in 0..3 {
+                let reliable = MessageSimulator::new(&g, &LowestIdFactory, seed).run(1_000);
+                let trivial = MessageSimulator::new(&g, &LowestIdFactory, seed)
+                    .with_scenario(Arc::new(ScenarioSpec::new(9)))
+                    .run(1_000);
+                assert_eq!(reliable, trivial, "{g:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic_and_strategy_independent() {
+        use mis_beeping::scenario::{ChurnModel, DelayModel, LossModel, ScenarioSpec, WakePattern};
+
+        let g = generators::grid2d(5, 5);
+        let spec = ScenarioSpec::new(21)
+            .with_loss(LossModel::PerEdge { lo: 0.0, hi: 0.3 })
+            .with_delay(DelayModel::Random { p: 0.2, max: 2 })
+            .with_wake(WakePattern::Wavefront {
+                stride: 4,
+                latest: 5,
+            })
+            .with_churn(ChurnModel::Random {
+                p: 0.1,
+                max_len: 3,
+                earliest: 1,
+                latest: 8,
+            });
+        let run = |strategy| {
+            MessageSimulator::new(&g, &crate::LubyPriorityFactory::new(), 3)
+                .with_inbox_strategy(strategy)
+                .with_scenario(Arc::new(spec.clone()))
+                .run(10_000)
+        };
+        let a = run(InboxStrategy::Arena);
+        let b = run(InboxStrategy::Arena);
+        assert_eq!(a, b);
+        // The scenario path ignores the inbox strategy, so results match.
+        let c = run(InboxStrategy::FreshVecs);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn scenario_wake_staggers_message_nodes() {
+        // Path 0-1 under LowestId: node 0 wins round 0 when both are
+        // awake. If node 1 sleeps 5 rounds, node 0 still joins at round 0
+        // (empty inbox => winner), node 1 joins later — both in the MIS is
+        // the expected (invalid) result only if 1 never hears 0; here 0's
+        // broadcasts stop once it is InMis but heartbeat-free, so node 1
+        // wakes to silence and joins too.
+        use mis_beeping::scenario::{ScenarioSpec, WakePattern};
+
+        let g = generators::path(2);
+        let outcome = MessageSimulator::new(&g, &LowestIdFactory, 0)
+            .with_scenario(Arc::new(
+                ScenarioSpec::new(0).with_wake(WakePattern::Explicit { rounds: vec![0, 5] }),
+            ))
+            .run(1_000);
+        assert!(outcome.terminated());
+        assert_eq!(outcome.mis(), vec![0, 1]);
+        assert!(outcome.rounds() > 5);
+    }
+
+    #[test]
+    fn total_scenario_loss_starves_inboxes() {
+        // p = 1 loss: every inbox is empty, so every LowestId node sees no
+        // competitors and joins immediately.
+        use mis_beeping::scenario::ScenarioSpec;
+
+        let g = generators::complete(4);
+        let outcome = MessageSimulator::new(&g, &LowestIdFactory, 0)
+            .with_scenario(Arc::new(ScenarioSpec::uniform_loss(1, 1.0)))
+            .run(100);
+        assert!(outcome.terminated());
+        assert_eq!(outcome.mis(), vec![0, 1, 2, 3]);
+        assert_eq!(outcome.metrics().messages_delivered, 0);
+    }
+
+    #[test]
+    fn delayed_messages_arrive_after_on_time_ones() {
+        // Delay everything by exactly 1 round on K₂: round 0 inboxes are
+        // empty (both nodes join, like total loss), but the deliveries are
+        // not lost — they arrive in round 1 to already-decided receivers
+        // and are discarded. Deliveries counted: 0.
+        use mis_beeping::scenario::{DelayModel, ScenarioSpec};
+
+        let g = generators::complete(2);
+        let outcome = MessageSimulator::new(&g, &LowestIdFactory, 0)
+            .with_scenario(Arc::new(
+                ScenarioSpec::new(0).with_delay(DelayModel::Random { p: 1.0, max: 1 }),
+            ))
+            .run(100);
+        assert!(outcome.terminated());
+        assert_eq!(outcome.rounds(), 1);
+        assert_eq!(outcome.mis(), vec![0, 1]);
+        assert_eq!(outcome.metrics().messages_delivered, 0);
+    }
+
+    #[test]
+    fn churned_message_node_freezes_and_resumes() {
+        use mis_beeping::scenario::{ChurnModel, ChurnWindow, ScenarioSpec};
+
+        // Path 0-1-2, node 1 absent for rounds 0..3. Nodes 0 and 2 join in
+        // round 0 (no active neighbour broadcasts reach them — node 1 is
+        // away). Node 1 resumes at round 3, hears nothing (neighbours are
+        // silent InMis), and joins: the engine must faithfully report the
+        // independence violation for the verifier to catch.
+        let g = generators::path(3);
+        let outcome = MessageSimulator::new(&g, &LowestIdFactory, 0)
+            .with_scenario(Arc::new(ScenarioSpec::new(0).with_churn(
+                ChurnModel::Explicit {
+                    windows: vec![ChurnWindow {
+                        node: 1,
+                        from: 0,
+                        until: 3,
+                    }],
+                },
+            )))
+            .run(1_000);
+        assert!(outcome.terminated());
+        assert_eq!(outcome.mis(), vec![0, 1, 2]);
+        assert!(outcome.rounds() > 3, "node 1 decided while absent");
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! Simulation configuration and fault injection plans.
 
+use std::sync::Arc;
+
+use crate::scenario::{scenario_eq, Scenario};
 use crate::TraceLevel;
 
 /// Fault-injection plan for a simulation run.
@@ -28,11 +31,54 @@ pub struct FaultPlan {
     pub wake_rounds: Vec<u32>,
 }
 
+/// Rejection reason from [`FaultPlan::validate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlanError {
+    /// `message_loss` was NaN — comparing it against a random draw would
+    /// silently deliver everything.
+    NanLoss,
+    /// `message_loss` was outside `[0, 1]`.
+    LossOutOfRange(
+        /// The offending value.
+        f64,
+    ),
+}
+
+impl core::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FaultPlanError::NanLoss => write!(f, "message loss probability must not be NaN"),
+            FaultPlanError::LossOutOfRange(v) => {
+                write!(f, "message loss probability must be in [0, 1], got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 impl FaultPlan {
     /// A reliable, all-awake network (the paper's setting).
     #[must_use]
     pub fn none() -> Self {
         Self::default()
+    }
+
+    /// Checks the plan for nonsense values instead of silently sampling
+    /// garbage: `message_loss` must be a real probability in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultPlanError::NanLoss`] for NaN, and
+    /// [`FaultPlanError::LossOutOfRange`] for values outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        if self.message_loss.is_nan() {
+            return Err(FaultPlanError::NanLoss);
+        }
+        if !(0.0..=1.0).contains(&self.message_loss) {
+            return Err(FaultPlanError::LossOutOfRange(self.message_loss));
+        }
+        Ok(())
     }
 
     /// Whether this plan injects no faults at all.
@@ -88,8 +134,7 @@ pub enum PropagationKernel {
 /// assert_eq!(cfg.max_rounds, 10_000);
 /// assert_eq!(cfg.kernel, PropagationKernel::Scalar);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Hard cap on simulated rounds; the run reports
     /// non-termination if the cap is reached. The default (1 million) is
@@ -112,6 +157,13 @@ pub struct SimConfig {
     /// Which beep-propagation implementation to use (defaults to the
     /// packed [`PropagationKernel::Bitset`] kernel).
     pub kernel: PropagationKernel,
+    /// Optional composable adversary (defaults to none). A scenario
+    /// layers on top of `faults`: wake rounds merge by taking the later
+    /// of the two, and scenario loss/delay/churn apply in addition to
+    /// the plan's uniform loss. Runs with a delivery-perturbing or
+    /// churning scenario use the scalar reference kernel, like lossy
+    /// [`FaultPlan`] runs.
+    pub scenario: Option<Arc<dyn Scenario>>,
 }
 
 impl Default for SimConfig {
@@ -123,7 +175,22 @@ impl Default for SimConfig {
             trace: TraceLevel::Off,
             record_active_series: false,
             kernel: PropagationKernel::default(),
+            scenario: None,
         }
+    }
+}
+
+impl PartialEq for SimConfig {
+    fn eq(&self, other: &Self) -> bool {
+        // Scenarios compare by canonical spec (equal specs imply
+        // identical behaviour), which keeps this an equivalence relation.
+        self.max_rounds == other.max_rounds
+            && self.faults == other.faults
+            && self.mis_keeps_beeping == other.mis_keeps_beeping
+            && self.trace == other.trace
+            && self.record_active_series == other.record_active_series
+            && self.kernel == other.kernel
+            && scenario_eq(self.scenario.as_ref(), other.scenario.as_ref())
     }
 }
 
@@ -144,14 +211,22 @@ impl SimConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `message_loss` is outside `[0, 1)`.
+    /// Panics if [`FaultPlan::validate`] rejects the plan (`message_loss`
+    /// NaN or outside `[0, 1]`).
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
-        assert!(
-            (0.0..1.0).contains(&faults.message_loss),
-            "message loss probability must be in [0, 1)"
-        );
+        if let Err(e) = faults.validate() {
+            panic!("{e}");
+        }
         self.faults = faults;
+        self
+    }
+
+    /// Attaches a composable adversary (see
+    /// [`scenario`](crate::scenario)).
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: Arc<dyn Scenario>) -> Self {
+        self.scenario = Some(scenario);
         self
     }
 
@@ -239,12 +314,75 @@ mod tests {
         let _ = SimConfig::default().with_max_rounds(0);
     }
 
+    fn loss_plan(message_loss: f64) -> FaultPlan {
+        FaultPlan {
+            message_loss,
+            wake_rounds: vec![],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_boundary_probabilities() {
+        assert_eq!(loss_plan(0.0).validate(), Ok(()));
+        assert_eq!(loss_plan(1.0).validate(), Ok(()));
+        assert_eq!(loss_plan(0.5).validate(), Ok(()));
+        // The builder accepts the full closed interval too.
+        let cfg = SimConfig::default().with_faults(loss_plan(1.0));
+        assert_eq!(cfg.faults.message_loss, 1.0);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_loss() {
+        assert_eq!(
+            loss_plan(1.5).validate(),
+            Err(FaultPlanError::LossOutOfRange(1.5))
+        );
+        assert_eq!(
+            loss_plan(-0.1).validate(),
+            Err(FaultPlanError::LossOutOfRange(-0.1))
+        );
+        assert_eq!(
+            loss_plan(f64::INFINITY).validate(),
+            Err(FaultPlanError::LossOutOfRange(f64::INFINITY))
+        );
+        let msg = loss_plan(2.0).validate().unwrap_err().to_string();
+        assert!(msg.contains("[0, 1]"), "{msg}");
+    }
+
+    #[test]
+    fn validate_rejects_nan_loss() {
+        assert_eq!(loss_plan(f64::NAN).validate(), Err(FaultPlanError::NanLoss));
+    }
+
     #[test]
     #[should_panic(expected = "message loss")]
     fn bad_loss_probability_panics() {
-        let _ = SimConfig::default().with_faults(FaultPlan {
-            message_loss: 1.0,
-            wake_rounds: vec![],
-        });
+        let _ = SimConfig::default().with_faults(loss_plan(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_loss_probability_panics() {
+        let _ = SimConfig::default().with_faults(loss_plan(f64::NAN));
+    }
+
+    #[test]
+    fn scenario_affects_config_equality() {
+        use crate::scenario::ScenarioSpec;
+
+        let base = SimConfig::default();
+        assert_eq!(base, base.clone());
+        let a = base
+            .clone()
+            .with_scenario(Arc::new(ScenarioSpec::uniform_loss(1, 0.1)));
+        let same = base
+            .clone()
+            .with_scenario(Arc::new(ScenarioSpec::uniform_loss(1, 0.1)));
+        let diff = base
+            .clone()
+            .with_scenario(Arc::new(ScenarioSpec::uniform_loss(2, 0.1)));
+        assert_eq!(a, same);
+        assert_ne!(a, diff);
+        assert_ne!(a, base);
     }
 }

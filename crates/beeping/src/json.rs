@@ -1,0 +1,501 @@
+//! Minimal JSON tree — the parser/printer behind the scenario replay
+//! format.
+//!
+//! The workspace is built offline and deliberately carries no `serde`
+//! dependency (the `serde` feature is designed in but undeclared), yet the
+//! scenario engine needs a self-describing, replayable on-disk format that
+//! external tools can read. This module provides the smallest JSON value
+//! tree that suffices: parse, print, and a handful of typed accessors.
+//!
+//! Two conventions keep round-trips exact:
+//!
+//! * **`u64` values are encoded as decimal strings**, not numbers — JSON
+//!   numbers are IEEE doubles and silently lose precision above 2⁵³, and
+//!   scenario seeds use all 64 bits. Use [`Json::u64_str`] /
+//!   [`Json::as_u64_str`].
+//! * **floats print via `{:?}`** (Rust's shortest round-trip formatting),
+//!   so a parsed probability is bit-identical to the one written.
+//!
+//! # Examples
+//!
+//! ```
+//! use mis_beeping::json::Json;
+//!
+//! let doc = Json::Obj(vec![
+//!     ("p".to_owned(), Json::Num(0.1)),
+//!     ("seed".to_owned(), Json::u64_str(u64::MAX)),
+//! ]);
+//! let text = doc.render();
+//! let back = Json::parse(&text).unwrap();
+//! assert_eq!(back.get("p").and_then(Json::as_f64), Some(0.1));
+//! assert_eq!(back.get("seed").and_then(Json::as_u64_str), Some(u64::MAX));
+//! ```
+
+/// A JSON value tree.
+///
+/// Objects preserve insertion order (they are association lists, not
+/// maps) so rendering is deterministic — a requirement for the scenario
+/// engine, which compares adversaries by their canonical JSON spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (IEEE double, like JSON itself).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as an ordered association list.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parse failure: a message plus the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl core::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] with the failing byte offset on malformed
+    /// input.
+    pub fn parse(text: &str) -> Result<Self, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Renders the value as compact JSON text. Parsing the result yields
+    /// an equal tree ([`Json::parse`] ∘ `render` is the identity).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                // `{:?}` is Rust's shortest round-trip float formatting and
+                // always contains a `.` or exponent, which `parse::<f64>`
+                // reads back exactly. Non-finite values have no JSON
+                // spelling; the scenario codec validates before writing.
+                if x.is_finite() {
+                    out.push_str(&format!("{x:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(key, out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u32`, if this is a number holding one exactly.
+    #[must_use]
+    pub fn as_u32(&self) -> Option<u32> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= f64::from(u32::MAX) => {
+                Some(*x as u32)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Encodes a `u64` as a decimal string (see the module docs for why
+    /// `u64`s are never JSON numbers here).
+    #[must_use]
+    pub fn u64_str(value: u64) -> Json {
+        Json::Str(value.to_string())
+    }
+
+    /// Decodes a `u64` written by [`Json::u64_str`].
+    #[must_use]
+    pub fn as_u64_str(&self) -> Option<u64> {
+        self.as_str().and_then(|s| s.parse().ok())
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("bad number {text:?}")))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| core::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by this format;
+                            // lone surrogates map to the replacement char.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-scan the full UTF-8 character starting here.
+                    self.pos -= 1;
+                    let rest = core::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("0.5").unwrap(), Json::Num(0.5));
+        assert_eq!(Json::parse("-3").unwrap(), Json::Num(-3.0));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+        assert_eq!(
+            Json::parse("\"hi\\n\"").unwrap(),
+            Json::Str("hi\n".to_owned())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let doc = Json::parse(r#"{ "a": [1, 2, {"b": null}], "c": "x" }"#).unwrap();
+        assert_eq!(doc.get("c").and_then(Json::as_str), Some("x"));
+        let arr = doc.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let doc = Json::Obj(vec![
+            ("seed".to_owned(), Json::u64_str(u64::MAX)),
+            ("p".to_owned(), Json::Num(0.1)),
+            ("neg".to_owned(), Json::Num(-1.5e-9)),
+            ("whole".to_owned(), Json::Num(5.0)),
+            ("text".to_owned(), Json::Str("a\"b\\c\nd".to_owned())),
+            (
+                "list".to_owned(),
+                Json::Arr(vec![Json::Bool(true), Json::Null, Json::Num(2.0)]),
+            ),
+            ("empty".to_owned(), Json::Obj(vec![])),
+        ]);
+        let text = doc.render();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+        // Rendering is deterministic.
+        assert_eq!(Json::parse(&text).unwrap().render(), text);
+    }
+
+    #[test]
+    fn u64_strings_keep_all_bits() {
+        for v in [0u64, 1, u64::MAX, 0xDEAD_BEEF_CAFE_F00D] {
+            let j = Json::u64_str(v);
+            assert_eq!(j.as_u64_str(), Some(v));
+            assert_eq!(Json::parse(&j.render()).unwrap().as_u64_str(), Some(v));
+        }
+    }
+
+    #[test]
+    fn exact_float_round_trip() {
+        // The classic precision traps.
+        for x in [0.1, 0.3, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300] {
+            let text = Json::Num(x).render();
+            assert_eq!(Json::parse(&text).unwrap().as_f64(), Some(x), "{x}");
+        }
+    }
+
+    #[test]
+    fn typed_accessors() {
+        assert_eq!(Json::Num(7.0).as_u32(), Some(7));
+        assert_eq!(Json::Num(7.5).as_u32(), None);
+        assert_eq!(Json::Num(-1.0).as_u32(), None);
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert_eq!(Json::Null.as_f64(), None);
+        assert_eq!(Json::Null.get("x"), None);
+        assert_eq!(Json::Str("notanumber".into()).as_u64_str(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "nul",
+            "{\"a\" 1}",
+            "\"open",
+            "1 2",
+            "{1: 2}",
+            "[1,]x",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+        let err = Json::parse("[1, oops]").unwrap_err();
+        assert!(err.to_string().contains("byte"));
+    }
+}

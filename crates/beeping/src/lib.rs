@@ -84,17 +84,20 @@
 
 pub mod batch;
 mod config;
+pub mod json;
 mod metrics;
 mod model;
 mod process;
 pub mod rng;
+pub mod scenario;
 mod simulator;
 mod trace;
 
 pub use batch::{parallel_indexed_map, run_batch, run_batch_map, BatchPlan};
-pub use config::{FaultPlan, PropagationKernel, SimConfig};
+pub use config::{FaultPlan, FaultPlanError, PropagationKernel, SimConfig};
 pub use metrics::Metrics;
 pub use model::{NetworkInfo, NodeStatus, Verdict};
 pub use process::{BeepingProcess, FnFactory, ProcessFactory};
+pub use scenario::{Delivery, Scenario, ScenarioSpec};
 pub use simulator::{RoundView, RunOutcome, Simulator, Stepper};
 pub use trace::{RoundRecord, Trace, TraceLevel};

@@ -14,6 +14,7 @@ use rand::{Rng, SeedableRng};
 use mis_graph::{Graph, GraphView, NodeId};
 
 use crate::rng::node_rng;
+use crate::scenario::{Delivery, Scenario};
 use crate::{
     BeepingProcess, Metrics, NetworkInfo, NodeStatus, ProcessFactory, PropagationKernel,
     RoundRecord, SimConfig, Trace, TraceLevel, Verdict,
@@ -207,6 +208,15 @@ pub struct Stepper<'g, F: ProcessFactory, G: GraphView + ?Sized = Graph> {
     // Scratch buffers for the bitset kernel, one bit per node.
     beep_words: Vec<u64>,
     heard_words: Vec<u64>,
+    // Merged wake schedule: the later of the fault plan's and the
+    // scenario's wake round, per node.
+    wake: Vec<u32>,
+    sleepy: bool,
+    // Churn scratch: which nodes are absent this round.
+    away: Vec<bool>,
+    // Scenario-delayed deliveries per exchange: (arrival round, receiver).
+    pending1: Vec<(u32, NodeId)>,
+    pending2: Vec<(u32, NodeId)>,
     remaining: usize,
     round: u32,
 }
@@ -221,9 +231,24 @@ impl<'g, F: ProcessFactory, G: GraphView + ?Sized> Stepper<'g, F, G> {
         let processes: Vec<F::Process> = (0..n as NodeId)
             .map(|v| factory.create(v, graph.degree(v), &info))
             .collect();
-        let status: Vec<NodeStatus> = (0..n as NodeId)
+        let scenario_wake: Option<Vec<u32>> = config.scenario.as_ref().map(|s| {
+            let degrees: Vec<usize> = (0..n as NodeId).map(|v| graph.degree(v)).collect();
+            s.wake_schedule(&degrees)
+        });
+        let wake: Vec<u32> = (0..n as NodeId)
             .map(|v| {
-                if config.faults.wake_round(v) > 0 {
+                let from_scenario = scenario_wake
+                    .as_ref()
+                    .and_then(|w| w.get(v as usize).copied())
+                    .unwrap_or(0);
+                config.faults.wake_round(v).max(from_scenario)
+            })
+            .collect();
+        let sleepy = wake.iter().any(|&w| w > 0);
+        let status: Vec<NodeStatus> = wake
+            .iter()
+            .map(|&w| {
+                if w > 0 {
                     NodeStatus::Asleep
                 } else {
                     NodeStatus::Active
@@ -250,6 +275,11 @@ impl<'g, F: ProcessFactory, G: GraphView + ?Sized> Stepper<'g, F, G> {
             probs: vec![0.0; n],
             beep_words: vec![0; n.div_ceil(WORD_BITS)],
             heard_words: vec![0; n.div_ceil(WORD_BITS)],
+            wake,
+            sleepy,
+            away: vec![false; n],
+            pending1: Vec::new(),
+            pending2: Vec::new(),
             remaining,
             round: 0,
         }
@@ -263,14 +293,39 @@ impl<'g, F: ProcessFactory, G: GraphView + ?Sized> Stepper<'g, F, G> {
 
     /// Propagates one exchange's beeps (`exchange1` picks the
     /// `beep1`/`heard1` buffer pair, otherwise `beep2`/`heard2`) through
-    /// the kernel the flags select.
-    fn broadcast_exchange(&mut self, exchange1: bool, bitset: bool, sleepy: bool, lossy: bool) {
-        let (beeps, heard) = if exchange1 {
-            (&self.beep1, &mut self.heard1)
+    /// the kernel the flags select. `scenario` is `Some` only on the
+    /// scenario reference path (delivery perturbation or churn).
+    fn broadcast_exchange(
+        &mut self,
+        exchange1: bool,
+        bitset: bool,
+        sleepy: bool,
+        lossy: bool,
+        scenario: Option<&dyn Scenario>,
+        churn: bool,
+    ) {
+        let (beeps, heard, pending) = if exchange1 {
+            (&self.beep1, &mut self.heard1, &mut self.pending1)
         } else {
-            (&self.beep2, &mut self.heard2)
+            (&self.beep2, &mut self.heard2, &mut self.pending2)
         };
-        if bitset {
+        if let Some(scenario) = scenario {
+            broadcast_scenario(
+                self.graph,
+                &self.status,
+                &self.away,
+                churn,
+                &mut self.fault_rng,
+                self.config.faults.message_loss,
+                lossy,
+                scenario,
+                self.round,
+                u32::from(!exchange1),
+                beeps,
+                heard,
+                pending,
+            );
+        } else if bitset {
             broadcast_bitset(
                 self.graph,
                 &self.status,
@@ -302,23 +357,45 @@ impl<'g, F: ProcessFactory, G: GraphView + ?Sized> Stepper<'g, F, G> {
         let n = self.graph.node_count();
         let round = self.round;
         let lossy = self.config.faults.message_loss > 0.0;
+        // Scenario capability flags: a wake-only scenario costs nothing
+        // here and keeps the fast kernels; delivery perturbation or churn
+        // switches to the scalar scenario reference path.
+        let scenario = self.config.scenario.clone();
+        let churn = scenario.as_deref().is_some_and(Scenario::has_churn);
+        let scenario_path = churn
+            || scenario
+                .as_deref()
+                .is_some_and(Scenario::perturbs_deliveries);
+        let scenario_ref = if scenario_path {
+            scenario.as_deref()
+        } else {
+            None
+        };
         // Per-delivery loss draws must consume the fault RNG in reference
         // order, so lossy runs always take the scalar path.
-        let bitset = self.config.kernel == PropagationKernel::Bitset && !lossy;
-        let sleepy = !self.config.faults.wake_rounds.is_empty();
+        let bitset = self.config.kernel == PropagationKernel::Bitset && !lossy && !scenario_path;
+        let sleepy = self.sleepy;
 
         // Wake sleeping nodes whose time has come.
         for v in 0..n {
-            if self.status[v] == NodeStatus::Asleep
-                && self.config.faults.wake_round(v as NodeId) <= round
-            {
+            if self.status[v] == NodeStatus::Asleep && self.wake[v] <= round {
                 self.status[v] = NodeStatus::Active;
+            }
+        }
+
+        // Churn: mark who is absent this round. An absent node is frozen —
+        // it neither beeps nor hears, draws no randomness, and makes no
+        // decisions until its window ends.
+        if churn {
+            let s = scenario.as_deref().expect("churn implies a scenario");
+            for v in 0..n {
+                self.away[v] = s.absent(v as NodeId, round);
             }
         }
 
         // Snapshot probabilities (observer/stepper visibility).
         for v in 0..n {
-            self.probs[v] = if self.status[v] == NodeStatus::Active {
+            self.probs[v] = if self.status[v] == NodeStatus::Active && !(churn && self.away[v]) {
                 self.processes[v].beep_probability()
             } else {
                 0.0
@@ -331,39 +408,47 @@ impl<'g, F: ProcessFactory, G: GraphView + ?Sized> Stepper<'g, F, G> {
         // cells).
         let mut candidates: u32 = 0;
         for v in 0..n {
-            self.beep1[v] = match self.status[v] {
-                NodeStatus::Active => {
-                    let b = self.processes[v].exchange1(&mut self.rngs[v]);
-                    candidates += u32::from(b);
-                    b
+            self.beep1[v] = if churn && self.away[v] {
+                false
+            } else {
+                match self.status[v] {
+                    NodeStatus::Active => {
+                        let b = self.processes[v].exchange1(&mut self.rngs[v]);
+                        candidates += u32::from(b);
+                        b
+                    }
+                    NodeStatus::InMis if self.config.mis_keeps_beeping => {
+                        self.metrics.heartbeat_signals += 1;
+                        true
+                    }
+                    _ => false,
                 }
-                NodeStatus::InMis if self.config.mis_keeps_beeping => {
-                    self.metrics.heartbeat_signals += 1;
-                    true
-                }
-                _ => false,
             };
         }
-        self.broadcast_exchange(true, bitset, sleepy, lossy);
+        self.broadcast_exchange(true, bitset, sleepy, lossy, scenario_ref, churn);
 
         // Exchange 2: join announcements (plus optional MIS heartbeats).
         for v in 0..n {
-            self.beep2[v] = match self.status[v] {
-                NodeStatus::Active => self.processes[v].exchange2(self.heard1[v]),
-                NodeStatus::InMis if self.config.mis_keeps_beeping => {
-                    self.metrics.heartbeat_signals += 1;
-                    true
+            self.beep2[v] = if churn && self.away[v] {
+                false
+            } else {
+                match self.status[v] {
+                    NodeStatus::Active => self.processes[v].exchange2(self.heard1[v]),
+                    NodeStatus::InMis if self.config.mis_keeps_beeping => {
+                        self.metrics.heartbeat_signals += 1;
+                        true
+                    }
+                    _ => false,
                 }
-                _ => false,
             };
         }
-        self.broadcast_exchange(false, bitset, sleepy, lossy);
+        self.broadcast_exchange(false, bitset, sleepy, lossy, scenario_ref, churn);
 
         // Decisions and metric accounting.
         let mut joined: Vec<NodeId> = Vec::new();
         let mut covered: u32 = 0;
         for v in 0..n {
-            if self.status[v] != NodeStatus::Active {
+            if self.status[v] != NodeStatus::Active || (churn && self.away[v]) {
                 continue;
             }
             self.metrics.signals[v] += u32::from(self.beep1[v]) + u32::from(self.beep2[v]);
@@ -495,6 +580,67 @@ fn broadcast<G: GraphView + ?Sized>(
             heard[u as usize] = true;
         });
     }
+}
+
+/// The scenario reference path: like [`broadcast`], but each delivery's
+/// fate is additionally decided by the [`Scenario`] — dropped, delayed, or
+/// on time — and absent (churned-out) nodes neither send nor hear.
+///
+/// Delayed deliveries are parked in `pending` as `(arrival round,
+/// receiver)` and drained at the top of the same exchange slot of their
+/// arrival round; a delayed beep whose receiver is asleep or absent on
+/// arrival is lost. Legacy `FaultPlan` loss draws still consume
+/// `fault_rng` first, in reference order, so a scenario composes with
+/// `message_loss` exactly as the scalar kernel defines it.
+#[allow(clippy::too_many_arguments)]
+fn broadcast_scenario<G: GraphView + ?Sized>(
+    graph: &G,
+    status: &[NodeStatus],
+    away: &[bool],
+    churn: bool,
+    fault_rng: &mut SmallRng,
+    loss: f64,
+    lossy: bool,
+    scenario: &dyn Scenario,
+    round: u32,
+    exchange: u32,
+    beeps: &[bool],
+    heard: &mut [bool],
+    pending: &mut Vec<(u32, NodeId)>,
+) {
+    heard.fill(false);
+    for (v, &b) in beeps.iter().enumerate() {
+        if !b {
+            continue;
+        }
+        graph.for_each_neighbor(v as NodeId, |u| {
+            let ui = u as usize;
+            // Sleeping and absent nodes hear nothing.
+            if status[ui] == NodeStatus::Asleep || (churn && away[ui]) {
+                return;
+            }
+            if lossy && fault_rng.random_bool(loss) {
+                return;
+            }
+            match scenario.delivery(v as NodeId, u, round, exchange) {
+                Delivery::OnTime => heard[ui] = true,
+                Delivery::Dropped => {}
+                Delivery::Delayed(d) => pending.push((round + d.max(1), u)),
+            }
+        });
+    }
+    // Deliver the delayed beeps whose round has come (entries pushed above
+    // always have a strictly later arrival round, so they survive).
+    pending.retain(|&(due, u)| {
+        if due > round {
+            return true;
+        }
+        let ui = u as usize;
+        if status[ui] != NodeStatus::Asleep && !(churn && away[ui]) {
+            heard[ui] = true;
+        }
+        false
+    });
 }
 
 /// Packs a `bool`-per-node buffer into one bit per node, little-endian
@@ -982,6 +1128,180 @@ mod tests {
         )
         .run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wake_only_scenario_keeps_kernel_equivalence() {
+        // A scenario that only staggers wake-ups must not force the
+        // scalar path — and both kernels must agree under it.
+        use crate::scenario::{ScenarioSpec, WakePattern};
+        use std::sync::Arc;
+
+        let g = generators::grid2d(8, 8);
+        for wake in [
+            WakePattern::Wavefront {
+                stride: 3,
+                latest: 12,
+            },
+            WakePattern::Alternating { round: 7 },
+            WakePattern::DegreeTargeted {
+                fraction: 0.3,
+                latest: 10,
+            },
+            WakePattern::Random {
+                fraction: 0.5,
+                latest: 9,
+            },
+        ] {
+            let spec = Arc::new(ScenarioSpec::new(5).with_wake(wake));
+            let base = SimConfig::default()
+                .with_mis_keeps_beeping(true)
+                .with_scenario(spec);
+            let a = Simulator::new(
+                &g,
+                &Coin::factory(0.5),
+                9,
+                base.clone().with_kernel(PropagationKernel::Scalar),
+            )
+            .run();
+            let b = Simulator::new(
+                &g,
+                &Coin::factory(0.5),
+                9,
+                base.with_kernel(PropagationKernel::Bitset),
+            )
+            .run();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn scenario_wake_merges_with_fault_plan() {
+        // Node 1 sleeps until max(plan, scenario) = 30; with heartbeats
+        // the outcome matches the plain FaultPlan late-waker test.
+        use crate::scenario::{ScenarioSpec, WakePattern};
+        use std::sync::Arc;
+
+        let g = generators::path(2);
+        let cfg = SimConfig::default()
+            .with_mis_keeps_beeping(true)
+            .with_faults(FaultPlan {
+                message_loss: 0.0,
+                wake_rounds: vec![0, 12],
+            })
+            .with_scenario(Arc::new(ScenarioSpec::new(0).with_wake(
+                WakePattern::Explicit {
+                    rounds: vec![0, 30],
+                },
+            )));
+        let outcome = Simulator::new(&g, &Coin::factory(1.0), 4, cfg).run();
+        assert!(outcome.terminated());
+        assert_eq!(outcome.mis(), vec![0]);
+        assert_eq!(outcome.statuses()[1], NodeStatus::Covered);
+        assert!(outcome.rounds() > 30, "node 1 woke too early");
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic_and_kernel_independent() {
+        use crate::scenario::{ChurnModel, DelayModel, LossModel, ScenarioSpec};
+        use std::sync::Arc;
+
+        let g = generators::gnp(40, 0.2, &mut rand::rngs::SmallRng::seed_from_u64(8));
+        let spec = ScenarioSpec::new(31)
+            .with_loss(LossModel::PerEdge { lo: 0.0, hi: 0.3 })
+            .with_delay(DelayModel::Random { p: 0.2, max: 3 })
+            .with_churn(ChurnModel::Random {
+                p: 0.15,
+                max_len: 4,
+                earliest: 1,
+                latest: 12,
+            });
+        let base = SimConfig::default()
+            .with_max_rounds(5_000)
+            .with_mis_keeps_beeping(true)
+            .with_scenario(Arc::new(spec.clone()));
+        let a = Simulator::new(&g, &Coin::factory(0.5), 17, base.clone()).run();
+        let b = Simulator::new(&g, &Coin::factory(0.5), 17, base.clone()).run();
+        assert_eq!(a, b);
+        // The perturbing scenario forces the scalar reference path, so the
+        // kernel setting cannot change the outcome.
+        let c = Simulator::new(
+            &g,
+            &Coin::factory(0.5),
+            17,
+            base.clone().with_kernel(PropagationKernel::Scalar),
+        )
+        .run();
+        assert_eq!(a, c);
+        // And a rebuilt spec (fresh Arc, same fields) behaves identically.
+        let rebuilt = base.with_scenario(Arc::new(spec));
+        let d = Simulator::new(&g, &Coin::factory(0.5), 17, rebuilt).run();
+        assert_eq!(a, d);
+    }
+
+    #[test]
+    fn total_scenario_loss_blocks_all_inhibition() {
+        // p = 1 uniform scenario loss on K₂: neither node ever hears the
+        // other, so both always-beeping candidates join — the engine must
+        // faithfully report the (invalid) result.
+        use crate::scenario::ScenarioSpec;
+        use std::sync::Arc;
+
+        let g = generators::complete(2);
+        let cfg = SimConfig::default()
+            .with_max_rounds(50)
+            .with_scenario(Arc::new(ScenarioSpec::uniform_loss(3, 1.0)));
+        let outcome = Simulator::new(&g, &Coin::factory(1.0), 1, cfg).run();
+        assert!(outcome.terminated());
+        assert_eq!(outcome.mis(), vec![0, 1]);
+    }
+
+    #[test]
+    fn delayed_delivery_arrives_late() {
+        // Path 0-1 with every delivery delayed by exactly 1 round: in
+        // round 0 nobody hears anything, so both p = 1 candidates join.
+        // The delay semantics are what makes that possible.
+        use crate::scenario::{DelayModel, ScenarioSpec};
+        use std::sync::Arc;
+
+        let g = generators::path(2);
+        let cfg = SimConfig::default()
+            .with_max_rounds(50)
+            .with_scenario(Arc::new(
+                ScenarioSpec::new(0).with_delay(DelayModel::Random { p: 1.0, max: 1 }),
+            ));
+        let outcome = Simulator::new(&g, &Coin::factory(1.0), 1, cfg).run();
+        assert!(outcome.terminated());
+        assert_eq!(outcome.rounds(), 1);
+        assert_eq!(outcome.mis(), vec![0, 1]);
+    }
+
+    #[test]
+    fn churned_out_node_is_frozen_not_dead() {
+        // Path 0-1, node 1 absent for rounds 0..5, p = 1 processes with
+        // heartbeats: node 0 joins alone in round 0; when node 1 returns
+        // it hears the heartbeat and terminates covered.
+        use crate::scenario::{ChurnModel, ChurnWindow, ScenarioSpec};
+        use std::sync::Arc;
+
+        let g = generators::path(2);
+        let cfg = SimConfig::default()
+            .with_max_rounds(100)
+            .with_mis_keeps_beeping(true)
+            .with_scenario(Arc::new(ScenarioSpec::new(0).with_churn(
+                ChurnModel::Explicit {
+                    windows: vec![ChurnWindow {
+                        node: 1,
+                        from: 0,
+                        until: 5,
+                    }],
+                },
+            )));
+        let outcome = Simulator::new(&g, &Coin::factory(1.0), 2, cfg).run();
+        assert!(outcome.terminated());
+        assert_eq!(outcome.mis(), vec![0]);
+        assert_eq!(outcome.statuses()[1], NodeStatus::Covered);
+        assert!(outcome.rounds() >= 5, "node 1 decided while absent");
     }
 
     #[test]

@@ -52,6 +52,7 @@ mod feedback;
 mod global;
 pub mod plan;
 mod run;
+pub mod scenario;
 mod schedule;
 pub mod theory;
 pub mod verify;
@@ -64,6 +65,9 @@ pub use plan::{
     RunRecord,
 };
 pub use run::{run_algorithm, solve_mis, solve_mis_with_config, Algorithm, MisResult, SolveError};
+pub use scenario::{
+    outcome_digest, AdversaryReport, AdversarySchedule, EvaluatedScenario, Fitness,
+};
 pub use schedule::{
     ConstantSchedule, CustomSchedule, DecreasingSchedule, ProbabilitySchedule, ScienceSchedule,
     SweepSchedule, TailBehavior,

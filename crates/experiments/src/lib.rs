@@ -19,6 +19,7 @@
 //! | [`applications`] | extension — MIS as a building block: matching, colouring, backbone election |
 //! | [`sop`] | extension — SOP selection-time statistics across the Science'11 accumulation-model family |
 //! | [`potential`] | extension — Theorem 1's potential coverage per schedule (the proof's own quantities) |
+//! | [`fuzz`] | extension — adversarial scenario fuzzer: worst-case search over deterministic fault schedules, with a seed-replayable corpus (`xp fuzz` / `xp replay`) |
 //!
 //! The `xp` binary drives them; every experiment prints a markdown table
 //! (the same rows the paper's figures plot) plus an ASCII rendition of the
@@ -32,6 +33,7 @@ pub mod decay;
 pub mod faults;
 pub mod fig3;
 pub mod fig5;
+pub mod fuzz;
 pub mod grid_beeps;
 pub mod lower_bound;
 pub mod potential;

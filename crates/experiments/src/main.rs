@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! xp <experiment> [--quick] [--seed N] [--trials N] [--jobs N] [--science]
-//!                 [--on base|line|product|induced] [--out FILE]
+//!                 [--on base|line|product|induced] [--out FILE] [--corpus FILE]
+//! xp replay <file> [--jobs N]
 //!
 //! experiments:
 //!   fig3         Figure 3: rounds vs n on G(n, ½)
@@ -19,15 +20,20 @@
 //!   apps         extension: matching / colouring / backbone via MIS
 //!   sop          extension: SOP selection-time statistics (Science'11 models)
 //!   potential    extension: Theorem 1 potential coverage per schedule
+//!   fuzz         extension: adversarial scenario fuzzer (worst-case search;
+//!                writes a replayable corpus, --corpus sets the path)
 //!   all          everything above, in order
+//!
+//! `xp replay <file>` re-executes a corpus written by `xp fuzz` and exits
+//! non-zero unless every entry reproduces byte-identically.
 //! ```
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
 use mis_experiments::{
-    applications, decay, faults, fig3, fig5, grid_beeps, lower_bound, potential, quality, race,
-    robustness, sop, tails, Report,
+    applications, decay, faults, fig3, fig5, fuzz, grid_beeps, lower_bound, potential, quality,
+    race, robustness, sop, tails, Report,
 };
 
 #[derive(Debug, Clone)]
@@ -40,11 +46,13 @@ struct Options {
     science: bool,
     on: Option<race::RaceSurface>,
     out: Option<String>,
+    corpus: Option<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: xp <fig3|fig5|grid|lower-bound|tails|robustness|faults|race|quality|decay|apps|sop|potential|all> \
-     [--quick] [--seed N] [--trials N] [--jobs N] [--science] [--on base|line|product|induced] [--out FILE]"
+    "usage: xp <fig3|fig5|grid|lower-bound|tails|robustness|faults|race|quality|decay|apps|sop|potential|fuzz|all> \
+     [--quick] [--seed N] [--trials N] [--jobs N] [--science] [--on base|line|product|induced] \
+     [--out FILE] [--corpus FILE]\n       xp replay <file> [--jobs N]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -59,6 +67,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         science: false,
         on: None,
         out: None,
+        corpus: None,
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -90,7 +99,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--out needs a file path")?;
                 opts.out = Some(v.clone());
             }
-            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+            "--corpus" => {
+                let v = it.next().ok_or("--corpus needs a file path")?;
+                opts.corpus = Some(v.clone());
+            }
+            other => {
+                // `xp replay <file>` takes its corpus as a positional
+                // argument.
+                if opts.experiment == "replay" && opts.corpus.is_none() && !other.starts_with('-') {
+                    opts.corpus = Some(other.to_owned());
+                } else {
+                    return Err(format!("unknown flag {other:?}\n{}", usage()));
+                }
+            }
         }
     }
     Ok(opts)
@@ -364,6 +385,70 @@ fn run_potential(opts: &Options) -> (String, String) {
     )
 }
 
+fn run_fuzz(opts: &Options) -> (String, String) {
+    let mut config = if opts.quick {
+        fuzz::FuzzConfig::quick()
+    } else {
+        fuzz::FuzzConfig::paper()
+    };
+    if let Some(s) = opts.seed {
+        config.seed = s;
+    }
+    if let Some(t) = opts.trials {
+        config.eval_runs = t.max(1);
+    }
+    if let Some(j) = opts.jobs {
+        config.jobs = j;
+    }
+    eprintln!(
+        "fuzz: G({}, d ≈ {}), budget {}, {} generations × {} candidates, {} eval runs",
+        config.n,
+        config.mean_degree,
+        config.loss_budget,
+        config.generations,
+        config.population,
+        config.eval_runs
+    );
+    let results = fuzz::run(&config);
+    let path = opts.corpus.as_deref().unwrap_or("worst_scenarios.json");
+    match std::fs::write(path, results.corpus_string()) {
+        Ok(()) => eprintln!("wrote corpus {path} (replay with `xp replay {path}`)"),
+        Err(e) => eprintln!("failed to write corpus {path}: {e}"),
+    }
+    (
+        "Extension — adversarial scenario fuzzer".into(),
+        results.render(),
+    )
+}
+
+fn run_replay(opts: &Options) -> ExitCode {
+    let Some(path) = opts.corpus.as_deref() else {
+        eprintln!("replay needs a corpus file: xp replay <file>\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let results = match fuzz::replay_str(&text, opts.jobs.unwrap_or(0)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("## Replay — {path}\n\n{}", results.render());
+    if results.all_match() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("replay mismatch: {path} no longer reproduces byte-identically");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
@@ -376,6 +461,9 @@ fn main() -> ExitCode {
     if let Some(jobs) = opts.jobs {
         mis_experiments::set_default_jobs(jobs);
         eprintln!("running trials on {jobs} worker thread(s)");
+    }
+    if opts.experiment == "replay" {
+        return run_replay(&opts);
     }
 
     type Runner = fn(&Options) -> (String, String);
@@ -393,6 +481,7 @@ fn main() -> ExitCode {
         "apps" => vec![run_apps],
         "sop" => vec![run_sop],
         "potential" => vec![run_potential],
+        "fuzz" => vec![run_fuzz],
         "all" => vec![
             run_fig3,
             run_fig5,
@@ -407,6 +496,7 @@ fn main() -> ExitCode {
             run_apps,
             run_sop,
             run_potential,
+            run_fuzz,
         ],
         other => {
             eprintln!("unknown experiment {other:?}\n{}", usage());
@@ -536,9 +626,33 @@ mod tests {
             "apps",
             "sop",
             "potential",
+            "fuzz",
+            "replay",
             "all",
         ] {
             assert!(usage().contains(name), "usage is missing {name}");
         }
+    }
+
+    #[test]
+    fn parses_corpus_flag() {
+        let opts = parse(&["fuzz", "--quick", "--corpus", "out.json"]).unwrap();
+        assert_eq!(opts.corpus.as_deref(), Some("out.json"));
+        assert!(parse(&["fuzz", "--corpus"]).is_err());
+    }
+
+    #[test]
+    fn replay_takes_a_positional_corpus_file() {
+        let opts = parse(&["replay", "corpus.json", "--jobs", "2"]).unwrap();
+        assert_eq!(opts.experiment, "replay");
+        assert_eq!(opts.corpus.as_deref(), Some("corpus.json"));
+        assert_eq!(opts.jobs, Some(2));
+        // A second positional is still rejected, as is one for any other
+        // experiment.
+        assert!(parse(&["replay", "a.json", "b.json"]).is_err());
+        assert!(parse(&["fig3", "corpus.json"]).is_err());
+        // --corpus works for replay too.
+        let opts = parse(&["replay", "--corpus", "c.json"]).unwrap();
+        assert_eq!(opts.corpus.as_deref(), Some("c.json"));
     }
 }
