@@ -34,7 +34,7 @@ use mis_beeping::scenario::{scenario_eq, Scenario};
 use mis_core::engine::{Engine, EngineRecord, RunView};
 use mis_graph::{GraphView, NodeId};
 
-use crate::{InboxStrategy, MessageFactory, MessageSimulator, MsgRunOutcome};
+use crate::{InboxStrategy, MessageFactory, MessageSimulator, MsgOf, MsgRunOutcome};
 
 /// Default round cap for engine-driven runs — the same generous ceiling
 /// the experiments use for message baselines; hitting it marks the run
@@ -54,6 +54,10 @@ pub struct MessageEngine<F> {
     /// Optional composable adversary every run of this engine faces
     /// (see `mis_beeping::scenario`).
     pub scenario: Option<Arc<dyn Scenario>>,
+    /// Intra-run worker threads per run (1 = sequential, 0 = auto; see
+    /// [`MessageSimulator::run_sharded`]). Never affects results, only
+    /// the wall clock.
+    pub shards: usize,
 }
 
 impl<F: PartialEq> PartialEq for MessageEngine<F> {
@@ -64,6 +68,7 @@ impl<F: PartialEq> PartialEq for MessageEngine<F> {
             && self.max_rounds == other.max_rounds
             && self.inbox_strategy == other.inbox_strategy
             && scenario_eq(self.scenario.as_ref(), other.scenario.as_ref())
+            && self.shards == other.shards
     }
 }
 
@@ -79,6 +84,7 @@ impl<F> MessageEngine<F> {
             max_rounds: DEFAULT_MESSAGE_ROUND_CAP,
             inbox_strategy: InboxStrategy::default(),
             scenario: None,
+            shards: 1,
         }
     }
 
@@ -106,6 +112,15 @@ impl<F> MessageEngine<F> {
     #[must_use]
     pub fn with_scenario(mut self, scenario: Arc<dyn Scenario>) -> Self {
         self.scenario = Some(scenario);
+        self
+    }
+
+    /// Sets the intra-run shard count (1 = sequential, the default;
+    /// 0 = auto-detect). Results are bit-identical for every value —
+    /// see [`MessageSimulator::run_sharded`].
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 }
@@ -171,7 +186,13 @@ impl RunView for MsgRunOutcome {
     }
 }
 
-impl<F: MessageFactory + Sync, G: GraphView + ?Sized> Engine<G> for MessageEngine<F> {
+impl<F, G> Engine<G> for MessageEngine<F>
+where
+    F: MessageFactory + Sync,
+    F::Process: Send,
+    MsgOf<F>: Send + Sync,
+    G: GraphView + ?Sized,
+{
     type Outcome = MsgRunOutcome;
     type Record = MessageRunRecord;
 
@@ -181,7 +202,11 @@ impl<F: MessageFactory + Sync, G: GraphView + ?Sized> Engine<G> for MessageEngin
         if let Some(scenario) = &self.scenario {
             sim = sim.with_scenario(Arc::clone(scenario));
         }
-        sim.run(self.max_rounds)
+        if self.shards == 1 {
+            sim.run(self.max_rounds)
+        } else {
+            sim.run_sharded(self.max_rounds, self.shards)
+        }
     }
 
     fn record(&self, graph: &G, seed: u64, outcome: &MsgRunOutcome) -> MessageRunRecord {
@@ -229,6 +254,29 @@ mod tests {
             outcome.metrics().mean_bits_per_channel(g.edge_count())
         );
         assert_eq!(EngineRecord::cost(&record), record.mean_bits_per_channel);
+    }
+
+    #[test]
+    fn sharded_engine_matches_sequential_engine() {
+        let g = generators::gnp(60, 0.15, &mut SmallRng::seed_from_u64(8));
+        let sequential = RunPlan::for_engine(MessageEngine::new(LubyPriorityFactory::new()), 6)
+            .with_master_seed(2)
+            .execute(&g);
+        let sharded = RunPlan::for_engine(
+            MessageEngine::new(LubyPriorityFactory::new()).with_shards(4),
+            6,
+        )
+        .with_master_seed(2)
+        .execute(&g);
+        assert_eq!(sequential.records(), sharded.records());
+    }
+
+    #[test]
+    fn shards_participate_in_engine_equality() {
+        let a = MessageEngine::new(LubyPriorityFactory::new());
+        let b = MessageEngine::new(LubyPriorityFactory::new()).with_shards(4);
+        assert_ne!(a, b);
+        assert_eq!(a, MessageEngine::new(LubyPriorityFactory::new()));
     }
 
     #[test]

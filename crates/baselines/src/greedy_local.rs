@@ -76,7 +76,7 @@ impl MessageProcess for GreedyLocalProcess {
 }
 
 /// Factory for [`GreedyLocalProcess`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GreedyLocalFactory;
 
 impl GreedyLocalFactory {

@@ -64,5 +64,6 @@ pub use greedy_local::{GreedyLocalFactory, GreedyLocalProcess, GreedyMsg};
 pub use luby::{LubyMarkingFactory, LubyMarkingProcess, LubyPriorityFactory, LubyPriorityProcess};
 pub use metivier::{MetivierFactory, MetivierProcess};
 pub use runtime::{
-    InboxStrategy, MessageFactory, MessageMetrics, MessageProcess, MessageSimulator, MsgRunOutcome,
+    InboxStrategy, MessageFactory, MessageMetrics, MessageProcess, MessageSimulator, MsgOf,
+    MsgRunOutcome,
 };

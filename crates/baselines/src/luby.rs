@@ -85,7 +85,7 @@ impl MessageProcess for LubyPriorityProcess {
 }
 
 /// Factory for [`LubyPriorityProcess`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LubyPriorityFactory;
 
 impl LubyPriorityFactory {
@@ -205,7 +205,7 @@ impl MessageProcess for LubyMarkingProcess {
 }
 
 /// Factory for [`LubyMarkingProcess`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LubyMarkingFactory;
 
 impl LubyMarkingFactory {

@@ -111,7 +111,7 @@ impl MessageProcess for MetivierProcess {
 }
 
 /// Factory for [`MetivierProcess`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MetivierFactory;
 
 impl MetivierFactory {

@@ -112,11 +112,42 @@ pub enum PropagationKernel {
     /// density — pulling walks the CSR adjacency word-at-a-time with an
     /// early exit on the first beeping word.
     ///
-    /// Runs with `message_loss > 0` silently fall back to the scalar
-    /// kernel, because per-delivery loss draws must consume the fault RNG
-    /// in the reference order to stay reproducible.
+    /// With [`RngMode::Counter`], the bitset kernel also runs lossy
+    /// (`message_loss > 0`) configurations: counter-keyed loss draws are
+    /// pure functions of `(edge, round, exchange)`, so no shared stream
+    /// order constrains the kernel. Under the legacy [`RngMode::Stream`],
+    /// lossy runs still take the scalar reference path (per-delivery loss
+    /// draws must consume the fault RNG in reference order), and so do
+    /// delivery-perturbing/churning scenario runs in either mode — the
+    /// substitution is no longer silent: the kernel that actually ran is
+    /// recorded as [`RunOutcome::kernel_used`](crate::RunOutcome::kernel_used).
     #[default]
     Bitset,
+}
+
+/// How the simulator derives its random draws (see [`crate::rng`]).
+///
+/// Both modes are deterministic per master seed; they define *different*
+/// (equally valid) random sequences, so switching modes changes individual
+/// run outcomes while preserving every statistical property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RngMode {
+    /// Legacy stateful streams (the default): each node consumes its own
+    /// [`node_rng`](crate::rng::node_rng) stream across rounds, and
+    /// per-delivery loss draws consume one shared fault stream in the
+    /// scalar reference order. Committed replay artifacts (the fuzz
+    /// corpus, pinned determinism digests) were recorded in this mode and
+    /// stay byte-identical under it.
+    #[default]
+    Stream,
+    /// Stateless counter-based draws: every draw is
+    /// [`mix`](crate::rng::mix)`(master, domain, …)` keyed by its
+    /// coordinates — `(node, round)` for process draws,
+    /// `(sender, receiver, round, exchange)` for loss draws. Draw order is
+    /// irrelevant by construction, which legalises intra-run sharding
+    /// ([`SimConfig::shards`]) and the bitset kernel on lossy runs.
+    Counter,
 }
 
 /// Configuration for a [`Simulator`](crate::Simulator) run.
@@ -157,6 +188,18 @@ pub struct SimConfig {
     /// Which beep-propagation implementation to use (defaults to the
     /// packed [`PropagationKernel::Bitset`] kernel).
     pub kernel: PropagationKernel,
+    /// RNG derivation discipline (defaults to the legacy
+    /// [`RngMode::Stream`], which keeps existing replay artifacts
+    /// byte-identical).
+    pub rng: RngMode,
+    /// Intra-run shard count for the propagation phase: the bitset
+    /// kernel's pull direction splits its listener range across this many
+    /// scoped worker threads. `1` (the default) runs sequentially; `0`
+    /// means one shard per available core. Requires
+    /// [`RngMode::Counter`] to take effect (stream draws are
+    /// order-coupled), and the outcomes are bit-identical for every shard
+    /// count — `tests/sharding_equivalence.rs` pins this.
+    pub shards: usize,
     /// Optional composable adversary (defaults to none). A scenario
     /// layers on top of `faults`: wake rounds merge by taking the later
     /// of the two, and scenario loss/delay/churn apply in addition to
@@ -175,6 +218,8 @@ impl Default for SimConfig {
             trace: TraceLevel::Off,
             record_active_series: false,
             kernel: PropagationKernel::default(),
+            rng: RngMode::default(),
+            shards: 1,
             scenario: None,
         }
     }
@@ -190,6 +235,8 @@ impl PartialEq for SimConfig {
             && self.trace == other.trace
             && self.record_active_series == other.record_active_series
             && self.kernel == other.kernel
+            && self.rng == other.rng
+            && self.shards == other.shards
             && scenario_eq(self.scenario.as_ref(), other.scenario.as_ref())
     }
 }
@@ -257,6 +304,25 @@ impl SimConfig {
         self.kernel = kernel;
         self
     }
+
+    /// Selects the RNG derivation discipline.
+    #[must_use]
+    pub fn with_rng_mode(mut self, rng: RngMode) -> Self {
+        self.rng = rng;
+        self
+    }
+
+    /// Sets the intra-run shard count (`0` = one shard per core) and,
+    /// for any value other than `1`, switches to [`RngMode::Counter`] —
+    /// sharding is only legal when draws are order-independent.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        if shards != 1 {
+            self.rng = RngMode::Counter;
+        }
+        self
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +336,33 @@ mod tests {
         assert!(!cfg.mis_keeps_beeping);
         assert_eq!(cfg.trace, TraceLevel::Off);
         assert_eq!(cfg.kernel, PropagationKernel::Bitset);
+        assert_eq!(cfg.rng, RngMode::Stream);
+        assert_eq!(cfg.shards, 1);
+    }
+
+    #[test]
+    fn rng_mode_and_shards_are_selectable() {
+        let cfg = SimConfig::default().with_rng_mode(RngMode::Counter);
+        assert_eq!(cfg.rng, RngMode::Counter);
+        assert_eq!(cfg.shards, 1);
+        // Any shard count other than 1 implies counter draws.
+        let sharded = SimConfig::default().with_shards(4);
+        assert_eq!(sharded.shards, 4);
+        assert_eq!(sharded.rng, RngMode::Counter);
+        let auto = SimConfig::default().with_shards(0);
+        assert_eq!(auto.shards, 0);
+        assert_eq!(auto.rng, RngMode::Counter);
+        // shards = 1 is the sequential no-op and leaves the mode alone.
+        let seq = SimConfig::default().with_shards(1);
+        assert_eq!(seq.rng, RngMode::Stream);
+    }
+
+    #[test]
+    fn rng_mode_and_shards_affect_equality() {
+        let base = SimConfig::default();
+        assert_ne!(base, base.clone().with_rng_mode(RngMode::Counter));
+        assert_ne!(base, base.clone().with_shards(2));
+        assert_eq!(base, base.clone().with_shards(1));
     }
 
     #[test]

@@ -94,7 +94,7 @@ mod simulator;
 mod trace;
 
 pub use batch::{parallel_indexed_map, run_batch, run_batch_map, BatchPlan};
-pub use config::{FaultPlan, FaultPlanError, PropagationKernel, SimConfig};
+pub use config::{FaultPlan, FaultPlanError, PropagationKernel, RngMode, SimConfig};
 pub use metrics::Metrics;
 pub use model::{NetworkInfo, NodeStatus, Verdict};
 pub use process::{BeepingProcess, FnFactory, ProcessFactory};

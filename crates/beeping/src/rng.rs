@@ -1,11 +1,36 @@
-//! Deterministic per-node randomness derivation.
+//! Deterministic randomness derivation: per-node streams and stateless
+//! counter draws.
 //!
-//! Every simulation is reproducible from a single 64-bit master seed. Each
-//! node receives its own [`SmallRng`] stream derived with SplitMix64, so
-//! results are independent of iteration order and thread count.
+//! Every simulation is reproducible from a single 64-bit master seed. Two
+//! derivation disciplines coexist (selected per run by
+//! [`RngMode`](crate::RngMode)):
+//!
+//! * **stream** — each node receives its own [`SmallRng`] stream derived
+//!   with SplitMix64 ([`node_rng`]); results are independent of iteration
+//!   order across *nodes*, but any draw shared between nodes (such as
+//!   per-delivery loss) must consume one shared stream in a pinned
+//!   reference order.
+//! * **counter** — every draw is a pure hash of its coordinates via
+//!   [`mix`]`(seed, domain, a, b, c)`: the answer for one `(node, round)`
+//!   or `(edge, round, exchange)` query never depends on which other
+//!   queries were made, or in what order, or on which thread. This is what
+//!   makes intra-run sharding and the bitset kernel on lossy runs legal.
+//!
+//! The domain constants below keep the counter streams disjoint; the
+//! `pinned_*` regression tests at the bottom freeze every derivation that
+//! replay artifacts depend on.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// Domain tag for the shared fault-injection stream seed (the stream-mode
+/// `fault_rng` consumed by per-delivery loss draws in reference order).
+pub const DOM_FAULT_STREAM: u64 = 0xFA17_0000_0000_0001;
+/// Domain tag for counter-mode per-delivery loss draws, keyed by
+/// `(sender, receiver, slot)` where `slot = round * 2 + exchange`.
+pub const DOM_FAULT_LOSS: u64 = 0xFA17_0000_0000_0002;
+/// Domain tag for counter-mode per-`(node, round)` process streams.
+pub const DOM_NODE_ROUND: u64 = 0x6E52_6F75_6E64_0001;
 
 /// SplitMix64 finalizer: a fast, well-mixed 64-bit hash.
 ///
@@ -50,6 +75,66 @@ pub fn node_rng(master: u64, node: u32) -> SmallRng {
 #[must_use]
 pub fn trial_seed(master: u64, trial: u64) -> u64 {
     splitmix64(master ^ splitmix64(0x7472_6961_6C00_0000 ^ trial))
+}
+
+/// One counter-style draw: a pure 64-bit hash of a seed, a domain tag and
+/// up to three query coordinates, built from chained [`splitmix64`]
+/// finalisers. This is the primitive behind every stateless derivation in
+/// the workspace — the scenario engine's adversary draws and the
+/// simulator's counter-mode streams alike.
+///
+/// # Examples
+///
+/// ```
+/// use mis_beeping::rng::mix;
+/// // Pure: same coordinates, same answer, in any order on any thread.
+/// assert_eq!(mix(1, 2, 3, 4, 5), mix(1, 2, 3, 4, 5));
+/// assert_ne!(mix(1, 2, 3, 4, 5), mix(1, 2, 3, 5, 4));
+/// ```
+#[must_use]
+pub fn mix(seed: u64, domain: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut h = splitmix64(seed ^ domain);
+    h = splitmix64(h ^ a);
+    h = splitmix64(h ^ b);
+    splitmix64(h ^ c)
+}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)` (the standard
+/// 53-bit mantissa construction).
+#[must_use]
+pub fn unit(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Derives the seed of the shared fault-injection stream from the run's
+/// master seed ([`DOM_FAULT_STREAM`]-separated, replacing the historic
+/// ad-hoc `master ^ 0xFA17…` tag).
+#[must_use]
+pub fn fault_stream_seed(master: u64) -> u64 {
+    mix(master, DOM_FAULT_STREAM, 0, 0, 0)
+}
+
+/// Counter-mode seed of `node`'s process stream for one `round`: every
+/// round reseeds from scratch, so the draws a node makes in round `r` are
+/// a pure function of `(master, node, r)`.
+#[must_use]
+pub fn round_seed(master: u64, node: u32, round: u32) -> u64 {
+    mix(master, DOM_NODE_ROUND, u64::from(node), u64::from(round), 0)
+}
+
+/// Counter-mode per-delivery loss draw: whether the beep sent by `from`
+/// to `to` in slot `slot` (`round * 2 + exchange`) is dropped at loss
+/// probability `loss`. Pure, so deliveries can be evaluated in any order
+/// — including skipped entirely once a listener already heard a beep.
+#[must_use]
+pub fn loss_dropped(master: u64, from: u32, to: u32, slot: u64, loss: f64) -> bool {
+    unit(mix(
+        master,
+        DOM_FAULT_LOSS,
+        u64::from(from),
+        u64::from(to),
+        slot,
+    )) < loss
 }
 
 #[cfg(test)]
@@ -102,5 +187,79 @@ mod tests {
         for t in 0..256 {
             assert!(seen.insert(trial_seed(1, t)));
         }
+    }
+
+    // ---- Stream pins: replay artifacts (the committed fuzz corpus, the
+    // determinism suite) depend on these exact values. If one of these
+    // tests fails, the change breaks byte-identical replay — do not
+    // update the constant without migrating the artifacts.
+
+    #[test]
+    fn pinned_splitmix_reference_vector() {
+        // The published SplitMix64 test vector.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn pinned_mix_values() {
+        assert_eq!(mix(1, 2, 3, 4, 5), 0x415C_A65F_B706_4546);
+        // The scenario engine's loss draw is mix under its own domain tag;
+        // pinning one such draw freezes every adversary stream.
+        assert_eq!(
+            mix(31, 0x45D6_1EAF_0000_0002, 5, 9, 4),
+            0x01F1_DEE9_1830_07CF
+        );
+        assert!(
+            (unit(mix(31, 0x45D6_1EAF_0000_0002, 5, 9, 4)) - 0.007_596_904_666_741_011).abs()
+                < 1e-18
+        );
+    }
+
+    #[test]
+    fn pinned_fault_stream_seed() {
+        assert_eq!(fault_stream_seed(0xBEEF), 0x5E35_F307_4096_D671);
+        assert_ne!(fault_stream_seed(0), fault_stream_seed(1));
+    }
+
+    #[test]
+    fn pinned_round_seed() {
+        assert_eq!(round_seed(7, 3, 11), 0xD305_1A64_259B_79E3);
+        // Distinct across nodes, rounds and masters.
+        let mut seen = std::collections::HashSet::new();
+        for master in 0..2u64 {
+            for node in 0..8u32 {
+                for round in 0..8u32 {
+                    assert!(seen.insert(round_seed(master, node, round)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_is_in_half_open_interval() {
+        assert_eq!(unit(0), 0.0);
+        assert!(unit(u64::MAX) < 1.0);
+        for x in 0..64u64 {
+            let u = unit(splitmix64(x));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn loss_draw_boundaries() {
+        // loss = 0 never drops, loss = 1 always drops, and the draw is a
+        // pure function of its coordinates.
+        for slot in 0..16u64 {
+            assert!(!loss_dropped(9, 1, 2, slot, 0.0));
+            assert!(loss_dropped(9, 1, 2, slot, 1.0));
+            assert_eq!(
+                loss_dropped(9, 1, 2, slot, 0.5),
+                loss_dropped(9, 1, 2, slot, 0.5)
+            );
+        }
+        // Directional: the (from, to) draw differs from (to, from).
+        let fwd: Vec<bool> = (0..64).map(|s| loss_dropped(9, 1, 2, s, 0.5)).collect();
+        let rev: Vec<bool> = (0..64).map(|s| loss_dropped(9, 2, 1, s, 0.5)).collect();
+        assert_ne!(fwd, rev);
     }
 }

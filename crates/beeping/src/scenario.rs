@@ -18,8 +18,8 @@
 //! Every [`Scenario`] decision is a **pure function** of the scenario spec
 //! and the query coordinates — there is no hidden stream to consume in
 //! order. [`ScenarioSpec`] implements this with counter-style draws: each
-//! delivery fate is `mix(seed, from, to, round, exchange)` pushed through
-//! [`splitmix64`], so the answer for one edge never depends on how many
+//! delivery fate is [`mix`]`(seed, from, to, round,
+//! exchange)`, so the answer for one edge never depends on how many
 //! other edges were queried first. That is what lets the bitset and scalar
 //! kernels, the arena and fresh-vec inbox strategies, and any `--jobs`
 //! count agree bit-for-bit under the same adversary, and what makes a
@@ -51,7 +51,7 @@ use std::sync::Arc;
 use mis_graph::NodeId;
 
 use crate::json::Json;
-use crate::rng::splitmix64;
+use crate::rng::{mix, unit};
 
 /// Fate of one beep/message delivery over one directed edge, decided by a
 /// [`Scenario`].
@@ -354,22 +354,6 @@ const DOM_DELAY: u64 = 0x45D6_1EAF_0000_0003;
 const DOM_DELAY_LEN: u64 = 0x45D6_1EAF_0000_0004;
 const DOM_WAKE: u64 = 0x45D6_1EAF_0000_0005;
 const DOM_CHURN: u64 = 0x45D6_1EAF_0000_0006;
-
-/// One counter-style draw: a pure 64-bit hash of the scenario seed, a
-/// domain tag, and up to three query coordinates, built from chained
-/// [`splitmix64`] finalisers.
-fn mix(seed: u64, domain: u64, a: u64, b: u64, c: u64) -> u64 {
-    let mut h = splitmix64(seed ^ domain);
-    h = splitmix64(h ^ a);
-    h = splitmix64(h ^ b);
-    splitmix64(h ^ c)
-}
-
-/// Maps 64 random bits to a uniform `f64` in `[0, 1)` (the standard
-/// 53-bit mantissa construction).
-fn unit(bits: u64) -> f64 {
-    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-}
 
 fn check_probability(field: &'static str, value: f64) -> Result<(), ScenarioError> {
     if value.is_nan() || !(0.0..=1.0).contains(&value) {

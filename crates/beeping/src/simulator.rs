@@ -13,10 +13,10 @@ use rand::{Rng, SeedableRng};
 
 use mis_graph::{Graph, GraphView, NodeId};
 
-use crate::rng::node_rng;
+use crate::rng::{fault_stream_seed, loss_dropped, node_rng, round_seed};
 use crate::scenario::{Delivery, Scenario};
 use crate::{
-    BeepingProcess, Metrics, NetworkInfo, NodeStatus, ProcessFactory, PropagationKernel,
+    BeepingProcess, Metrics, NetworkInfo, NodeStatus, ProcessFactory, PropagationKernel, RngMode,
     RoundRecord, SimConfig, Trace, TraceLevel, Verdict,
 };
 
@@ -49,13 +49,27 @@ pub struct RoundView<'a> {
 }
 
 /// Result of a completed (or capped) simulation run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RunOutcome {
     statuses: Vec<NodeStatus>,
     rounds: u32,
     terminated: bool,
     metrics: Metrics,
     trace: Trace,
+    kernel_used: PropagationKernel,
+}
+
+impl PartialEq for RunOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        // `kernel_used` is diagnostic, not part of the semantic outcome:
+        // the kernel-equivalence contract is precisely that runs compare
+        // equal *across* kernels.
+        self.statuses == other.statuses
+            && self.rounds == other.rounds
+            && self.terminated == other.terminated
+            && self.metrics == other.metrics
+            && self.trace == other.trace
+    }
 }
 
 impl RunOutcome {
@@ -102,6 +116,19 @@ impl RunOutcome {
     #[must_use]
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// The propagation kernel that actually executed the run.
+    ///
+    /// A run configured with [`PropagationKernel::Bitset`] may still be
+    /// served by the scalar reference kernel when the configuration
+    /// requires it — a delivery-perturbing/churning scenario, or message
+    /// loss under the legacy [`RngMode::Stream`] — and this field makes
+    /// that substitution explicit rather than silent. Excluded from
+    /// `PartialEq`: outcomes are kernel-independent by contract.
+    #[must_use]
+    pub fn kernel_used(&self) -> PropagationKernel {
+        self.kernel_used
     }
 }
 
@@ -194,8 +221,15 @@ impl<'g, F: ProcessFactory, G: GraphView + ?Sized> Simulator<'g, F, G> {
 pub struct Stepper<'g, F: ProcessFactory, G: GraphView + ?Sized = Graph> {
     graph: &'g G,
     config: SimConfig,
+    master_seed: u64,
+    // Which kernel actually runs (resolved once from the configuration;
+    // see `RunOutcome::kernel_used`), and the effective intra-run shard
+    // count for the bitset pull direction (1 = sequential).
+    kernel_used: PropagationKernel,
+    shards: usize,
     processes: Vec<F::Process>,
     status: Vec<NodeStatus>,
+    // Per-node streams (stream mode only; empty under counter draws).
     rngs: Vec<SmallRng>,
     fault_rng: SmallRng,
     metrics: Metrics,
@@ -255,13 +289,45 @@ impl<'g, F: ProcessFactory, G: GraphView + ?Sized> Stepper<'g, F, G> {
                 }
             })
             .collect();
-        let rngs: Vec<SmallRng> = (0..n as NodeId).map(|v| node_rng(master_seed, v)).collect();
-        let fault_rng =
-            SmallRng::seed_from_u64(crate::rng::splitmix64(master_seed ^ 0xFA17_FA17_FA17_FA17));
+        let rngs: Vec<SmallRng> = if config.rng == RngMode::Counter {
+            // Counter mode reseeds per (node, round); no standing streams.
+            Vec::new()
+        } else {
+            (0..n as NodeId).map(|v| node_rng(master_seed, v)).collect()
+        };
+        let fault_rng = SmallRng::seed_from_u64(fault_stream_seed(master_seed));
+        // Resolve which kernel actually runs. The scenario reference path
+        // (delivery perturbation or churn) is scalar by definition, and
+        // stream-mode loss draws must consume the fault RNG in the scalar
+        // reference order; counter-mode loss draws are order-free, so a
+        // lossy bitset request is honoured.
+        let lossy = config.faults.message_loss > 0.0;
+        let scenario_path = config
+            .scenario
+            .as_deref()
+            .is_some_and(|s| Scenario::has_churn(s) || Scenario::perturbs_deliveries(s));
+        let kernel_used = if scenario_path || (lossy && config.rng == RngMode::Stream) {
+            PropagationKernel::Scalar
+        } else {
+            config.kernel
+        };
+        // Sharding splits the bitset pull direction only; the scalar and
+        // scenario reference paths stay sequential regardless.
+        let shards = if config.rng == RngMode::Counter && kernel_used == PropagationKernel::Bitset {
+            match config.shards {
+                0 => crate::batch::auto_jobs(),
+                s => s,
+            }
+        } else {
+            1
+        };
         let remaining = status.iter().filter(|s| !s.is_inactive()).count();
         Self {
             graph,
             config,
+            master_seed,
+            kernel_used,
+            shards,
             processes,
             status,
             rngs,
@@ -304,6 +370,22 @@ impl<'g, F: ProcessFactory, G: GraphView + ?Sized> Stepper<'g, F, G> {
         scenario: Option<&dyn Scenario>,
         churn: bool,
     ) {
+        let loss = self.config.faults.message_loss;
+        let slot = u64::from(self.round) * 2 + u64::from(!exchange1);
+        let mut drop = if !lossy {
+            LossDraw::None
+        } else if self.config.rng == RngMode::Counter {
+            LossDraw::Counter(CounterLoss {
+                master: self.master_seed,
+                slot,
+                loss,
+            })
+        } else {
+            LossDraw::Stream {
+                rng: &mut self.fault_rng,
+                loss,
+            }
+        };
         let (beeps, heard, pending) = if exchange1 {
             (&self.beep1, &mut self.heard1, &mut self.pending1)
         } else {
@@ -315,9 +397,7 @@ impl<'g, F: ProcessFactory, G: GraphView + ?Sized> Stepper<'g, F, G> {
                 &self.status,
                 &self.away,
                 churn,
-                &mut self.fault_rng,
-                self.config.faults.message_loss,
-                lossy,
+                &mut drop,
                 scenario,
                 self.round,
                 u32::from(!exchange1),
@@ -326,6 +406,10 @@ impl<'g, F: ProcessFactory, G: GraphView + ?Sized> Stepper<'g, F, G> {
                 pending,
             );
         } else if bitset {
+            let counter_loss = match drop {
+                LossDraw::Counter(cl) => Some(cl),
+                _ => None,
+            };
             broadcast_bitset(
                 self.graph,
                 &self.status,
@@ -334,17 +418,11 @@ impl<'g, F: ProcessFactory, G: GraphView + ?Sized> Stepper<'g, F, G> {
                 heard,
                 &mut self.beep_words,
                 &mut self.heard_words,
+                counter_loss,
+                self.shards,
             );
         } else {
-            broadcast(
-                self.graph,
-                &self.status,
-                &mut self.fault_rng,
-                self.config.faults.message_loss,
-                lossy,
-                beeps,
-                heard,
-            );
+            broadcast(self.graph, &self.status, &mut drop, beeps, heard);
         }
     }
 
@@ -371,9 +449,12 @@ impl<'g, F: ProcessFactory, G: GraphView + ?Sized> Stepper<'g, F, G> {
         } else {
             None
         };
-        // Per-delivery loss draws must consume the fault RNG in reference
-        // order, so lossy runs always take the scalar path.
-        let bitset = self.config.kernel == PropagationKernel::Bitset && !lossy && !scenario_path;
+        // Which kernel runs was resolved at construction (scenario paths
+        // are scalar; stream-mode lossy runs are scalar; counter-mode
+        // lossy bitset is legal because the loss draws are pure).
+        debug_assert!(!scenario_path || self.kernel_used == PropagationKernel::Scalar);
+        let bitset = self.kernel_used == PropagationKernel::Bitset;
+        let counter = self.config.rng == RngMode::Counter;
         let sleepy = self.sleepy;
 
         // Wake sleeping nodes whose time has come.
@@ -413,7 +494,19 @@ impl<'g, F: ProcessFactory, G: GraphView + ?Sized> Stepper<'g, F, G> {
             } else {
                 match self.status[v] {
                     NodeStatus::Active => {
-                        let b = self.processes[v].exchange1(&mut self.rngs[v]);
+                        // Counter mode: a fresh per-(node, round) stream,
+                        // so the round's draws are pure in (master, v,
+                        // round). Stream mode: the node's standing stream.
+                        let b = if counter {
+                            let mut tmp = SmallRng::seed_from_u64(round_seed(
+                                self.master_seed,
+                                v as NodeId,
+                                round,
+                            ));
+                            self.processes[v].exchange1(&mut tmp)
+                        } else {
+                            self.processes[v].exchange1(&mut self.rngs[v])
+                        };
                         candidates += u32::from(b);
                         b
                     }
@@ -547,18 +640,56 @@ impl<'g, F: ProcessFactory, G: GraphView + ?Sized> Stepper<'g, F, G> {
             rounds: self.round,
             metrics: self.metrics,
             trace: self.trace,
+            kernel_used: self.kernel_used,
+        }
+    }
+
+    /// The propagation kernel this run actually executes (see
+    /// [`RunOutcome::kernel_used`]).
+    #[must_use]
+    pub fn kernel_used(&self) -> PropagationKernel {
+        self.kernel_used
+    }
+}
+
+/// Per-delivery drop decision for one exchange, shared by the scalar and
+/// scenario broadcast paths.
+enum LossDraw<'a> {
+    /// Reliable network: nothing is dropped.
+    None,
+    /// Stream mode: consume the shared fault stream in the scalar
+    /// reference order (one draw per non-asleep delivery).
+    Stream { rng: &'a mut SmallRng, loss: f64 },
+    /// Counter mode: a pure draw keyed by `(sender, receiver, slot)`.
+    Counter(CounterLoss),
+}
+
+impl LossDraw<'_> {
+    #[inline]
+    fn dropped(&mut self, from: NodeId, to: NodeId) -> bool {
+        match self {
+            LossDraw::None => false,
+            LossDraw::Stream { rng, loss } => rng.random_bool(*loss),
+            LossDraw::Counter(cl) => loss_dropped(cl.master, from, to, cl.slot, cl.loss),
         }
     }
 }
 
+/// Coordinates of counter-mode loss draws for one exchange: every
+/// delivery's fate is `loss_dropped(master, from, to, slot, loss)`.
+#[derive(Clone, Copy)]
+struct CounterLoss {
+    master: u64,
+    slot: u64,
+    loss: f64,
+}
+
 /// Computes `heard[v] = OR of beeps delivered to v from its neighbours`,
-/// applying per-delivery message loss when `lossy`.
+/// applying the per-delivery loss decision of `drop`.
 fn broadcast<G: GraphView + ?Sized>(
     graph: &G,
     status: &[NodeStatus],
-    fault_rng: &mut SmallRng,
-    loss: f64,
-    lossy: bool,
+    drop: &mut LossDraw<'_>,
     beeps: &[bool],
     heard: &mut [bool],
 ) {
@@ -568,13 +699,14 @@ fn broadcast<G: GraphView + ?Sized>(
             continue;
         }
         // Ascending neighbour order is part of the GraphView contract, so
-        // the loss RNG consumes draws in exactly the CSR reference order.
+        // a stream-mode loss draw consumes the fault RNG in exactly the
+        // CSR reference order (counter-mode draws are order-free anyway).
         graph.for_each_neighbor(v as NodeId, |u| {
             // Sleeping nodes hear nothing.
             if status[u as usize] == NodeStatus::Asleep {
                 return;
             }
-            if lossy && fault_rng.random_bool(loss) {
+            if drop.dropped(v as NodeId, u) {
                 return;
             }
             heard[u as usize] = true;
@@ -589,8 +721,8 @@ fn broadcast<G: GraphView + ?Sized>(
 /// Delayed deliveries are parked in `pending` as `(arrival round,
 /// receiver)` and drained at the top of the same exchange slot of their
 /// arrival round; a delayed beep whose receiver is asleep or absent on
-/// arrival is lost. Legacy `FaultPlan` loss draws still consume
-/// `fault_rng` first, in reference order, so a scenario composes with
+/// arrival is lost. Legacy `FaultPlan` loss draws are decided first (in
+/// reference order for a stream-mode `drop`), so a scenario composes with
 /// `message_loss` exactly as the scalar kernel defines it.
 #[allow(clippy::too_many_arguments)]
 fn broadcast_scenario<G: GraphView + ?Sized>(
@@ -598,9 +730,7 @@ fn broadcast_scenario<G: GraphView + ?Sized>(
     status: &[NodeStatus],
     away: &[bool],
     churn: bool,
-    fault_rng: &mut SmallRng,
-    loss: f64,
-    lossy: bool,
+    drop: &mut LossDraw<'_>,
     scenario: &dyn Scenario,
     round: u32,
     exchange: u32,
@@ -619,7 +749,7 @@ fn broadcast_scenario<G: GraphView + ?Sized>(
             if status[ui] == NodeStatus::Asleep || (churn && away[ui]) {
                 return;
             }
-            if lossy && fault_rng.random_bool(loss) {
+            if drop.dropped(v as NodeId, u) {
                 return;
             }
             match scenario.delivery(v as NodeId, u, round, exchange) {
@@ -664,9 +794,92 @@ fn unpack_bits(words: &[u64], bits: &mut [bool]) {
     }
 }
 
+/// Whether listener `v` hears any beeping neighbour, via the word-grouped
+/// early-exit scan: ascending iteration keeps same-word neighbours
+/// contiguous, so they fold into one mask tested against the beep bitset.
+fn listener_hears<G: GraphView + ?Sized>(graph: &G, v: NodeId, beep_words: &[u64]) -> bool {
+    let mut cur_word = usize::MAX;
+    let mut mask = 0u64;
+    let mut hit = false;
+    let flow = graph.try_for_each_neighbor(v, |u| {
+        let w = u as usize / WORD_BITS;
+        if w != cur_word {
+            if cur_word != usize::MAX && beep_words[cur_word] & mask != 0 {
+                hit = true;
+                return ControlFlow::Break(());
+            }
+            cur_word = w;
+            mask = 0;
+        }
+        mask |= 1u64 << (u as usize % WORD_BITS);
+        ControlFlow::Continue(())
+    });
+    if flow == ControlFlow::Continue(())
+        && cur_word != usize::MAX
+        && beep_words[cur_word] & mask != 0
+    {
+        hit = true;
+    }
+    hit
+}
+
+/// Whether listener `v` hears any beeping neighbour when each delivery is
+/// dropped by a counter-keyed loss draw. The draws are pure functions of
+/// `(sender, v, slot)`, so the early exit on the first surviving delivery
+/// skips the remaining draws without affecting any other node's outcome.
+fn listener_hears_lossy<G: GraphView + ?Sized>(
+    graph: &G,
+    v: NodeId,
+    beep_words: &[u64],
+    cl: CounterLoss,
+) -> bool {
+    graph.try_for_each_neighbor(v, |u| {
+        let beeped = beep_words[u as usize / WORD_BITS] >> (u as usize % WORD_BITS) & 1 != 0;
+        if beeped && !loss_dropped(cl.master, u, v, cl.slot, cl.loss) {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    }) == ControlFlow::Break(())
+}
+
+/// Computes the heard bitset for the listeners of `out.len()` consecutive
+/// words starting at word `first_word`, in the pull direction. This is the
+/// unit of intra-run sharding: each shard owns a word-aligned listener
+/// range and writes only its own output words.
+fn pull_heard_words<G: GraphView + ?Sized>(
+    graph: &G,
+    status: &[NodeStatus],
+    sleepy: bool,
+    beep_words: &[u64],
+    loss: Option<CounterLoss>,
+    first_word: usize,
+    out: &mut [u64],
+) {
+    let n = graph.node_count();
+    for (i, word_out) in out.iter_mut().enumerate() {
+        let base = (first_word + i) * WORD_BITS;
+        let mut word = 0u64;
+        for (off, s) in status[base..(base + WORD_BITS).min(n)].iter().enumerate() {
+            if sleepy && *s == NodeStatus::Asleep {
+                continue;
+            }
+            let v = base + off;
+            let hit = match loss {
+                None => listener_hears(graph, v as NodeId, beep_words),
+                Some(cl) => listener_hears_lossy(graph, v as NodeId, beep_words, cl),
+            };
+            word |= u64::from(hit) << off;
+        }
+        *word_out = word;
+    }
+}
+
 /// The bitset propagation kernel: computes the same
-/// `heard[v] = OR of beeps over v's neighbours` as [`broadcast`] for
-/// loss-free networks, on packed `u64` words.
+/// `heard[v] = OR of beeps delivered to v from its neighbours` as
+/// [`broadcast`], on packed `u64` words, optionally applying counter-keyed
+/// per-delivery loss (`loss`) and splitting the work across `shards`
+/// scoped worker threads.
 ///
 /// The direction is chosen per exchange from the beep density:
 ///
@@ -678,6 +891,15 @@ fn unpack_bits(words: &[u64], bits: &mut [bool]) {
 /// * **push** (sparse beeps) — scan the beep words, skip zero words whole,
 ///   and OR each beeper's neighbour bits into the heard bitset; asleep
 ///   listeners are cleared afterwards in one pass.
+///
+/// The density heuristic picks the direction first; sharding then only
+/// applies to the pull direction, whose per-listener gather writes only
+/// the listener's own bit (so word-aligned listener ranges shard without
+/// synchronisation). Counter loss draws are pure in `(sender, receiver,
+/// slot)`, so the early exit, the evaluation order, and the direction are
+/// all free: both directions produce identical results, and mixing them
+/// across configurations never changes an outcome.
+#[allow(clippy::too_many_arguments)]
 fn broadcast_bitset<G: GraphView + ?Sized>(
     graph: &G,
     status: &[NodeStatus],
@@ -686,57 +908,39 @@ fn broadcast_bitset<G: GraphView + ?Sized>(
     heard: &mut [bool],
     beep_words: &mut [u64],
     heard_words: &mut [u64],
+    loss: Option<CounterLoss>,
+    shards: usize,
 ) {
     let n = graph.node_count();
     pack_bits(beeps, beep_words);
     heard_words.fill(0);
     let beepers: usize = beep_words.iter().map(|w| w.count_ones() as usize).sum();
-    if beepers * PULL_CROSSOVER >= n && beepers > 0 {
-        // Pull: per-listener early-exit scan over word-grouped neighbours
-        // (ascending iteration keeps same-word neighbours contiguous).
-        for v in 0..n {
-            if sleepy && status[v] == NodeStatus::Asleep {
-                continue;
-            }
-            let mut cur_word = usize::MAX;
-            let mut mask = 0u64;
-            let mut hit = false;
-            let flow = graph.try_for_each_neighbor(v as NodeId, |u| {
-                let w = u as usize / WORD_BITS;
-                if w != cur_word {
-                    if cur_word != usize::MAX && beep_words[cur_word] & mask != 0 {
-                        hit = true;
-                        return ControlFlow::Break(());
-                    }
-                    cur_word = w;
-                    mask = 0;
-                }
-                mask |= 1u64 << (u as usize % WORD_BITS);
-                ControlFlow::Continue(())
-            });
-            if flow == ControlFlow::Continue(())
-                && cur_word != usize::MAX
-                && beep_words[cur_word] & mask != 0
-            {
-                hit = true;
-            }
-            if hit {
-                heard_words[v / WORD_BITS] |= 1u64 << (v % WORD_BITS);
-            }
-        }
-    } else {
+    let words = heard_words.len();
+    let shards = shards.min(words);
+    if beepers == 0 {
+        // Nothing beeped; nothing can be heard.
+    } else if beepers * PULL_CROSSOVER < n {
         // Push: walk set bits of the beep words, OR neighbour bits in.
+        // Counter loss draws are direction-free (pure in (sender,
+        // receiver, slot)), so pushing stays bit-identical to pulling —
+        // sharded configurations take this branch too, because pushing a
+        // sparse exchange is cheaper than any parallel pull over it.
         for (wi, &word) in beep_words.iter().enumerate() {
             let mut bits = word;
             while bits != 0 {
                 let v = wi * WORD_BITS + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 graph.for_each_neighbor(v as NodeId, |u| {
+                    if let Some(cl) = loss {
+                        if loss_dropped(cl.master, v as NodeId, u, cl.slot, cl.loss) {
+                            return;
+                        }
+                    }
                     heard_words[u as usize / WORD_BITS] |= 1u64 << (u as usize % WORD_BITS);
                 });
             }
         }
-        if sleepy && beepers > 0 {
+        if sleepy {
             // Sleeping nodes hear nothing.
             for (v, s) in status.iter().enumerate() {
                 if *s == NodeStatus::Asleep {
@@ -744,6 +948,25 @@ fn broadcast_bitset<G: GraphView + ?Sized>(
                 }
             }
         }
+    } else if shards > 1 {
+        // Sharded pull over word-aligned listener chunks: each worker
+        // computes its own output words, merged back by index.
+        let beep_words: &[u64] = beep_words;
+        let chunk_words = words.div_ceil(shards);
+        let chunks = words.div_ceil(chunk_words);
+        let parts: Vec<Vec<u64>> = crate::batch::parallel_indexed_map(chunks, shards, |c| {
+            let lo = c * chunk_words;
+            let hi = ((c + 1) * chunk_words).min(words);
+            let mut out = vec![0u64; hi - lo];
+            pull_heard_words(graph, status, sleepy, beep_words, loss, lo, &mut out);
+            out
+        });
+        for (c, part) in parts.into_iter().enumerate() {
+            let lo = c * chunk_words;
+            heard_words[lo..lo + part.len()].copy_from_slice(&part);
+        }
+    } else {
+        pull_heard_words(graph, status, sleepy, beep_words, loss, 0, heard_words);
     }
     unpack_bits(heard_words, heard);
 }
@@ -1104,10 +1327,11 @@ mod tests {
     }
 
     #[test]
-    fn lossy_runs_fall_back_to_scalar_kernel() {
-        // With message loss the two kernel settings must still agree,
-        // because the bitset config silently uses the scalar reference
-        // path (the loss RNG sequence defines the semantics).
+    fn stream_lossy_runs_fall_back_to_scalar_kernel_visibly() {
+        // Under legacy stream draws the two kernel settings must still
+        // agree — the bitset config is served by the scalar reference
+        // path, because the loss RNG's consumption order defines the
+        // semantics — and the substitution is recorded, not silent.
         let g = generators::cycle(20);
         let base = SimConfig::default().with_faults(FaultPlan {
             message_loss: 0.3,
@@ -1128,6 +1352,116 @@ mod tests {
         )
         .run();
         assert_eq!(a, b);
+        assert_eq!(a.kernel_used(), PropagationKernel::Scalar);
+        assert_eq!(b.kernel_used(), PropagationKernel::Scalar);
+    }
+
+    #[test]
+    fn counter_mode_honours_bitset_on_lossy_runs() {
+        // The fixed bug: with counter draws, a lossy run asked to use the
+        // bitset kernel actually uses it — and still matches the scalar
+        // kernel bit for bit, because the per-delivery loss draws are
+        // pure functions of (edge, round, exchange).
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        for (name, g) in [
+            ("cycle", generators::cycle(20)),
+            ("gnp", generators::gnp(60, 0.15, &mut rng)),
+        ] {
+            let base = SimConfig::default()
+                .with_max_rounds(10_000)
+                .with_rng_mode(RngMode::Counter)
+                .with_faults(FaultPlan {
+                    message_loss: 0.3,
+                    wake_rounds: vec![],
+                });
+            let a = Simulator::new(
+                &g,
+                &Coin::factory(0.5),
+                13,
+                base.clone().with_kernel(PropagationKernel::Scalar),
+            )
+            .run();
+            let b = Simulator::new(
+                &g,
+                &Coin::factory(0.5),
+                13,
+                base.with_kernel(PropagationKernel::Bitset),
+            )
+            .run();
+            assert_eq!(a.kernel_used(), PropagationKernel::Scalar, "{name}");
+            assert_eq!(b.kernel_used(), PropagationKernel::Bitset, "{name}");
+            assert_eq!(a, b, "{name}");
+        }
+    }
+
+    #[test]
+    fn sharded_bitset_matches_sequential_for_any_shard_count() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(41);
+        let g = generators::gnp(150, 0.1, &mut rng);
+        for loss in [0.0, 0.25] {
+            let base = SimConfig::default()
+                .with_max_rounds(2_000)
+                .with_rng_mode(RngMode::Counter)
+                .with_faults(FaultPlan {
+                    message_loss: loss,
+                    wake_rounds: vec![],
+                });
+            let reference = Simulator::new(&g, &Coin::factory(0.5), 23, base.clone()).run();
+            // 0 = one shard per core; outcomes must not depend on it.
+            for shards in [2, 4, 7, 0] {
+                let sharded = Simulator::new(
+                    &g,
+                    &Coin::factory(0.5),
+                    23,
+                    base.clone().with_shards(shards),
+                )
+                .run();
+                assert_eq!(reference, sharded, "loss {loss} shards {shards}");
+                assert_eq!(sharded.kernel_used(), PropagationKernel::Bitset);
+            }
+        }
+    }
+
+    #[test]
+    fn counter_mode_is_deterministic_and_distinct_from_stream() {
+        let g = generators::gnp(30, 0.3, &mut rand::rngs::SmallRng::seed_from_u64(3));
+        let counter = SimConfig::default().with_rng_mode(RngMode::Counter);
+        let a = Simulator::new(&g, &Coin::factory(0.5), 77, counter.clone()).run();
+        let b = Simulator::new(&g, &Coin::factory(0.5), 77, counter).run();
+        assert_eq!(a, b);
+        // The two modes define different (equally valid) random
+        // sequences; on 30 nodes a full-outcome coincidence is
+        // vanishingly unlikely.
+        let stream = Simulator::new(&g, &Coin::factory(0.5), 77, SimConfig::default()).run();
+        assert_ne!(a, stream);
+    }
+
+    #[test]
+    fn scenario_reference_path_records_scalar_kernel() {
+        use crate::scenario::{ScenarioSpec, WakePattern};
+        use std::sync::Arc;
+
+        let g = generators::grid2d(6, 6);
+        // A delivery-perturbing scenario forces (and records) the scalar
+        // reference path even when the bitset kernel was requested, in
+        // either RNG mode.
+        for mode in [RngMode::Stream, RngMode::Counter] {
+            let cfg = SimConfig::default()
+                .with_max_rounds(5_000)
+                .with_rng_mode(mode)
+                .with_scenario(Arc::new(ScenarioSpec::uniform_loss(3, 0.2)));
+            let outcome = Simulator::new(&g, &Coin::factory(0.5), 7, cfg).run();
+            assert_eq!(outcome.kernel_used(), PropagationKernel::Scalar, "{mode:?}");
+        }
+        // A wake-only scenario keeps the configured kernel.
+        let cfg = SimConfig::default().with_scenario(Arc::new(ScenarioSpec::new(3).with_wake(
+            WakePattern::Wavefront {
+                stride: 2,
+                latest: 8,
+            },
+        )));
+        let outcome = Simulator::new(&g, &Coin::factory(0.5), 7, cfg).run();
+        assert_eq!(outcome.kernel_used(), PropagationKernel::Bitset);
     }
 
     #[test]

@@ -4,10 +4,12 @@
 //! (`mis_core::RunPlan`), each verifying that every timed configuration
 //! produced identical per-run results before reporting any number:
 //!
-//! * **simulator** (default) — the beeping engine along the two axes the
+//! * **simulator** (default) — the beeping engine along the axes the
 //!   workspace optimises: scalar reference vs bitset propagation kernel
-//!   (single-threaded), and 1 worker vs N workers through the batch
-//!   runner. Writes `BENCH_simulator.json`.
+//!   (single-threaded), 1 worker vs N workers through the batch runner,
+//!   plus a **sharding point** (one counter-mode bitset run on a 1M+-node
+//!   graph in full mode, sequential vs 4 intra-run shards, records gated
+//!   bit-identical). Writes `BENCH_simulator.json`.
 //! * **baselines** — the message-passing engine's inbox delivery: the
 //!   pre-refactor fresh-`Vec` path vs the arena path on a Luby-priority
 //!   gnp workload, plus 1 worker vs N workers, plus a **views point**
@@ -35,7 +37,7 @@ use std::time::Instant;
 
 use mis_apps::AppEngine;
 use mis_baselines::{InboxStrategy, LubyPriorityFactory, MessageEngine};
-use mis_beeping::{PropagationKernel, SimConfig};
+use mis_beeping::{PropagationKernel, RngMode, SimConfig};
 use mis_bench::gnp_mean_degree;
 use mis_core::engine::Engine;
 use mis_core::{solve_mis_with_config, Algorithm, BatchPlan, BatchReport, RunPlan};
@@ -231,12 +233,60 @@ fn run_simulator_suite(opts: &Options) -> Result<(), String> {
         return Err("FATAL — kernel or thread count changed the results".to_owned());
     }
 
+    // Workload 3 — intra-run sharding: one counter-mode propagation run
+    // on a graph large enough that a *single* run dwarfs the batch
+    // (1M+ nodes in full mode), bitset kernel, sequential vs 4 shards.
+    // Counter-mode draws are pure in (node, round), so the shard count
+    // must be invisible in the results — gated below run for run.
+    const SHARDS: usize = 4;
+    let (shard_n, shard_degree, shard_rounds, shard_reps) = if opts.quick {
+        (50_000usize, 16.0, 4u32, 1usize)
+    } else {
+        (1_048_576usize, 16.0, 8u32, 2usize)
+    };
+    eprintln!("simbench[simulator]: building sharding graph G({shard_n}, d≈{shard_degree}) …");
+    let shard_graph = gnp_mean_degree(shard_n, shard_degree);
+    let shard_plan = |shards: usize| {
+        RunPlan::new(Algorithm::constant(0.5), 1)
+            .with_master_seed(0x5AAD)
+            .with_jobs(1)
+            .with_config(
+                SimConfig::default()
+                    .with_max_rounds(shard_rounds)
+                    .with_kernel(PropagationKernel::Bitset)
+                    .with_rng_mode(RngMode::Counter)
+                    .with_shards(shards),
+            )
+    };
+    eprintln!(
+        "simbench[simulator]: sharding workload (constant ½, counter rng, {} nodes, \
+         {shard_rounds} rounds, 1 vs {SHARDS} shards) …",
+        shard_graph.node_count()
+    );
+    let mut shard_seq_ms = f64::INFINITY;
+    let mut shard_par_ms = f64::INFINITY;
+    let mut shard_seq = time_plan_min(&shard_plan(1), &shard_graph, &mut shard_seq_ms);
+    let mut shard_par = time_plan_min(&shard_plan(SHARDS), &shard_graph, &mut shard_par_ms);
+    for _ in 1..shard_reps {
+        // Interleave repetitions so thermal / cache drift hits both
+        // configurations evenly; keep the best of each.
+        shard_seq = time_plan_min(&shard_plan(1), &shard_graph, &mut shard_seq_ms);
+        shard_par = time_plan_min(&shard_plan(SHARDS), &shard_graph, &mut shard_par_ms);
+    }
+    eprintln!("  sequential: {shard_seq_ms:.1} ms; {SHARDS} shards: {shard_par_ms:.1} ms");
+    if shard_seq != shard_par {
+        return Err("FATAL — intra-run sharding changed the results".to_owned());
+    }
+
     let bitset_speedup = kernel_scalar_ms / kernel_bitset_ms.max(1e-9);
     let fb_speedup = fb_scalar_ms / fb_bitset_ms.max(1e-9);
     let thread_speedup = fb_bitset_ms / fb_jobs_ms.max(1e-9);
+    let shard_speedup = shard_seq_ms / shard_par_ms.max(1e-9);
     eprintln!(
         "simbench[simulator]: bitset/scalar {bitset_speedup:.2}x on propagation, \
-         {fb_speedup:.2}x end-to-end; {jobs}-thread/1-thread {thread_speedup:.2}x"
+         {fb_speedup:.2}x end-to-end; {jobs}-thread/1-thread {thread_speedup:.2}x; \
+         {SHARDS}-shard/sequential {shard_speedup:.2}x on {} cores",
+        mis_core::auto_jobs()
     );
 
     let json = format!(
@@ -250,6 +300,11 @@ fn run_simulator_suite(opts: &Options) -> Result<(), String> {
          \"scalar_1thread_ms\": {fscalar:.3},\n    \"bitset_1thread_ms\": {fbitset:.3},\n    \
          \"speedup\": {fspeed:.3},\n    \
          \"jobs\": {jobs},\n    \"bitset_jobs_ms\": {fjobs:.3},\n    \"thread_speedup\": {tspeed:.3}\n  }},\n  \
+         \"sharding\": {{\n    \"algorithm\": \"constant(0.5)\",\n    \"rng\": \"counter\",\n    \
+         \"nodes\": {snodes},\n    \"edges\": {sedges},\n    \"rounds\": {srounds},\n    \
+         \"shards\": {shards},\n    \"cores\": {cores},\n    \
+         \"sequential_ms\": {sseq:.3},\n    \"sharded_ms\": {spar:.3},\n    \
+         \"speedup\": {sspeed:.3},\n    \"outcomes_identical\": true\n  }},\n  \
          \"bitset_speedup\": {kspeed:.3},\n  \
          \"outcomes_identical\": true\n}}\n",
         mode = if opts.quick { "quick" } else { "full" },
@@ -268,6 +323,14 @@ fn run_simulator_suite(opts: &Options) -> Result<(), String> {
         jobs = jobs,
         fjobs = fb_jobs_ms,
         tspeed = thread_speedup,
+        snodes = shard_graph.node_count(),
+        sedges = shard_graph.edge_count(),
+        srounds = shard_rounds,
+        shards = SHARDS,
+        cores = mis_core::auto_jobs(),
+        sseq = shard_seq_ms,
+        spar = shard_par_ms,
+        sspeed = shard_speedup,
     );
     write_json(out, &json)
 }

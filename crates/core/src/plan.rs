@@ -22,6 +22,14 @@
 //! are bit-identical for any `jobs` value and match the single-run path
 //! seed for seed.
 //!
+//! Parallelism has two orthogonal levers, both result-neutral: `jobs`
+//! fans independent *runs* across workers (this module), while
+//! *intra-run sharding* splits one run's propagation across workers —
+//! [`SimConfig::with_shards`] for the beeping engine (counter-mode RNG),
+//! `MessageEngine::with_shards` for the message engine. Use `jobs` for
+//! statistical batches of many seeds; use shards when a single huge-graph
+//! run is the bottleneck. They compose.
+//!
 //! # Examples
 //!
 //! ```
@@ -368,6 +376,28 @@ mod tests {
             assert_eq!(report.records().len(), 4, "{}", algo.name());
             assert_eq!(report.unterminated(), 0, "{}", algo.name());
         }
+    }
+
+    #[test]
+    fn intra_run_sharding_composes_with_jobs() {
+        // The two parallelism levers are independent and result-neutral:
+        // a sharded-counter config through a multi-worker plan must match
+        // the same config run sequentially, seed for seed.
+        use mis_beeping::RngMode;
+
+        let g = generators::gnp(80, 0.15, &mut SmallRng::seed_from_u64(5));
+        let config = SimConfig::default().with_rng_mode(RngMode::Counter);
+        let reference = RunPlan::new(Algorithm::feedback(), 6)
+            .with_config(config.clone())
+            .with_master_seed(13)
+            .with_jobs(1)
+            .execute(&g);
+        let sharded = RunPlan::new(Algorithm::feedback(), 6)
+            .with_config(config.with_shards(4))
+            .with_master_seed(13)
+            .with_jobs(2)
+            .execute(&g);
+        assert_eq!(reference, sharded);
     }
 
     #[test]

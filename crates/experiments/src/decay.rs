@@ -6,7 +6,6 @@
 //! a short warm-up; for the sweep it decays in bursts, once per phase
 //! visit to the “right” probability. This experiment records both curves.
 
-use mis_beeping::SimConfig;
 use mis_core::{run_algorithm, Algorithm};
 use mis_graph::generators;
 use mis_stats::{AsciiPlot, Series, Table};
@@ -75,7 +74,7 @@ pub fn run(config: &DecayConfig) -> DecayResults {
     let curves = run_trials(config.trials, config.seed, |trial_seed, _| {
         let mut graph_rng = SmallRng::seed_from_u64(trial_seed);
         let g = generators::gnp(config.n, 0.5, &mut graph_rng);
-        let sim = SimConfig::default().with_active_series(true);
+        let sim = crate::sim_config().with_active_series(true);
         let f = run_algorithm(&g, &Algorithm::feedback(), trial_seed ^ 0xFEED, sim.clone());
         assert!(f.terminated());
         let s = run_algorithm(&g, &Algorithm::sweep(), trial_seed ^ 0x5157, sim);

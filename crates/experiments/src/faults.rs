@@ -14,7 +14,7 @@
 //! rounds (for terminated runs).
 
 use mis_beeping::rng::splitmix64;
-use mis_beeping::{FaultPlan, SimConfig};
+use mis_beeping::FaultPlan;
 use mis_core::verify::check_mis;
 use mis_core::{run_algorithm, Algorithm, FeedbackConfig};
 use mis_graph::generators;
@@ -194,7 +194,7 @@ fn measure(
     let samples = run_trials(config.trials, master, |trial_seed, idx| {
         let mut graph_rng = SmallRng::seed_from_u64(trial_seed);
         let g = generators::gnp(config.n, config.edge_probability, &mut graph_rng);
-        let sim = SimConfig::default()
+        let sim = crate::sim_config()
             .with_max_rounds(config.max_rounds)
             .with_mis_keeps_beeping(repair)
             .with_faults(plan(trial_seed, idx));

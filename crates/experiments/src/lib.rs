@@ -46,4 +46,7 @@ pub mod sop;
 pub mod tails;
 
 pub use report::Report;
-pub use runner::{default_jobs, run_trials, run_trials_with_jobs, set_default_jobs, SeriesPoint};
+pub use runner::{
+    default_jobs, default_shards, run_trials, run_trials_with_jobs, set_default_jobs,
+    set_default_shards, sim_config, SeriesPoint,
+};

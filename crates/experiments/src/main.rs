@@ -1,7 +1,8 @@
 //! `xp` — the experiment driver.
 //!
 //! ```text
-//! xp <experiment> [--quick] [--seed N] [--trials N] [--jobs N] [--science]
+//! xp <experiment> [--quick] [--seed N] [--trials N] [--jobs N] [--shards N]
+//!                 [--science]
 //!                 [--on base|line|product|induced] [--out FILE] [--corpus FILE]
 //! xp replay <file> [--jobs N]
 //!
@@ -43,6 +44,7 @@ struct Options {
     seed: Option<u64>,
     trials: Option<usize>,
     jobs: Option<usize>,
+    shards: Option<usize>,
     science: bool,
     on: Option<race::RaceSurface>,
     out: Option<String>,
@@ -51,8 +53,8 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: xp <fig3|fig5|grid|lower-bound|tails|robustness|faults|race|quality|decay|apps|sop|potential|fuzz|all> \
-     [--quick] [--seed N] [--trials N] [--jobs N] [--science] [--on base|line|product|induced] \
-     [--out FILE] [--corpus FILE]\n       xp replay <file> [--jobs N]"
+     [--quick] [--seed N] [--trials N] [--jobs N] [--shards N] [--science] \
+     [--on base|line|product|induced] [--out FILE] [--corpus FILE]\n       xp replay <file> [--jobs N]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -64,6 +66,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         seed: None,
         trials: None,
         jobs: None,
+        shards: None,
         science: false,
         on: None,
         out: None,
@@ -88,6 +91,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err("--jobs must be at least 1".to_owned());
                 }
                 opts.jobs = Some(jobs);
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                let shards: usize = v.parse().map_err(|_| format!("bad shard count {v:?}"))?;
+                opts.shards = Some(shards);
             }
             "--on" => {
                 let v = it.next().ok_or("--on needs a value")?;
@@ -462,6 +470,17 @@ fn main() -> ExitCode {
         mis_experiments::set_default_jobs(jobs);
         eprintln!("running trials on {jobs} worker thread(s)");
     }
+    if let Some(shards) = opts.shards {
+        mis_experiments::set_default_shards(Some(shards));
+        eprintln!(
+            "beeping simulations use counter-mode rng with {} intra-run shard(s)",
+            if shards == 0 {
+                "auto".to_owned()
+            } else {
+                shards.to_string()
+            }
+        );
+    }
     if opts.experiment == "replay" {
         return run_replay(&opts);
     }
@@ -576,6 +595,18 @@ mod tests {
             .contains("at least 1"));
         assert!(parse(&["fig3", "--jobs"]).is_err());
         assert!(parse(&["fig3", "--jobs", "many"]).is_err());
+    }
+
+    #[test]
+    fn parses_shards() {
+        let opts = parse(&["decay", "--quick", "--shards", "4"]).unwrap();
+        assert_eq!(opts.shards, Some(4));
+        // 0 = auto-detect, 1 = counter-mode sequential — both valid.
+        assert_eq!(parse(&["decay", "--shards", "0"]).unwrap().shards, Some(0));
+        assert_eq!(parse(&["decay", "--shards", "1"]).unwrap().shards, Some(1));
+        assert_eq!(parse(&["decay"]).unwrap().shards, None);
+        assert!(parse(&["decay", "--shards"]).is_err());
+        assert!(parse(&["decay", "--shards", "many"]).is_err());
     }
 
     #[test]

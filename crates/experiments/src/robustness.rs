@@ -8,7 +8,7 @@
 //! paper-default baseline.
 
 use mis_beeping::rng::{node_seed, splitmix64};
-use mis_beeping::{FnFactory, SimConfig, Simulator};
+use mis_beeping::{FnFactory, Simulator};
 use mis_core::verify::check_mis;
 use mis_core::{FeedbackConfig, FeedbackProcess};
 use mis_graph::generators;
@@ -171,7 +171,7 @@ pub fn run(config: &RobustnessConfig) -> RobustnessResults {
                 FeedbackProcess::new(cfg)
             });
             let outcome =
-                Simulator::new(&g, &factory, trial_seed ^ 0xAB1A, SimConfig::default()).run();
+                Simulator::new(&g, &factory, trial_seed ^ 0xAB1A, crate::sim_config()).run();
             assert!(outcome.terminated(), "variant failed to terminate");
             check_mis(&g, &outcome.mis()).expect("variant produced an invalid MIS");
             (

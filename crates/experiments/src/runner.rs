@@ -10,12 +10,18 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use mis_beeping::{RngMode, SimConfig};
 use mis_core::{auto_jobs, parallel_indexed_map, BatchPlan};
 use mis_stats::OnlineStats;
 
 /// Worker-count override installed by [`set_default_jobs`] (`0` = one
 /// worker per available core).
 static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Intra-run shard override installed by [`set_default_shards`]
+/// (`usize::MAX` = unset: stream-mode sequential, the historical
+/// default).
+static DEFAULT_SHARDS: AtomicUsize = AtomicUsize::new(usize::MAX);
 
 /// Sets the worker count every subsequent [`run_trials`] call uses
 /// (`xp --jobs N` calls this once at startup). Pass `0` to restore the
@@ -36,6 +42,42 @@ pub fn default_jobs() -> usize {
         jobs
     } else {
         auto_jobs()
+    }
+}
+
+/// Sets the intra-run shard count every subsequent [`sim_config`] call
+/// bakes into its [`SimConfig`] (`xp --shards N` calls this once at
+/// startup; `Some(0)` = auto-detect, `None` restores the unset default).
+///
+/// Unlike [`set_default_jobs`], this *does* select a different — equally
+/// valid — random sequence: sharded runs use the counter-based
+/// [`RngMode::Counter`] derivation, so `--shards 1` and `--shards 4`
+/// agree with each other but not with an unsharded stream-mode run.
+pub fn set_default_shards(shards: Option<usize>) {
+    DEFAULT_SHARDS.store(shards.unwrap_or(usize::MAX), Ordering::Relaxed);
+}
+
+/// The intra-run shard override currently installed by
+/// [`set_default_shards`], if any.
+#[must_use]
+pub fn default_shards() -> Option<usize> {
+    match DEFAULT_SHARDS.load(Ordering::Relaxed) {
+        usize::MAX => None,
+        s => Some(s),
+    }
+}
+
+/// The base [`SimConfig`] experiments should build on: the plain default
+/// when no shard override is installed, otherwise counter-mode with the
+/// requested shard count. Experiments that construct a `SimConfig` start
+/// from this so `xp --shards N` reaches every beeping simulation.
+#[must_use]
+pub fn sim_config() -> SimConfig {
+    match default_shards() {
+        None => SimConfig::default(),
+        Some(s) => SimConfig::default()
+            .with_rng_mode(RngMode::Counter)
+            .with_shards(s),
     }
 }
 
@@ -159,6 +201,29 @@ mod tests {
         assert_eq!(default_jobs(), 3);
         set_default_jobs(0);
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn shard_override_round_trips_and_shapes_the_config() {
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                set_default_shards(None);
+            }
+        }
+        let _restore = Restore;
+        assert_eq!(default_shards(), None);
+        assert_eq!(sim_config(), SimConfig::default());
+        set_default_shards(Some(4));
+        assert_eq!(default_shards(), Some(4));
+        let config = sim_config();
+        assert_eq!(config.rng, RngMode::Counter);
+        assert_eq!(config.shards, 4);
+        set_default_shards(Some(1));
+        // --shards 1 still selects counter mode, so it agrees with any
+        // other shard count.
+        assert_eq!(sim_config().rng, RngMode::Counter);
+        assert_eq!(sim_config().shards, 1);
     }
 
     #[test]
