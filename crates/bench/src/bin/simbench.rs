@@ -19,35 +19,51 @@
 //! * **apps** — the application reductions: maximal matching as MIS on a
 //!   **materialised** line graph (the pre-view path) vs the lazy
 //!   `LineGraphView`, on a ≥10k-node workload whose line graph dwarfs the
-//!   base CSR, plus `AppEngine` batch determinism at 1 vs N workers.
-//!   Writes `BENCH_apps.json`.
+//!   base CSR, plus `AppEngine` batch determinism at 1 vs N workers, plus
+//!   **colouring points** (Luby's product reduction on the lazy
+//!   `ProductView` vs a materialised `G □ K_{Δ+1}`, and the iterated-MIS
+//!   phase sweep on `InducedView`s vs per-phase materialised subgraphs,
+//!   both gated bit-identical). Writes `BENCH_apps.json`.
+//! * **scale** — the out-of-core tier: one counter-mode propagation run
+//!   replayed bit-identically on all three adjacency backends (in-RAM CSR,
+//!   delta-varint `CompressedGraph`, shard-paged `DiskGraph` fed by the
+//!   streaming generators) at 1M nodes (quick) and 10M nodes (full),
+//!   recording rounds/sec, adjacency bytes/node and a peak-RSS proxy.
+//!   Writes `BENCH_scale.json`.
 //!
 //! ```text
-//! simbench [--quick] [--suite simulator|baselines|apps|all] [--out FILE]
-//!          [--runs N] [--jobs N]
+//! simbench [--quick] [--suite simulator|baselines|apps|scale|all]
+//!          [--out FILE] [--runs N] [--jobs N]
 //! ```
 //!
 //! The machine-readable summaries record the repository's performance
 //! trajectory per commit. (`--out` applies to a single suite; `--suite
-//! all` writes both default file names.)
+//! all` writes every default file name.)
 
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use mis_apps::AppEngine;
+use mis_apps::coloring::is_proper_coloring;
+use mis_apps::{iterated_mis_coloring, AppEngine};
 use mis_baselines::{InboxStrategy, LubyPriorityFactory, MessageEngine};
+use mis_beeping::rng::trial_seed;
 use mis_beeping::{PropagationKernel, RngMode, SimConfig};
-use mis_bench::gnp_mean_degree;
+use mis_bench::{gnp_mean_degree, gnp_mean_degree_edges};
 use mis_core::engine::Engine;
 use mis_core::{solve_mis_with_config, Algorithm, BatchPlan, BatchReport, RunPlan};
-use mis_graph::{ops, GraphView, LineGraphView, NodeId};
+use mis_graph::stream::{DEFAULT_CACHE_BLOCKS, DEFAULT_NODES_PER_SHARD};
+use mis_graph::{
+    generators, ops, CompressedGraph, DiskGraph, Graph, GraphView, LineGraphView, NodeId,
+    ProductView, ShardWriter,
+};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Suite {
     Simulator,
     Baselines,
     Apps,
+    Scale,
     All,
 }
 
@@ -60,7 +76,7 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: simbench [--quick] [--suite simulator|baselines|apps|all] [--out FILE] [--runs N] [--jobs N]"
+    "usage: simbench [--quick] [--suite simulator|baselines|apps|scale|all] [--out FILE] [--runs N] [--jobs N]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -81,6 +97,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     "simulator" => Suite::Simulator,
                     "baselines" => Suite::Baselines,
                     "apps" => Suite::Apps,
+                    "scale" => Suite::Scale,
                     "all" => Suite::All,
                     other => return Err(format!("unknown suite {other:?}\n{}", usage())),
                 };
@@ -537,7 +554,9 @@ fn run_baselines_suite(opts: &Options) -> Result<(), String> {
 
 /// The application suite: maximal matching via a materialised line graph
 /// (the pre-view reduction) vs the lazy `LineGraphView`, plus `AppEngine`
-/// batch determinism at 1 vs N workers.
+/// batch determinism at 1 vs N workers, plus the two colouring reductions
+/// (product colouring on `ProductView`, iterated-MIS phase sweeps on
+/// `InducedView`s) raced against their materialised counterparts.
 fn run_apps_suite(opts: &Options) -> Result<(), String> {
     // A base graph whose line graph dwarfs it: G(10k, d≈64) turns into a
     // ~320k-node line graph whose materialised adjacency holds ~40M
@@ -664,6 +683,155 @@ fn run_apps_suite(opts: &Options) -> Result<(), String> {
          {jobs}-thread/1-thread {thread_speedup:.2}x"
     );
 
+    // Product-colouring point — Luby's reduction, one MIS on `G □ K_{Δ+1}`:
+    // the lazy `ProductView` vs a materialised cartesian product, identical
+    // seeds. The decoded colouring is verified proper before reporting.
+    let (pn, pdeg, pruns) = if opts.quick {
+        (300usize, 6.0, 2usize)
+    } else {
+        (1_200usize, 8.0, 3usize)
+    };
+    let pgraph = gnp_mean_degree(pn, pdeg);
+    let palette = pgraph.max_degree() as u32 + 1;
+    let (product_nodes, product_edges) = {
+        let view = ProductView::new(&pgraph, palette);
+        (view.node_count(), view.edge_count())
+    };
+    eprintln!(
+        "simbench[apps]: product colouring on G({pn}, d≈{pdeg}) x K_{palette} \
+         ({product_nodes} nodes, {product_edges} edges), {pruns} runs …"
+    );
+    let pplan = BatchPlan::new(0xC010, pruns);
+    let pseeds: Vec<u64> = (0..pruns).map(|i| pplan.run_seed(i)).collect();
+    let solve_product_view = |seed: u64| -> RunDigest {
+        let view = ProductView::new(&pgraph, palette);
+        let r = solve_mis_with_config(&view, &Algorithm::feedback(), seed, SimConfig::default())
+            .expect("feedback terminates on a fault-free network");
+        (r.mis().to_vec(), r.rounds())
+    };
+    let solve_product_materialized = |seed: u64| -> RunDigest {
+        let product = ops::cartesian_product(&pgraph, &generators::complete(palette as usize));
+        let r = solve_mis_with_config(&product, &Algorithm::feedback(), seed, SimConfig::default())
+            .expect("feedback terminates on a fault-free network");
+        (r.mis().to_vec(), r.rounds())
+    };
+    let (mut pmat_ms, mut pview_ms) = (f64::MAX, f64::MAX);
+    let (mut pmat_digest, mut pview_digest) = (None, None);
+    for _ in 0..reps {
+        let started = Instant::now();
+        let digest: Vec<RunDigest> = pseeds
+            .iter()
+            .map(|&s| solve_product_materialized(s))
+            .collect();
+        pmat_ms = pmat_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        pmat_digest = Some(digest);
+
+        let started = Instant::now();
+        let digest: Vec<RunDigest> = pseeds.iter().map(|&s| solve_product_view(s)).collect();
+        pview_ms = pview_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        pview_digest = Some(digest);
+    }
+    let pmat_digest = pmat_digest.expect("at least one rep ran");
+    let pview_digest = pview_digest.expect("at least one rep ran");
+    eprintln!("  materialized product: {pmat_ms:.1} ms");
+    eprintln!("  lazy view:            {pview_ms:.1} ms");
+    // Gate: the surface must be invisible run for run, and the product MIS
+    // must decode to a complete proper colouring of the base graph.
+    let mut product_colors = vec![u32::MAX; pn];
+    for &node in &pview_digest[0].0 {
+        product_colors[(node / palette) as usize] = node % palette;
+    }
+    if pmat_digest != pview_digest
+        || product_colors.contains(&u32::MAX)
+        || !is_proper_coloring(&pgraph, &product_colors)
+    {
+        return Err("FATAL — the product view changed the colouring results".into());
+    }
+    let product_speedup = pmat_ms / pview_ms.max(1e-9);
+    let product_rounds_mean =
+        pview_digest.iter().map(|(_, r)| f64::from(*r)).sum::<f64>() / pruns.max(1) as f64;
+    eprintln!("simbench[apps]: product view/materialized {product_speedup:.2}x wall-clock");
+
+    // Iterated-colouring point — the phase sweep: lazy `InducedView`
+    // phases (the shipping path) vs materialising each phase's
+    // still-uncoloured subgraph, identical phase seeds through the same
+    // SplitMix64 stream, so the colour classes must match exactly.
+    let (inn, ideg, iruns) = if opts.quick {
+        (240usize, 6.0, 2usize)
+    } else {
+        (900usize, 10.0, 3usize)
+    };
+    let igraph = gnp_mean_degree(inn, ideg);
+    let iplan = BatchPlan::new(0x17E2, iruns);
+    let iseeds: Vec<u64> = (0..iruns).map(|i| iplan.run_seed(i)).collect();
+    type ColorDigest = (Vec<u32>, u32, u32); // colours, colour count, rounds
+    let sweep_view = |seed: u64| -> ColorDigest {
+        let c = iterated_mis_coloring(&igraph, &Algorithm::feedback(), seed)
+            .expect("iterated colouring terminates on a fault-free network");
+        (c.colors().to_vec(), c.color_count(), c.rounds())
+    };
+    let sweep_materialized = |seed: u64| -> ColorDigest {
+        let mut colors = vec![u32::MAX; igraph.node_count()];
+        let mut active: Vec<NodeId> = igraph.nodes().collect();
+        let mut rounds = 0u32;
+        let mut color = 0u32;
+        while !active.is_empty() {
+            let sub = ops::induced_subgraph(&igraph, &active);
+            let r = solve_mis_with_config(
+                &sub,
+                &Algorithm::feedback(),
+                trial_seed(seed, u64::from(color)),
+                SimConfig::default(),
+            )
+            .expect("feedback terminates on a fault-free network");
+            rounds = rounds.saturating_add(r.rounds());
+            for &local in r.mis() {
+                colors[active[local as usize] as usize] = color;
+            }
+            active.retain(|&v| colors[v as usize] == u32::MAX);
+            color += 1;
+        }
+        (colors, color, rounds)
+    };
+    eprintln!("simbench[apps]: iterated colouring on G({inn}, d≈{ideg}), {iruns} runs …");
+    let (mut imat_ms, mut iview_ms) = (f64::MAX, f64::MAX);
+    let (mut imat_digest, mut iview_digest) = (None, None);
+    for _ in 0..reps {
+        let started = Instant::now();
+        let digest: Vec<ColorDigest> = iseeds.iter().map(|&s| sweep_materialized(s)).collect();
+        imat_ms = imat_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        imat_digest = Some(digest);
+
+        let started = Instant::now();
+        let digest: Vec<ColorDigest> = iseeds.iter().map(|&s| sweep_view(s)).collect();
+        iview_ms = iview_ms.min(started.elapsed().as_secs_f64() * 1e3);
+        iview_digest = Some(digest);
+    }
+    let imat_digest = imat_digest.expect("at least one rep ran");
+    let iview_digest = iview_digest.expect("at least one rep ran");
+    eprintln!("  materialized phases: {imat_ms:.1} ms");
+    eprintln!("  lazy views:          {iview_ms:.1} ms");
+    // Gate: phase colour classes must agree run for run and colour the
+    // base graph properly.
+    if imat_digest != iview_digest || !is_proper_coloring(&igraph, &iview_digest[0].0) {
+        return Err("FATAL — the induced views changed the phase-sweep results".into());
+    }
+    let iterated_speedup = imat_ms / iview_ms.max(1e-9);
+    let phases_mean = iview_digest
+        .iter()
+        .map(|(_, p, _)| f64::from(*p))
+        .sum::<f64>()
+        / iruns.max(1) as f64;
+    let iterated_rounds_mean = iview_digest
+        .iter()
+        .map(|(_, _, r)| f64::from(*r))
+        .sum::<f64>()
+        / iruns.max(1) as f64;
+    eprintln!(
+        "simbench[apps]: iterated view/materialized {iterated_speedup:.2}x wall-clock, \
+         {phases_mean:.1} phases mean"
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"apps\",\n  \"mode\": \"{mode}\",\n  \
          \"graph\": {{ \"family\": \"gnp\", \"nodes\": {nodes}, \"edges\": {edges}, \"mean_degree\": {md:.2} }},\n  \
@@ -677,6 +845,21 @@ fn run_apps_suite(opts: &Options) -> Result<(), String> {
          \"memory_ratio\": {mratio:.3},\n    \
          \"jobs\": {jobs},\n    \"engine_1thread_ms\": {esolo:.3},\n    \
          \"engine_jobs_ms\": {ejobs:.3},\n    \"thread_speedup\": {tspeed:.3}\n  }},\n  \
+         \"product_coloring_workload\": {{\n    \"algorithm\": \"feedback\",\n    \
+         \"surface\": \"product_view\",\n    \
+         \"base\": {{ \"nodes\": {pnodes}, \"edges\": {pedges} }},\n    \
+         \"palette\": {palette},\n    \
+         \"product\": {{ \"nodes\": {prnodes}, \"edges\": {predges} }},\n    \
+         \"runs\": {pruns},\n    \"rounds_mean\": {prounds:.2},\n    \
+         \"materialized_ms\": {pmat:.3},\n    \"view_ms\": {pview:.3},\n    \
+         \"speedup\": {pspeed:.3},\n    \"outcomes_identical\": true\n  }},\n  \
+         \"iterated_coloring_workload\": {{\n    \"algorithm\": \"feedback\",\n    \
+         \"surface\": \"induced_view\",\n    \
+         \"base\": {{ \"nodes\": {inodes}, \"edges\": {iedges} }},\n    \
+         \"runs\": {iruns},\n    \"phases_mean\": {iphases:.2},\n    \
+         \"rounds_mean\": {irounds:.2},\n    \
+         \"materialized_ms\": {imat:.3},\n    \"view_ms\": {iview:.3},\n    \
+         \"speedup\": {ispeed:.3},\n    \"outcomes_identical\": true\n  }},\n  \
          \"view_speedup\": {vspeed:.3},\n  \
          \"memory_ratio\": {mratio:.3},\n  \
          \"outcomes_identical\": true\n}}\n",
@@ -698,6 +881,291 @@ fn run_apps_suite(opts: &Options) -> Result<(), String> {
         esolo = engine_solo_ms,
         ejobs = engine_jobs_ms,
         tspeed = thread_speedup,
+        pnodes = pgraph.node_count(),
+        pedges = pgraph.edge_count(),
+        palette = palette,
+        prnodes = product_nodes,
+        predges = product_edges,
+        pruns = pruns,
+        prounds = product_rounds_mean,
+        pmat = pmat_ms,
+        pview = pview_ms,
+        pspeed = product_speedup,
+        inodes = igraph.node_count(),
+        iedges = igraph.edge_count(),
+        iruns = iruns,
+        iphases = phases_mean,
+        irounds = iterated_rounds_mean,
+        imat = imat_ms,
+        iview = iview_ms,
+        ispeed = iterated_speedup,
+    );
+    write_json(out, &json)
+}
+
+/// Peak-RSS proxy: the process high-water mark (`VmHWM`, kB) from
+/// `/proc/self/status`. `None` off Linux; recorded as 0 in the JSON.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status.lines().find_map(|line| {
+        line.strip_prefix("VmHWM:")?
+            .trim()
+            .strip_suffix("kB")
+            .and_then(|v| v.trim().parse().ok())
+    })
+}
+
+/// Per-backend numbers for one scale point.
+struct BackendStats {
+    ms: f64,
+    adjacency_bytes: usize,
+}
+
+impl BackendStats {
+    fn bytes_per_node(&self, n: usize) -> f64 {
+        self.adjacency_bytes as f64 / n.max(1) as f64
+    }
+
+    fn rounds_per_sec(&self, rounds: u32) -> f64 {
+        f64::from(rounds) / (self.ms / 1e3).max(1e-9)
+    }
+}
+
+/// The out-of-core suite: the same counter-mode bitset propagation run
+/// replayed on all three adjacency backends — in-RAM CSR, delta-varint
+/// [`CompressedGraph`], shard-paged [`DiskGraph`] — at the 1M-node tier
+/// (quick) and the 10M-node tier (full). The disk shards are produced by
+/// the *streaming* generator path (edges go straight to the shard writer,
+/// never through a CSR), so the point exercises the whole out-of-core
+/// pipeline: bounded-memory generation, compressed storage, paged replay.
+///
+/// Every timing is gated on bit-identical batch reports across backends,
+/// and the compressed backend must beat CSR bytes/node by each point's
+/// floor (2× at the 10M tier) before anything is written.
+fn run_scale_suite(opts: &Options) -> Result<(), String> {
+    let out = opts.out.as_deref().unwrap_or("BENCH_scale.json");
+    let (rounds, reps) = if opts.quick {
+        (4u32, opts.runs.unwrap_or(1))
+    } else {
+        (8u32, opts.runs.unwrap_or(2))
+    };
+
+    /// One scale point: an in-RAM builder (the gate's reference), a
+    /// streaming builder feeding the shard writer, and the compression
+    /// floor the compressed backend must clear.
+    struct Point {
+        family: &'static str,
+        label: String,
+        build: Box<dyn Fn() -> Graph>,
+        stream: Box<dyn Fn(&mut ShardWriter)>,
+        ratio_floor: f64,
+    }
+
+    let gnp_nodes = 1usize << 20;
+    let gnp_degree = 16.0;
+    let mut points = vec![Point {
+        family: "gnp",
+        label: format!("gnp n={gnp_nodes} d≈{gnp_degree}"),
+        build: Box::new(move || gnp_mean_degree(gnp_nodes, gnp_degree)),
+        stream: Box::new(move |w: &mut ShardWriter| {
+            gnp_mean_degree_edges(gnp_nodes, gnp_degree, |u, v| w.add_edge(u, v));
+        }),
+        // Random 2^16-sized gaps varint-encode to ~3 bytes, so the win at
+        // mean degree 16 is real but modest.
+        ratio_floor: 1.2,
+    }];
+    if !opts.quick {
+        // 3163² = 10 004 569 nodes — the ≥10M acceptance point. Degree-4
+        // lattice rows delta-encode to ~1 byte per far neighbour pair and
+        // ~2–5 for the wrap-arounds, far under CSR's 24 B/node.
+        let side = 3163usize;
+        points.push(Point {
+            family: "torus2d",
+            label: format!("torus2d {side}x{side}"),
+            build: Box::new(move || generators::torus2d(side, side)),
+            stream: Box::new(move |w: &mut ShardWriter| {
+                generators::torus2d_edges(side, side, |u, v| w.add_edge(u, v));
+            }),
+            ratio_floor: 2.0,
+        });
+    }
+
+    let plan = RunPlan::new(Algorithm::constant(0.5), 1)
+        .with_master_seed(0x5CA1E)
+        .with_jobs(1)
+        .with_config(
+            SimConfig::default()
+                .with_max_rounds(rounds)
+                .with_kernel(PropagationKernel::Bitset)
+                .with_rng_mode(RngMode::Counter),
+        );
+
+    let mut point_json = Vec::new();
+    for point in &points {
+        eprintln!("simbench[scale]: building {} in RAM …", point.label);
+        let graph = (point.build)();
+        let n = graph.node_count();
+        eprintln!(
+            "simbench[scale]: {} nodes, {} edges; {rounds} rounds × {reps} reps per backend",
+            n,
+            graph.edge_count()
+        );
+
+        let started = Instant::now();
+        let compressed = CompressedGraph::from_view(&graph);
+        let compress_ms = started.elapsed().as_secs_f64() * 1e3;
+        eprintln!("  compressed in {compress_ms:.0} ms");
+
+        // Disk backend: stream-generate the shards (no CSR on this path),
+        // then page them back through the block cache.
+        let dir = std::env::temp_dir().join(format!(
+            "simbench-scale-{}-{}",
+            std::process::id(),
+            point.family
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let started = Instant::now();
+        let mut writer = ShardWriter::create(&dir, n, DEFAULT_NODES_PER_SHARD)
+            .map_err(|e| format!("shard writer: {e}"))?;
+        (point.stream)(&mut writer);
+        let summary = writer.finish().map_err(|e| format!("shard writer: {e}"))?;
+        let shard_write_ms = started.elapsed().as_secs_f64() * 1e3;
+        eprintln!(
+            "  streamed {} shard(s) in {shard_write_ms:.0} ms",
+            summary.shard_count
+        );
+        if summary.node_count != n || summary.edge_count != graph.edge_count() {
+            return Err(format!(
+                "FATAL — streamed generation diverged from the in-RAM graph on {}",
+                point.label
+            ));
+        }
+        let disk = DiskGraph::open(&dir).map_err(|e| format!("disk graph: {e}"))?;
+
+        let mut csr = BackendStats {
+            ms: f64::INFINITY,
+            adjacency_bytes: graph.adjacency_bytes(),
+        };
+        let mut comp = BackendStats {
+            ms: f64::INFINITY,
+            adjacency_bytes: compressed.adjacency_bytes(),
+        };
+        let mut paged = BackendStats {
+            ms: f64::INFINITY,
+            adjacency_bytes: disk.adjacency_bytes(),
+        };
+        // Interleave the backends and keep per-backend minima, as the
+        // other suites do on this shared box.
+        let (mut on_csr, mut on_comp, mut on_disk) = (None, None, None);
+        for _ in 0..reps {
+            on_csr = Some(time_plan_min(&plan, &graph, &mut csr.ms));
+            on_comp = Some(time_plan_min(&plan, &compressed, &mut comp.ms));
+            on_disk = Some(time_plan_min(&plan, &disk, &mut paged.ms));
+        }
+        let on_csr = on_csr.expect("at least one rep ran");
+        let on_comp = on_comp.expect("at least one rep ran");
+        let on_disk = on_disk.expect("at least one rep ran");
+        let cache = disk.cache_stats();
+        let resident = disk.resident_bytes_estimate();
+        drop(disk);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Gate 1: the backend must be invisible in the results, run for
+        // run, before any timing is reported.
+        if on_csr != on_comp || on_csr != on_disk {
+            return Err(format!(
+                "FATAL — adjacency backend changed the results on {}",
+                point.label
+            ));
+        }
+        // Gate 2: the compression floor. The 10M-node point pins the ≥2×
+        // adjacency-bytes claim of the scale tier.
+        let ratio = csr.bytes_per_node(n) / comp.bytes_per_node(n).max(1e-9);
+        if ratio < point.ratio_floor {
+            return Err(format!(
+                "FATAL — compressed adjacency is only {ratio:.2}x below CSR on {} (floor {:.1}x)",
+                point.label, point.ratio_floor
+            ));
+        }
+
+        eprintln!(
+            "  csr        {:7.1} ms  {:6.2} B/node  {:9.1} rounds/s",
+            csr.ms,
+            csr.bytes_per_node(n),
+            csr.rounds_per_sec(rounds)
+        );
+        eprintln!(
+            "  compressed {:7.1} ms  {:6.2} B/node  {:9.1} rounds/s  ({ratio:.2}x fewer bytes)",
+            comp.ms,
+            comp.bytes_per_node(n),
+            comp.rounds_per_sec(rounds)
+        );
+        eprintln!(
+            "  disk       {:7.1} ms  {:6.2} B/node  {:9.1} rounds/s  \
+             ({} decode misses, {} hits, ~{:.1} MB resident)",
+            paged.ms,
+            paged.bytes_per_node(n),
+            paged.rounds_per_sec(rounds),
+            cache.misses,
+            cache.hits,
+            resident as f64 / 1e6
+        );
+
+        point_json.push(format!(
+            "{{\n      \"family\": \"{family}\",\n      \"nodes\": {nodes},\n      \
+             \"edges\": {edges},\n      \"rounds\": {rounds},\n      \
+             \"csr\": {{ \"adjacency_bytes\": {cb}, \"bytes_per_node\": {cbn:.3}, \
+             \"ms\": {cms:.3}, \"rounds_per_sec\": {crs:.3} }},\n      \
+             \"compressed\": {{ \"adjacency_bytes\": {ob}, \"bytes_per_node\": {obn:.3}, \
+             \"ms\": {oms:.3}, \"rounds_per_sec\": {ors:.3}, \"build_ms\": {obuild:.3} }},\n      \
+             \"disk\": {{ \"adjacency_bytes\": {db}, \"bytes_per_node\": {dbn:.3}, \
+             \"ms\": {dms:.3}, \"rounds_per_sec\": {drs:.3}, \"shards\": {dshards}, \
+             \"shard_write_ms\": {dwrite:.3}, \"resident_bytes_estimate\": {dres}, \
+             \"cache_hits\": {dhits}, \"cache_misses\": {dmiss} }},\n      \
+             \"compression_ratio\": {ratio:.3},\n      \"outcomes_identical\": true\n    }}",
+            family = point.family,
+            nodes = n,
+            edges = graph.edge_count(),
+            cb = csr.adjacency_bytes,
+            cbn = csr.bytes_per_node(n),
+            cms = csr.ms,
+            crs = csr.rounds_per_sec(rounds),
+            ob = comp.adjacency_bytes,
+            obn = comp.bytes_per_node(n),
+            oms = comp.ms,
+            ors = comp.rounds_per_sec(rounds),
+            obuild = compress_ms,
+            db = paged.adjacency_bytes,
+            dbn = paged.bytes_per_node(n),
+            dms = paged.ms,
+            drs = paged.rounds_per_sec(rounds),
+            dshards = summary.shard_count,
+            dwrite = shard_write_ms,
+            dres = resident,
+            dhits = cache.hits,
+            dmiss = cache.misses,
+        ));
+    }
+
+    let peak_kb = peak_rss_kb().unwrap_or(0);
+    eprintln!(
+        "simbench[scale]: peak RSS {:.1} MB (VmHWM)",
+        peak_kb as f64 / 1e3
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"scale\",\n  \"mode\": \"{mode}\",\n  \
+         \"algorithm\": \"constant(0.5)\",\n  \"rng\": \"counter\",\n  \
+         \"kernel\": \"bitset\",\n  \"reps\": {reps},\n  \
+         \"cache_blocks\": {cache_blocks},\n  \
+         \"peak_rss_kb\": {peak_kb},\n  \
+         \"points\": [\n    {points}\n  ],\n  \
+         \"outcomes_identical\": true\n}}\n",
+        mode = if opts.quick { "quick" } else { "full" },
+        reps = reps,
+        cache_blocks = DEFAULT_CACHE_BLOCKS,
+        peak_kb = peak_kb,
+        points = point_json.join(",\n    "),
     );
     write_json(out, &json)
 }
@@ -716,9 +1184,11 @@ fn main() -> ExitCode {
         Suite::Simulator => run_simulator_suite(&opts),
         Suite::Baselines => run_baselines_suite(&opts),
         Suite::Apps => run_apps_suite(&opts),
+        Suite::Scale => run_scale_suite(&opts),
         Suite::All => run_simulator_suite(&opts)
             .and_then(|()| run_baselines_suite(&opts))
-            .and_then(|()| run_apps_suite(&opts)),
+            .and_then(|()| run_apps_suite(&opts))
+            .and_then(|()| run_scale_suite(&opts)),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

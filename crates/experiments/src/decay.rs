@@ -6,12 +6,13 @@
 //! a short warm-up; for the sweep it decays in bursts, once per phase
 //! visit to the “right” probability. This experiment records both curves.
 
+use mis_beeping::SimConfig;
 use mis_core::{run_algorithm, Algorithm};
-use mis_graph::generators;
+use mis_graph::{generators, GraphView};
 use mis_stats::{AsciiPlot, Series, Table};
 use rand::{rngs::SmallRng, SeedableRng};
 
-use crate::run_trials;
+use crate::{run_on_backend, run_trials, BackendOp};
 
 /// Configuration for the decay experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,19 +76,54 @@ pub fn run(config: &DecayConfig) -> DecayResults {
         let mut graph_rng = SmallRng::seed_from_u64(trial_seed);
         let g = generators::gnp(config.n, 0.5, &mut graph_rng);
         let sim = crate::sim_config().with_active_series(true);
-        let f = run_algorithm(&g, &Algorithm::feedback(), trial_seed ^ 0xFEED, sim.clone());
-        assert!(f.terminated());
-        let s = run_algorithm(&g, &Algorithm::sweep(), trial_seed ^ 0x5157, sim);
-        assert!(s.terminated());
-        (
-            f.metrics().active_series.clone(),
-            s.metrics().active_series.clone(),
+        // Dispatch through the backend override so `xp decay --backend X`
+        // replays the identical simulation from compressed or paged
+        // adjacency (active curves are pinned bit-identical across
+        // backends).
+        run_on_backend(
+            &g,
+            DecayTrial {
+                trial_seed,
+                sim: &sim,
+            },
         )
     });
     DecayResults {
         n: config.n,
         feedback: average_series(curves.iter().map(|(f, _)| f.as_slice())),
         sweep: average_series(curves.iter().map(|(_, s)| s.as_slice())),
+    }
+}
+
+/// One decay trial (feedback + sweep on the same workload), generic over
+/// the adjacency backend.
+struct DecayTrial<'a> {
+    trial_seed: u64,
+    sim: &'a SimConfig,
+}
+
+impl BackendOp for DecayTrial<'_> {
+    type Out = (Vec<usize>, Vec<usize>);
+
+    fn run<G: GraphView + ?Sized>(self, g: &G) -> Self::Out {
+        let f = run_algorithm(
+            g,
+            &Algorithm::feedback(),
+            self.trial_seed ^ 0xFEED,
+            self.sim.clone(),
+        );
+        assert!(f.terminated());
+        let s = run_algorithm(
+            g,
+            &Algorithm::sweep(),
+            self.trial_seed ^ 0x5157,
+            self.sim.clone(),
+        );
+        assert!(s.terminated());
+        (
+            f.metrics().active_series.clone(),
+            s.metrics().active_series.clone(),
+        )
     }
 }
 

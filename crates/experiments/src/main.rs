@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! xp <experiment> [--quick] [--seed N] [--trials N] [--jobs N] [--shards N]
-//!                 [--science]
+//!                 [--science] [--backend csr|compressed|disk]
 //!                 [--on base|line|product|induced] [--out FILE] [--corpus FILE]
 //! xp replay <file> [--jobs N]
 //!
@@ -46,6 +46,7 @@ struct Options {
     jobs: Option<usize>,
     shards: Option<usize>,
     science: bool,
+    backend: Option<mis_experiments::Backend>,
     on: Option<race::RaceSurface>,
     out: Option<String>,
     corpus: Option<String>,
@@ -54,6 +55,7 @@ struct Options {
 fn usage() -> &'static str {
     "usage: xp <fig3|fig5|grid|lower-bound|tails|robustness|faults|race|quality|decay|apps|sop|potential|fuzz|all> \
      [--quick] [--seed N] [--trials N] [--jobs N] [--shards N] [--science] \
+     [--backend csr|compressed|disk] \
      [--on base|line|product|induced] [--out FILE] [--corpus FILE]\n       xp replay <file> [--jobs N]"
 }
 
@@ -68,6 +70,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         jobs: None,
         shards: None,
         science: false,
+        backend: None,
         on: None,
         out: None,
         corpus: None,
@@ -96,6 +99,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--shards needs a value")?;
                 let shards: usize = v.parse().map_err(|_| format!("bad shard count {v:?}"))?;
                 opts.shards = Some(shards);
+            }
+            "--backend" => {
+                let v = it.next().ok_or("--backend needs a value")?;
+                opts.backend = Some(mis_experiments::Backend::parse(v).ok_or_else(|| {
+                    format!("unknown backend {v:?} (expected csr|compressed|disk)")
+                })?);
             }
             "--on" => {
                 let v = it.next().ok_or("--on needs a value")?;
@@ -481,6 +490,10 @@ fn main() -> ExitCode {
             }
         );
     }
+    if let Some(backend) = opts.backend {
+        mis_experiments::set_default_backend(backend);
+        eprintln!("adjacency served from the {} backend", backend.name());
+    }
     if opts.experiment == "replay" {
         return run_replay(&opts);
     }
@@ -607,6 +620,24 @@ mod tests {
         assert_eq!(parse(&["decay"]).unwrap().shards, None);
         assert!(parse(&["decay", "--shards"]).is_err());
         assert!(parse(&["decay", "--shards", "many"]).is_err());
+    }
+
+    #[test]
+    fn parses_backend() {
+        use mis_experiments::Backend;
+        for (value, backend) in [
+            ("csr", Backend::Csr),
+            ("compressed", Backend::Compressed),
+            ("disk", Backend::Disk),
+        ] {
+            let opts = parse(&["decay", "--backend", value]).unwrap();
+            assert_eq!(opts.backend, Some(backend));
+        }
+        assert_eq!(parse(&["decay"]).unwrap().backend, None);
+        assert!(parse(&["decay", "--backend"]).is_err());
+        let err = parse(&["decay", "--backend", "ram"]).unwrap_err();
+        assert!(err.contains("ram"));
+        assert!(err.contains("csr|compressed|disk"));
     }
 
     #[test]

@@ -8,10 +8,11 @@
 //! message-passing — parallelises under `xp --jobs N` with bit-identical
 //! results for any job count.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use mis_beeping::{RngMode, SimConfig};
 use mis_core::{auto_jobs, parallel_indexed_map, BatchPlan};
+use mis_graph::{stream, CompressedGraph, DiskGraph, Graph, GraphView};
 use mis_stats::OnlineStats;
 
 /// Worker-count override installed by [`set_default_jobs`] (`0` = one
@@ -64,6 +65,116 @@ pub fn default_shards() -> Option<usize> {
     match DEFAULT_SHARDS.load(Ordering::Relaxed) {
         usize::MAX => None,
         s => Some(s),
+    }
+}
+
+/// Adjacency backend override installed by [`set_default_backend`]
+/// (indexes into [`Backend`]'s variants; CSR is the historical default).
+static DEFAULT_BACKEND: AtomicUsize = AtomicUsize::new(0);
+
+/// Counter making the per-process shard directories of the disk backend
+/// unique.
+static DISK_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The adjacency backend a simulation reads its topology from.
+///
+/// Backends change only *where adjacency lives* — never the elected MIS:
+/// all three serve the same neighbour lists through
+/// [`GraphView`](mis_graph::GraphView), so outcomes are bit-identical
+/// across this choice (pinned by `tests/backend_equivalence.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// In-RAM compressed sparse rows — fastest, biggest (the default).
+    #[default]
+    Csr,
+    /// In-RAM delta-varint blocks ([`CompressedGraph`]): ≥2× fewer
+    /// adjacency bytes per node on regular topologies, slower decode.
+    Compressed,
+    /// Paged from an on-disk shard directory ([`DiskGraph`]): graphs
+    /// larger than RAM, slowest.
+    Disk,
+}
+
+impl Backend {
+    /// Parses a `--backend` value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "csr" => Some(Backend::Csr),
+            "compressed" => Some(Backend::Compressed),
+            "disk" => Some(Backend::Disk),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this backend.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Csr => "csr",
+            Backend::Compressed => "compressed",
+            Backend::Disk => "disk",
+        }
+    }
+}
+
+/// Sets the adjacency backend every subsequent [`run_on_backend`] call
+/// uses (`xp --backend X` calls this once at startup).
+///
+/// Like [`set_default_jobs`] — and unlike [`set_default_shards`] — this
+/// never changes results, only the space/time point they are computed at.
+pub fn set_default_backend(backend: Backend) {
+    DEFAULT_BACKEND.store(backend as usize, Ordering::Relaxed);
+}
+
+/// The backend currently installed by [`set_default_backend`].
+#[must_use]
+pub fn default_backend() -> Backend {
+    match DEFAULT_BACKEND.load(Ordering::Relaxed) {
+        1 => Backend::Compressed,
+        2 => Backend::Disk,
+        _ => Backend::Csr,
+    }
+}
+
+/// A simulation (or any graph computation) abstracted over the adjacency
+/// backend. [`GraphView`] has generic methods, so it is not object-safe
+/// and a `&dyn` can't cross this seam — implementors get the concrete
+/// view through a generic method instead.
+pub trait BackendOp {
+    /// What the computation produces.
+    type Out;
+    /// Runs the computation against one concrete adjacency backend.
+    fn run<G: GraphView + ?Sized>(self, g: &G) -> Self::Out;
+}
+
+/// Runs `op` against `g` served through the [`default_backend`]: the CSR
+/// graph itself, a [`CompressedGraph`] re-encoding, or a [`DiskGraph`]
+/// paging a temporary shard directory (written, used, and removed per
+/// call).
+///
+/// # Panics
+///
+/// Panics if the disk backend cannot write or reopen its temporary shard
+/// directory.
+pub fn run_on_backend<Op: BackendOp>(g: &Graph, op: Op) -> Op::Out {
+    match default_backend() {
+        Backend::Csr => op.run(g),
+        Backend::Compressed => op.run(&CompressedGraph::from_view(g)),
+        Backend::Disk => {
+            let dir = std::env::temp_dir().join(format!(
+                "xp-disk-backend-{}-{}",
+                std::process::id(),
+                DISK_DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            stream::write_sharded_from_view(&dir, g, stream::DEFAULT_NODES_PER_SHARD)
+                .expect("write disk-backend shard directory");
+            let disk = DiskGraph::open(&dir).expect("reopen disk-backend shard directory");
+            let out = op.run(&disk);
+            drop(disk);
+            let _ = std::fs::remove_dir_all(&dir);
+            out
+        }
     }
 }
 
@@ -224,6 +335,44 @@ mod tests {
         // other shard count.
         assert_eq!(sim_config().rng, RngMode::Counter);
         assert_eq!(sim_config().shards, 1);
+    }
+
+    #[test]
+    fn backend_parse_round_trips() {
+        for b in [Backend::Csr, Backend::Compressed, Backend::Disk] {
+            assert_eq!(Backend::parse(b.name()), Some(b));
+        }
+        assert_eq!(Backend::parse("ram"), None);
+    }
+
+    #[test]
+    fn backend_override_round_trips_and_dispatches() {
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                set_default_backend(Backend::Csr);
+            }
+        }
+        let _restore = Restore;
+        assert_eq!(default_backend(), Backend::Csr);
+
+        /// Degree-sum probe: backend-independent by the GraphView contract.
+        struct DegreeSum;
+        impl BackendOp for DegreeSum {
+            type Out = usize;
+            fn run<G: GraphView + ?Sized>(self, g: &G) -> usize {
+                (0..g.node_count() as u32).map(|v| g.degree(v)).sum()
+            }
+        }
+
+        let g = mis_graph::generators::torus2d(8, 8);
+        let reference = run_on_backend(&g, DegreeSum);
+        assert_eq!(reference, 4 * 64);
+        for b in [Backend::Compressed, Backend::Disk] {
+            set_default_backend(b);
+            assert_eq!(default_backend(), b);
+            assert_eq!(run_on_backend(&g, DegreeSum), reference, "{}", b.name());
+        }
     }
 
     #[test]

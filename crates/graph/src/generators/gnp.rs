@@ -42,6 +42,43 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
     let mut builder = GraphBuilder::new(n);
     let expected = (0.5 * p * n as f64 * (n as f64 - 1.0)) as usize;
     builder.reserve(expected + 16);
+    gnp_edges(n, p, rng, |u, v| {
+        builder.add_canonical_edge_unchecked(u, v);
+    });
+    builder.build()
+}
+
+/// Streaming form of [`gnp`]: emits each sampled edge `(u, v)` with
+/// `u < v` through `emit` instead of materialising a [`Graph`], in O(1)
+/// memory — the scale tier feeds this straight into a
+/// [`ShardWriter`](crate::ShardWriter).
+///
+/// Consumes the RNG identically to [`gnp`], so streaming and in-RAM
+/// construction from the same seeded RNG produce the same edge set.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn gnp_edges<R, F>(n: usize, p: f64, rng: &mut R, mut emit: F)
+where
+    R: Rng + ?Sized,
+    F: FnMut(NodeId, NodeId),
+{
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0, 1]"
+    );
+    if n == 0 || p == 0.0 {
+        return;
+    }
+    if p == 1.0 {
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                emit(u, v);
+            }
+        }
+        return;
+    }
     let log_q = (1.0 - p).ln();
     // Iterate over canonical pairs (v, w) with w < v, skipping geometrically.
     let mut v: usize = 1;
@@ -56,10 +93,9 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
             v += 1;
         }
         if v < n {
-            builder.add_canonical_edge_unchecked(w as NodeId, v as NodeId);
+            emit(w as NodeId, v as NodeId);
         }
     }
-    builder.build()
 }
 
 /// Samples a uniform random graph `G(n, m)` with exactly `m` distinct edges.
@@ -191,6 +227,20 @@ mod tests {
         let g1 = gnp(60, 0.5, &mut SmallRng::seed_from_u64(9));
         let g2 = gnp(60, 0.5, &mut SmallRng::seed_from_u64(9));
         assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn gnp_edges_matches_in_ram_construction() {
+        for (n, p) in [(0, 0.5), (80, 0.0), (80, 0.15), (12, 1.0), (200, 0.6)] {
+            let g = gnp(n, p, &mut SmallRng::seed_from_u64(21));
+            let mut rng = SmallRng::seed_from_u64(21);
+            let mut b = crate::GraphBuilder::new(n);
+            gnp_edges(n, p, &mut rng, |u, v| {
+                assert!(u < v, "emission must be canonical");
+                b.add_canonical_edge_unchecked(u, v);
+            });
+            assert_eq!(b.build(), g, "n={n} p={p}");
+        }
     }
 
     #[test]

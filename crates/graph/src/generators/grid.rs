@@ -24,18 +24,27 @@ pub fn grid2d(rows: usize, cols: usize) -> Graph {
     let n = rows * cols;
     let mut b = GraphBuilder::new(n);
     b.reserve(2 * n);
+    grid2d_edges(rows, cols, |u, v| {
+        b.add_canonical_edge_unchecked(u, v);
+    });
+    b.build()
+}
+
+/// Streaming form of [`grid2d`]: emits each edge `(u, v)` with `u < v`
+/// through `emit` in O(1) memory, for feeding the scale tier's
+/// [`ShardWriter`](crate::ShardWriter) without materialising the grid.
+pub fn grid2d_edges<F: FnMut(NodeId, NodeId)>(rows: usize, cols: usize, mut emit: F) {
     let id = |r: usize, c: usize| (r * cols + c) as NodeId;
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                b.add_canonical_edge_unchecked(id(r, c), id(r, c + 1));
+                emit(id(r, c), id(r, c + 1));
             }
             if r + 1 < rows {
-                b.add_canonical_edge_unchecked(id(r, c), id(r + 1, c));
+                emit(id(r, c), id(r + 1, c));
             }
         }
     }
-    b.build()
 }
 
 /// The `rows × cols` torus: a grid with wrap-around edges, so every node
@@ -54,18 +63,34 @@ pub fn torus2d(rows: usize, cols: usize) -> Graph {
     let n = rows * cols;
     let mut b = GraphBuilder::new(n);
     b.reserve(2 * n);
+    torus2d_edges(rows, cols, |u, v| {
+        b.add_edge(u, v).expect("valid edge");
+    });
+    b.build()
+}
+
+/// Streaming form of [`torus2d`]: emits each edge `(u, v)` with `u < v`
+/// through `emit` in O(1) memory — the 4-regular workhorse of the scale
+/// tier's 10M-node points.
+///
+/// # Panics
+///
+/// Panics if `rows < 3` or `cols < 3`.
+pub fn torus2d_edges<F: FnMut(NodeId, NodeId)>(rows: usize, cols: usize, mut emit: F) {
+    assert!(
+        rows >= 3 && cols >= 3,
+        "torus requires both dimensions at least 3"
+    );
     let id = |r: usize, c: usize| (r * cols + c) as NodeId;
     for r in 0..rows {
         for c in 0..cols {
             let right = id(r, (c + 1) % cols);
             let down = id((r + 1) % rows, c);
             let me = id(r, c);
-            b.add_edge(me.min(right), me.max(right))
-                .expect("valid edge");
-            b.add_edge(me.min(down), me.max(down)).expect("valid edge");
+            emit(me.min(right), me.max(right));
+            emit(me.min(down), me.max(down));
         }
     }
-    b.build()
 }
 
 /// A `rows × cols` hexagonal lattice in odd-r offset coordinates: each
@@ -154,6 +179,25 @@ mod tests {
     #[should_panic(expected = "at least 3")]
     fn small_torus_panics() {
         let _ = torus2d(2, 5);
+    }
+
+    #[test]
+    fn edge_emitters_match_in_ram_construction() {
+        let g = grid2d(6, 9);
+        let mut b = crate::GraphBuilder::new(54);
+        grid2d_edges(6, 9, |u, v| {
+            assert!(u < v);
+            b.add_canonical_edge_unchecked(u, v);
+        });
+        assert_eq!(b.build(), g);
+
+        let t = torus2d(5, 7);
+        let mut b = crate::GraphBuilder::new(35);
+        torus2d_edges(5, 7, |u, v| {
+            assert!(u < v);
+            b.add_edge(u, v).unwrap();
+        });
+        assert_eq!(b.build(), t);
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //!
 //! All random generators take an explicit `&mut impl Rng` so experiments are
 //! reproducible from a master seed.
+//!
+//! The scale tier's streaming variants — [`gnp_edges`], [`grid2d_edges`],
+//! [`torus2d_edges`], [`barabasi_albert_edges`] — emit the same edge
+//! sequence through a callback instead of materialising a `Graph`, so
+//! 10M+-node topologies can be written shard-by-shard in bounded memory
+//! (see [`crate::stream`]).
 
 mod classic;
 mod clique_union;
@@ -28,10 +34,12 @@ mod trees;
 pub use classic::{complete, complete_bipartite, cycle, path, star, wheel};
 pub use clique_union::{disjoint_cliques, theorem1_family, theorem1_side_for_nodes};
 pub use geometric::{random_geometric, random_geometric_with_positions};
-pub use gnp::{gnm, gnp};
-pub use grid::{grid2d, hex_grid, torus2d};
+pub use gnp::{gnm, gnp, gnp_edges};
+pub use grid::{grid2d, grid2d_edges, hex_grid, torus2d, torus2d_edges};
 pub use regular::random_regular;
-pub use social::{barabasi_albert, connected_caveman, planted_partition, watts_strogatz};
+pub use social::{
+    barabasi_albert, barabasi_albert_edges, connected_caveman, planted_partition, watts_strogatz,
+};
 pub use trees::{balanced_tree, random_tree};
 
 pub use classic::hypercube;

@@ -96,34 +96,64 @@ pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut 
 /// assert!(g.max_degree() > 3 * g.min_degree().max(1));
 /// ```
 pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let mut builder = GraphBuilder::new(n);
+    builder.reserve(m * (m + 1) / 2 + n.saturating_sub(m + 1) * m);
+    barabasi_albert_edges(n, m, rng, |u, v| {
+        builder.add_canonical_edge_unchecked(u, v);
+    });
+    builder.build()
+}
+
+/// Streaming form of [`barabasi_albert`]: emits each edge `(u, v)` with
+/// `u < v` through `emit` instead of materialising a [`Graph`]. Memory is
+/// the `O(n·m)` repeated-endpoints list the attachment process itself
+/// needs — a fraction of the full adjacency — so the scale tier can feed
+/// this into a [`ShardWriter`](crate::ShardWriter).
+///
+/// Targets of a new node are collected in draw order (not hash order), so
+/// the emitted sequence — and therefore the generated graph — depends only
+/// on the RNG, identically to [`barabasi_albert`].
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n < m + 1`.
+pub fn barabasi_albert_edges<R, F>(n: usize, m: usize, rng: &mut R, mut emit: F)
+where
+    R: Rng + ?Sized,
+    F: FnMut(NodeId, NodeId),
+{
     assert!(m >= 1, "attachment count must be positive");
     assert!(n > m, "need at least m + 1 nodes");
-    let mut builder = GraphBuilder::new(n);
     // Repeated-endpoints list: choosing a uniform element is
     // degree-proportional sampling.
     let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
     // Seed: clique on m + 1 nodes.
     for u in 0..=(m as NodeId) {
         for v in (u + 1)..=(m as NodeId) {
-            builder.add_canonical_edge_unchecked(u, v);
+            emit(u, v);
             endpoints.push(u);
             endpoints.push(v);
         }
     }
-    let mut targets = std::collections::HashSet::with_capacity(m);
+    // Insertion-ordered target collection (a Vec, not a HashSet): hash-set
+    // iteration order varies between processes, which fed back into
+    // `endpoints` and made generated graphs nondeterministic for the same
+    // seed. Draw order is RNG-determined, so this is reproducible.
+    let mut targets: Vec<NodeId> = Vec::with_capacity(m);
     for v in (m + 1)..n {
         targets.clear();
         while targets.len() < m {
             let pick = endpoints[rng.random_range(0..endpoints.len())];
-            targets.insert(pick);
+            if !targets.contains(&pick) {
+                targets.push(pick);
+            }
         }
         for &t in &targets {
-            builder.add_canonical_edge_unchecked(t.min(v as NodeId), t.max(v as NodeId));
+            emit(t.min(v as NodeId), t.max(v as NodeId));
             endpoints.push(t);
             endpoints.push(v as NodeId);
         }
     }
-    builder.build()
 }
 
 /// Planted-partition (symmetric stochastic block model): `communities`
@@ -270,6 +300,27 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(6);
         let g = barabasi_albert(100, 3, &mut rng);
         assert!(g.min_degree() >= 3);
+    }
+
+    #[test]
+    fn barabasi_albert_same_seed_is_deterministic() {
+        // Regression: target sets were iterated in hash order, which varies
+        // per HashSet instance, so same-seed runs could disagree.
+        let g1 = barabasi_albert(150, 3, &mut SmallRng::seed_from_u64(77));
+        let g2 = barabasi_albert(150, 3, &mut SmallRng::seed_from_u64(77));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn barabasi_albert_edges_matches_in_ram_construction() {
+        let g = barabasi_albert(120, 2, &mut SmallRng::seed_from_u64(9));
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut b = crate::GraphBuilder::new(120);
+        barabasi_albert_edges(120, 2, &mut rng, |u, v| {
+            assert!(u < v);
+            b.add_canonical_edge_unchecked(u, v);
+        });
+        assert_eq!(b.build(), g);
     }
 
     #[test]

@@ -220,6 +220,16 @@ impl Graph {
         self.nodes().map(|v| self.degree(v)).min().unwrap_or(0)
     }
 
+    /// Heap bytes held by the CSR adjacency structure (offset array plus
+    /// neighbour array) — the denominator of the scale tier's
+    /// bytes-per-node comparisons against
+    /// [`CompressedGraph`](crate::CompressedGraph).
+    #[must_use]
+    pub fn adjacency_bytes(&self) -> usize {
+        self.adjacency.len() * core::mem::size_of::<NodeId>()
+            + self.offsets.len() * core::mem::size_of::<usize>()
+    }
+
     /// Mean degree `2m / n` (0 for the empty graph).
     #[must_use]
     pub fn mean_degree(&self) -> f64 {

@@ -13,8 +13,10 @@
 //! A `nodes <n>` header fixes the node count (allowing isolated trailing
 //! nodes); without it, the count is one more than the largest endpoint.
 
-use std::io::{self, Read, Write};
+use std::io::{self, BufRead, Read, Write};
+use std::path::Path;
 
+use crate::stream::{ShardWriter, ShardedGraphSummary, StreamError};
 use crate::{Graph, GraphBuilder, GraphError, NodeId};
 
 /// Serialises a graph in the edge-list format.
@@ -281,6 +283,104 @@ pub fn parse_dimacs_strict(text: &str) -> Result<Graph, GraphError> {
     Ok(g)
 }
 
+/// One classified DIMACS line, as produced by [`parse_dimacs_line`].
+enum DimacsLine {
+    /// A comment or blank line.
+    Skip,
+    /// The `p edge <n> <m>` problem line.
+    Problem {
+        /// Declared node count `n`.
+        nodes: usize,
+        /// Declared edge count `m`.
+        edges: usize,
+    },
+    /// An `e <u> <v>` edge line, already converted to 0-indexed endpoints.
+    Edge(NodeId, NodeId),
+}
+
+/// Classifies and validates a single DIMACS line — the one lexer behind
+/// both the in-RAM parser and [`parse_dimacs_streaming`], so the pinned
+/// error behaviours cannot drift apart. `node_count` is the declared `n`
+/// if a problem line was already seen.
+fn parse_dimacs_line(
+    line_no: usize,
+    raw: &str,
+    node_count: Option<usize>,
+) -> Result<DimacsLine, GraphError> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with('c') {
+        return Ok(DimacsLine::Skip);
+    }
+    if let Some(rest) = line.strip_prefix("p ") {
+        if node_count.is_some() {
+            return Err(GraphError::Parse {
+                line: line_no,
+                reason: "duplicate problem line".into(),
+            });
+        }
+        let mut parts = rest.split_whitespace();
+        let format = parts.next();
+        if format != Some("edge") && format != Some("col") {
+            return Err(GraphError::Parse {
+                line: line_no,
+                reason: format!("unsupported DIMACS format {format:?}"),
+            });
+        }
+        let nodes: usize =
+            parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| GraphError::Parse {
+                    line: line_no,
+                    reason: "problem line needs a node count".into(),
+                })?;
+        let edges: usize =
+            parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| GraphError::Parse {
+                    line: line_no,
+                    reason: "problem line needs an edge count".into(),
+                })?;
+        return Ok(DimacsLine::Problem { nodes, edges });
+    }
+    if let Some(rest) = line.strip_prefix("e ") {
+        let n = node_count.ok_or_else(|| GraphError::Parse {
+            line: line_no,
+            reason: "edge line before problem line".into(),
+        })?;
+        let mut parts = rest.split_whitespace();
+        let mut endpoint = || -> Result<NodeId, GraphError> {
+            let s = parts.next().ok_or_else(|| GraphError::Parse {
+                line: line_no,
+                reason: "edge line needs two endpoints".into(),
+            })?;
+            let raw: usize = s.parse().map_err(|_| GraphError::Parse {
+                line: line_no,
+                reason: format!("invalid endpoint {s:?}"),
+            })?;
+            if raw == 0 || raw > n {
+                return Err(GraphError::Parse {
+                    line: line_no,
+                    reason: format!("endpoint {raw} out of range 1..={n}"),
+                });
+            }
+            Ok((raw - 1) as NodeId)
+        };
+        let (u, v) = (endpoint()?, endpoint()?);
+        if u == v {
+            // Reject at the offending line rather than deferring to
+            // construction, so the named error carries the right node.
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        return Ok(DimacsLine::Edge(u, v));
+    }
+    Err(GraphError::Parse {
+        line: line_no,
+        reason: format!("unrecognised DIMACS line {line:?}"),
+    })
+}
+
 /// The shared DIMACS parser: returns the graph plus the `m` the problem
 /// line declared, so the strict entry point can cross-check it.
 fn parse_dimacs_inner(text: &str) -> Result<(Graph, usize), GraphError> {
@@ -288,87 +388,105 @@ fn parse_dimacs_inner(text: &str) -> Result<(Graph, usize), GraphError> {
     let mut declared_edges = 0usize;
     let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('c') {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix("p ") {
-            if node_count.is_some() {
-                return Err(GraphError::Parse {
-                    line: line_no,
-                    reason: "duplicate problem line".into(),
-                });
+        match parse_dimacs_line(idx + 1, raw, node_count)? {
+            DimacsLine::Skip => {}
+            DimacsLine::Problem { nodes, edges: m } => {
+                node_count = Some(nodes);
+                declared_edges = m;
             }
-            let mut parts = rest.split_whitespace();
-            let format = parts.next();
-            if format != Some("edge") && format != Some("col") {
-                return Err(GraphError::Parse {
-                    line: line_no,
-                    reason: format!("unsupported DIMACS format {format:?}"),
-                });
-            }
-            let n: usize =
-                parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| GraphError::Parse {
-                        line: line_no,
-                        reason: "problem line needs a node count".into(),
-                    })?;
-            declared_edges =
-                parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| GraphError::Parse {
-                        line: line_no,
-                        reason: "problem line needs an edge count".into(),
-                    })?;
-            node_count = Some(n);
-            continue;
+            DimacsLine::Edge(u, v) => edges.push((u, v)),
         }
-        if let Some(rest) = line.strip_prefix("e ") {
-            let n = node_count.ok_or_else(|| GraphError::Parse {
-                line: line_no,
-                reason: "edge line before problem line".into(),
-            })?;
-            let mut parts = rest.split_whitespace();
-            let mut endpoint = || -> Result<NodeId, GraphError> {
-                let s = parts.next().ok_or_else(|| GraphError::Parse {
-                    line: line_no,
-                    reason: "edge line needs two endpoints".into(),
-                })?;
-                let raw: usize = s.parse().map_err(|_| GraphError::Parse {
-                    line: line_no,
-                    reason: format!("invalid endpoint {s:?}"),
-                })?;
-                if raw == 0 || raw > n {
-                    return Err(GraphError::Parse {
-                        line: line_no,
-                        reason: format!("endpoint {raw} out of range 1..={n}"),
-                    });
-                }
-                Ok((raw - 1) as NodeId)
-            };
-            let (u, v) = (endpoint()?, endpoint()?);
-            if u == v {
-                // Reject at the offending line rather than deferring to
-                // construction, so the named error carries the right node.
-                return Err(GraphError::SelfLoop { node: u });
-            }
-            edges.push((u, v));
-            continue;
-        }
-        return Err(GraphError::Parse {
-            line: line_no,
-            reason: format!("unrecognised DIMACS line {line:?}"),
-        });
     }
     let n = node_count.ok_or_else(|| GraphError::Parse {
         line: 0,
         reason: "missing problem line".into(),
     })?;
     Graph::from_edges(n, edges).map(|g| (g, declared_edges))
+}
+
+/// Streams a DIMACS `edge` instance into the sharded on-disk format in
+/// bounded memory: edge lines go straight into a
+/// [`ShardWriter`] without ever materialising the
+/// edge list, so instances larger than RAM convert shard by shard.
+///
+/// Line validation is shared with [`parse_dimacs`] (same lexer, same
+/// pinned errors). The header cross-check is always strict: after the
+/// usual silent deduplication, the declared `m` must match the distinct
+/// edge count — you are converting an instance to a durable on-disk form,
+/// so a lying header should fail loudly, as in [`parse_dimacs_strict`].
+///
+/// The resulting directory is read back with
+/// [`CompressedGraph::load_sharded`](crate::CompressedGraph::load_sharded)
+/// or [`DiskGraph::open`](crate::DiskGraph::open).
+///
+/// # Errors
+///
+/// Returns [`StreamError::Graph`] for every error [`parse_dimacs_strict`]
+/// reports (wrapping I/O read failures as `Parse` at the offending line),
+/// and [`StreamError::Io`] for shard-writing failures.
+///
+/// # Panics
+///
+/// Panics if `nodes_per_shard` is zero or not a multiple of the block
+/// size, as in [`ShardWriter::create`](crate::ShardWriter::create).
+///
+/// # Examples
+///
+/// ```
+/// use mis_graph::{generators, io, CompressedGraph};
+/// use std::io::BufReader;
+///
+/// let g = generators::torus2d(5, 5);
+/// let dir = std::env::temp_dir().join(format!("dimacs-stream-{}", std::process::id()));
+/// let text = io::to_dimacs(&g);
+/// let summary = io::parse_dimacs_streaming(BufReader::new(text.as_bytes()), &dir, 64)?;
+/// assert_eq!(summary.edge_count, g.edge_count());
+/// let back = CompressedGraph::load_sharded(&dir)?;
+/// assert_eq!(back, CompressedGraph::from_view(&g));
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), mis_graph::StreamError>(())
+/// ```
+pub fn parse_dimacs_streaming<R: BufRead>(
+    reader: R,
+    dir: impl AsRef<Path>,
+    nodes_per_shard: usize,
+) -> Result<ShardedGraphSummary, StreamError> {
+    let mut writer: Option<ShardWriter> = None;
+    let mut node_count: Option<usize> = None;
+    let mut declared_edges = 0usize;
+    for (idx, line) in reader.lines().enumerate() {
+        let raw = line.map_err(|e| GraphError::Parse {
+            line: idx + 1,
+            reason: format!("I/O error: {e}"),
+        })?;
+        match parse_dimacs_line(idx + 1, &raw, node_count)? {
+            DimacsLine::Skip => {}
+            DimacsLine::Problem { nodes, edges } => {
+                node_count = Some(nodes);
+                declared_edges = edges;
+                writer = Some(ShardWriter::create(&dir, nodes, nodes_per_shard)?);
+            }
+            DimacsLine::Edge(u, v) => {
+                writer
+                    .as_mut()
+                    .expect("the lexer rejects edge lines before the problem line")
+                    .add_edge(u, v);
+            }
+        }
+    }
+    let writer = writer.ok_or(GraphError::Parse {
+        line: 0,
+        reason: "missing problem line".into(),
+    })?;
+    let summary = writer.finish()?;
+    if summary.edge_count != declared_edges {
+        return Err(GraphError::EdgeCountMismatch {
+            declared: declared_edges,
+            found: summary.edge_count,
+        }
+        .into());
+    }
+    Ok(summary)
 }
 
 /// Round-trips a graph through the edge-list format (serialise then parse).
@@ -598,6 +716,103 @@ mod tests {
     fn parse_rejects_self_loop() {
         let err = parse_edge_list("3 3\n").unwrap_err();
         assert_eq!(err, GraphError::SelfLoop { node: 3 });
+    }
+
+    /// Unique temp shard directory, removed on drop.
+    struct StreamDir(std::path::PathBuf);
+
+    impl StreamDir {
+        fn new(label: &str) -> Self {
+            static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let dir = std::env::temp_dir().join(format!(
+                "mis-graph-dimacs-{label}-{}-{n}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            StreamDir(dir)
+        }
+    }
+
+    impl Drop for StreamDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn stream(text: &str, dir: &StreamDir) -> Result<ShardedGraphSummary, StreamError> {
+        parse_dimacs_streaming(io::BufReader::new(text.as_bytes()), &dir.0, 64)
+    }
+
+    #[test]
+    fn streaming_dimacs_round_trips_generated_instances() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        for (label, g) in [
+            ("gnp", generators::gnp(120, 0.1, &mut rng)),
+            ("torus", generators::torus2d(9, 9)),
+            ("edgeless", Graph::empty(70)),
+            ("empty", Graph::empty(0)),
+        ] {
+            let dir = StreamDir::new(label);
+            let summary = stream(&to_dimacs(&g), &dir).unwrap();
+            assert_eq!(summary.node_count, g.node_count(), "{label}");
+            assert_eq!(summary.edge_count, g.edge_count(), "{label}");
+            let back = crate::CompressedGraph::load_sharded(&dir.0).unwrap();
+            assert_eq!(back, crate::CompressedGraph::from_view(&g), "{label}");
+        }
+    }
+
+    #[test]
+    fn streaming_dimacs_dedupes_then_checks_header() {
+        // Exact post-dedup header: accepted.
+        let dir = StreamDir::new("dedup-ok");
+        let summary = stream("p edge 3 2\ne 1 2\ne 2 1\ne 2 3\ne 3 2\n", &dir).unwrap();
+        assert_eq!(summary.edge_count, 2);
+        // Header counting the duplicates: strict mismatch.
+        let dir = StreamDir::new("dedup-bad");
+        assert!(matches!(
+            stream("p edge 3 3\ne 1 2\ne 2 1\ne 2 3\n", &dir),
+            Err(StreamError::Graph(GraphError::EdgeCountMismatch {
+                declared: 3,
+                found: 2
+            }))
+        ));
+    }
+
+    #[test]
+    fn streaming_dimacs_rejects_malformed_input() {
+        for (label, text) in [
+            ("no-problem", ""),
+            ("edge-first", "e 1 2\np edge 3 1\n"),
+            ("dup-problem", "p edge 3 1\np edge 3 1\n"),
+            ("bad-format", "p matrix 3 1\n"),
+            ("zero-endpoint", "p edge 3 1\ne 0 2\n"),
+            ("out-of-range", "p edge 3 1\ne 1 4\n"),
+            ("one-endpoint", "p edge 3 1\ne 1\n"),
+            ("self-loop", "p edge 3 1\ne 2 2\n"),
+            ("unknown-line", "p edge 3 1\nx 1 2\n"),
+            ("bad-count", "p edge x 1\n"),
+        ] {
+            let dir = StreamDir::new(label);
+            let err = stream(text, &dir).unwrap_err();
+            assert!(matches!(err, StreamError::Graph(_)), "{label}: {err}");
+            // The in-RAM strict parser must agree line for line.
+            assert!(parse_dimacs_strict(text).is_err(), "{label}");
+        }
+    }
+
+    #[test]
+    fn streaming_dimacs_reports_line_numbers_like_in_ram_parser() {
+        let text = "c fine\np edge 3 1\ne 1 9\n";
+        let dir = StreamDir::new("lines");
+        match stream(text, &dir) {
+            Err(StreamError::Graph(GraphError::Parse { line, .. })) => assert_eq!(line, 3),
+            other => panic!("unexpected result {other:?}"),
+        }
+        match parse_dimacs(text) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("unexpected result {other:?}"),
+        }
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! * [`view`] — the [`GraphView`] adjacency trait plus lazy derived-graph
 //!   adapters ([`LineGraphView`], [`ProductView`], [`InducedView`]) that the
 //!   simulator can run on without materialising the derived graph;
-//! * [`io`] — an edge-list text format and Graphviz DOT export.
+//! * [`io`] — an edge-list text format and Graphviz DOT export;
+//! * [`compressed`] / [`stream`] — the scale tier: a delta-varint
+//!   [`CompressedGraph`] backend, streaming shard generation in bounded
+//!   memory, and the paged [`DiskGraph`] reader for graphs larger than RAM.
 //!
 //! # Examples
 //!
@@ -38,16 +41,20 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod compressed;
 mod error;
 pub mod generators;
 mod graph;
 pub mod io;
 pub mod ops;
+pub mod stream;
 pub mod view;
 
 pub use builder::GraphBuilder;
+pub use compressed::{CompressedGraph, CompressedGraphBuilder};
 pub use error::GraphError;
 pub use graph::{EdgeIter, Graph, NodeIter};
+pub use stream::{DiskGraph, ShardWriter, ShardedGraphSummary, StreamError};
 pub use view::{GraphView, InducedView, LineGraphView, ProductView};
 
 /// Index of a node in a [`Graph`].

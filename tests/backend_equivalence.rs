@@ -1,0 +1,201 @@
+//! The adjacency backend is invisible.
+//!
+//! The out-of-core scale tier adds two alternative `GraphView` backends —
+//! the delta-varint [`CompressedGraph`] and the shard-paged [`DiskGraph`]
+//! — that must be indistinguishable from the CSR they encode. This suite
+//! pins that contract from both ends: **structurally** (node counts,
+//! degrees, neighbour lists, the O(1) `edge_count`/`max_degree` overrides
+//! and `materialize` round-trips) across every generator family, and
+//! **behaviourally** (feedback elections byte-identical across backends,
+//! under both propagation kernels and every intra-run shard count,
+//! composing with the counter-RNG guarantees of
+//! `tests/sharding_equivalence.rs`).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use beeping_mis::beeping::{PropagationKernel, RngMode, SimConfig};
+use beeping_mis::core::{run_algorithm, Algorithm};
+use beeping_mis::graph::stream::write_sharded_from_view;
+use beeping_mis::graph::{generators, CompressedGraph, DiskGraph, Graph, GraphView};
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+
+/// Shard granularity small enough that modest proptest graphs span several
+/// shard files (must be a positive multiple of the 64-node block size).
+const TEST_NODES_PER_SHARD: usize = 128;
+
+/// Self-cleaning unique temp directory for shard files.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("mis-backend-eq-{}-{tag}-{id}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        Self(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Streams `g` to shards and opens it back with a deliberately tiny block
+/// cache, so reads exercise eviction, not just the warm path.
+fn disk_copy(g: &Graph, dir: &TempDir) -> DiskGraph {
+    write_sharded_from_view(dir.path(), g, TEST_NODES_PER_SHARD).expect("stream shards");
+    DiskGraph::open(dir.path())
+        .expect("open shard directory")
+        .with_cache_blocks(2)
+}
+
+/// Pins `view` structurally identical to the CSR: counts, the stored
+/// `edge_count`/`max_degree` overrides, every degree, every neighbour
+/// list, and the `materialize` round-trip.
+fn assert_view_matches_csr<G: GraphView + ?Sized>(name: &str, view: &G, g: &Graph) {
+    assert_eq!(view.node_count(), g.node_count(), "{name}: node_count");
+    assert_eq!(view.edge_count(), g.edge_count(), "{name}: edge_count");
+    assert_eq!(view.max_degree(), g.max_degree(), "{name}: max_degree");
+    for v in 0..g.node_count() as u32 {
+        assert_eq!(view.degree(v), g.degree(v), "{name}: degree({v})");
+        assert_eq!(view.neighbors_vec(v), g.neighbors(v), "{name}: nbrs({v})");
+    }
+    assert_eq!(&view.materialize(), g, "{name}: materialize");
+}
+
+fn assert_backends_structurally_identical(g: &Graph, tag: &str) {
+    let compressed = CompressedGraph::from_view(g);
+    assert_view_matches_csr("compressed", &compressed, g);
+    let dir = TempDir::new(tag);
+    let disk = disk_copy(g, &dir);
+    assert_view_matches_csr("disk", &disk, g);
+}
+
+/// Runs the feedback election on all three backends under both kernels
+/// and a shard sweep, asserting every outcome equals the CSR reference
+/// bit for bit.
+fn assert_elections_identical(g: &Graph, seed: u64, tag: &str) {
+    let compressed = CompressedGraph::from_view(g);
+    let dir = TempDir::new(tag);
+    let disk = disk_copy(g, &dir);
+    for kernel in [PropagationKernel::Scalar, PropagationKernel::Bitset] {
+        for shards in [1usize, 3, 0] {
+            let cfg = SimConfig::default()
+                .with_rng_mode(RngMode::Counter)
+                .with_kernel(kernel)
+                .with_shards(shards);
+            let reference = run_algorithm(g, &Algorithm::feedback(), seed, cfg.clone());
+            let on_compressed =
+                run_algorithm(&compressed, &Algorithm::feedback(), seed, cfg.clone());
+            assert_eq!(
+                on_compressed, reference,
+                "compressed outcome diverged ({kernel:?}, {shards} shards)"
+            );
+            let on_disk = run_algorithm(&disk, &Algorithm::feedback(), seed, cfg);
+            assert_eq!(
+                on_disk, reference,
+                "disk outcome diverged ({kernel:?}, {shards} shards)"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random graphs: both backends reproduce the CSR structure exactly.
+    #[test]
+    fn backends_match_csr_on_gnp(
+        n in 0usize..160,
+        p in 0.0f64..0.4,
+        graph_seed in any::<u64>(),
+    ) {
+        let g = generators::gnp(n, p, &mut SmallRng::seed_from_u64(graph_seed));
+        assert_backends_structurally_identical(&g, "gnp");
+    }
+
+    /// Lattices (the 10M-node scale family at proptest size), open and
+    /// wrapped.
+    #[test]
+    fn backends_match_csr_on_grids(rows in 1usize..12, cols in 1usize..12) {
+        let g = generators::grid2d(rows, cols);
+        assert_backends_structurally_identical(&g, "grid");
+        if rows >= 3 && cols >= 3 {
+            let t = generators::torus2d(rows, cols);
+            assert_backends_structurally_identical(&t, "torus");
+        }
+    }
+
+    /// Preferential attachment: skewed degrees stress the varint widths
+    /// and uneven block sizes.
+    #[test]
+    fn backends_match_csr_on_barabasi_albert(
+        n in 2usize..140,
+        m in 1usize..6,
+        graph_seed in any::<u64>(),
+    ) {
+        let m = m.min(n - 1);
+        let g = generators::barabasi_albert(n, m, &mut SmallRng::seed_from_u64(graph_seed));
+        assert_backends_structurally_identical(&g, "ba");
+    }
+
+    /// Geometric graphs (the sensor-network family).
+    #[test]
+    fn backends_match_csr_on_random_geometric(
+        n in 0usize..120,
+        radius in 0.0f64..0.5,
+        graph_seed in any::<u64>(),
+    ) {
+        let g = generators::random_geometric(n, radius, &mut SmallRng::seed_from_u64(graph_seed));
+        assert_backends_structurally_identical(&g, "rgg");
+    }
+
+    /// Elections are byte-identical across backends × kernels × shard
+    /// counts — the behavioural half of the contract, composing with the
+    /// counter-RNG sharding guarantees.
+    #[test]
+    fn elections_identical_across_backends(
+        n in 1usize..90,
+        p in 0.0f64..0.4,
+        graph_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+    ) {
+        let g = generators::gnp(n, p, &mut SmallRng::seed_from_u64(graph_seed));
+        assert_elections_identical(&g, run_seed, "run-gnp");
+    }
+}
+
+/// Fixed corner-case graphs the proptest generators rarely hit: empty,
+/// edgeless, a star (one hub block neighbourly with every other block),
+/// a clique, and the Theorem 1 clique-union family.
+#[test]
+fn backends_match_csr_on_classics() {
+    for (tag, g) in [
+        ("empty", Graph::empty(0)),
+        ("edgeless", Graph::empty(130)),
+        ("path", generators::path(70)),
+        ("cycle", generators::cycle(65)),
+        ("star", generators::star(200)),
+        ("complete", generators::complete(40)),
+        ("theorem1", generators::theorem1_family(3)),
+    ] {
+        assert_backends_structurally_identical(&g, tag);
+    }
+}
+
+/// A sweep election on a lattice — the non-gnp family the scale suite
+/// times — is backend-invisible too.
+#[test]
+fn torus_elections_identical_across_backends() {
+    let g = generators::torus2d(6, 7);
+    assert_elections_identical(&g, 0xD15C, "run-torus");
+}
