@@ -550,7 +550,9 @@ mod tests {
         // replay each other's phase streams off by one; the mixed
         // derivation must give disjoint phase-seed sets.
         for s in [0u64, 7, 1 << 40] {
+            // detlint: allow(D01) -- order-insensitive probe: only len() and is_disjoint()
             let a: std::collections::HashSet<u64> = (0..16).map(|c| trial_seed(s, c)).collect();
+            // detlint: allow(D01) -- order-insensitive probe: only len() and is_disjoint()
             let b: std::collections::HashSet<u64> = (0..16).map(|c| trial_seed(s + 1, c)).collect();
             assert_eq!(a.len(), 16);
             assert!(a.is_disjoint(&b), "seed {s} phase streams overlap");

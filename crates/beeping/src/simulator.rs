@@ -1042,6 +1042,7 @@ mod tests {
     }
 
     fn assert_is_mis(g: &Graph, mis: &[NodeId]) {
+        // detlint: allow(D01) -- contains-only adjacency check, never iterated
         let in_set: std::collections::HashSet<_> = mis.iter().copied().collect();
         for &v in mis {
             for &u in g.neighbors(v) {

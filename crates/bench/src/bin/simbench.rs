@@ -40,6 +40,8 @@
 //! trajectory per commit. (`--out` applies to a single suite; `--suite
 //! all` writes every default file name.)
 
+#![forbid(unsafe_code)]
+
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;

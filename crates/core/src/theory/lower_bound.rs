@@ -19,6 +19,7 @@
 //! must spend separate steps on each of the `Θ(log n)` decades of clique
 //! sizes, `Θ(log n)` steps per decade.
 
+use mis_beeping::rng::trial_seed;
 use mis_graph::NodeId;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -137,7 +138,7 @@ pub fn simulate_clique_survival<S: ProbabilitySchedule + ?Sized>(
     assert!(trials > 0, "need at least one trial");
     let mut survived = 0u32;
     for trial in 0..trials {
-        let mut rng = SmallRng::seed_from_u64(seed ^ (u64::from(trial) << 20));
+        let mut rng = SmallRng::seed_from_u64(trial_seed(seed, u64::from(trial)));
         let mut resolved = false;
         'steps: for t in 0..steps {
             let p = schedule.probability(t);

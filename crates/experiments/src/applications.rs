@@ -24,6 +24,7 @@ use mis_stats::{OnlineStats, Table};
 use rand::{rngs::SmallRng, SeedableRng};
 
 use crate::run_trials;
+use crate::seeds::{experiment, stage_seed};
 
 /// Per-algorithm sub-stream tags. Each one is mixed into the trial seed
 /// through the same SplitMix64 derivation the batch planner uses
@@ -173,9 +174,9 @@ pub fn run(config: &AppsConfig) -> AppsResults {
     let product_coloring = AppEngine::coloring(Algorithm::feedback());
     let clustering_engine = AppEngine::clustering(Algorithm::feedback());
     for (wi, (name, make_graph)) in workloads().into_iter().enumerate() {
-        let master = config.seed ^ ((wi as u64 + 1) << 24);
+        let matching_master = stage_seed(config.seed, experiment::APPS_MATCHING, wi as u64);
 
-        let samples = run_trials(config.trials, master, |tseed, _| {
+        let samples = run_trials(config.trials, matching_master, |tseed, _| {
             let g = make_graph(tseed);
             let feedback = matching_feedback.run(&g, trial_seed(tseed, FEEDBACK_STREAM));
             let sweep = matching_sweep.run(&g, trial_seed(tseed, SWEEP_STREAM));
@@ -199,7 +200,8 @@ pub fn run(config: &AppsConfig) -> AppsResults {
             greedy_size: samples.iter().map(|&(_, _, _, d)| d).collect(),
         });
 
-        let samples = run_trials(config.trials, master ^ 0xC0105, |tseed, _| {
+        let coloring_master = stage_seed(config.seed, experiment::APPS_COLORING, wi as u64);
+        let samples = run_trials(config.trials, coloring_master, |tseed, _| {
             let g = make_graph(tseed);
             let product = product_coloring.run(&g, tseed);
             let product = product
@@ -229,7 +231,8 @@ pub fn run(config: &AppsConfig) -> AppsResults {
             greedy_colors: samples.iter().map(|&(.., f)| f).collect(),
         });
 
-        let samples = run_trials(config.trials, master ^ 0xBB0E, |tseed, _| {
+        let backbone_master = stage_seed(config.seed, experiment::APPS_BACKBONE, wi as u64);
+        let samples = run_trials(config.trials, backbone_master, |tseed, _| {
             let g = make_graph(tseed);
             if !ops::is_connected(&g) {
                 return None; // backbone undefined on disconnected draws
@@ -373,7 +376,7 @@ mod tests {
         // anything below 10 would indicate structured correlation).
         let mut seeds = Vec::new();
         for wi in 0..5u64 {
-            let master = 2013 ^ ((wi + 1) << 24);
+            let master = stage_seed(2013, experiment::APPS_MATCHING, wi);
             let plan = mis_core::BatchPlan::new(master, 4);
             for t in 0..4 {
                 let tseed = plan.run_seed(t);
@@ -384,6 +387,7 @@ mod tests {
         }
         for i in 0..seeds.len() {
             for j in (i + 1)..seeds.len() {
+                // detlint: allow(D02) -- Hamming-distance probe comparing seeds, not deriving one
                 let dist = (seeds[i] ^ seeds[j]).count_ones();
                 assert!(
                     dist >= 10,

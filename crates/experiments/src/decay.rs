@@ -12,6 +12,7 @@ use mis_graph::{generators, GraphView};
 use mis_stats::{AsciiPlot, Series, Table};
 use rand::{rngs::SmallRng, SeedableRng};
 
+use crate::seeds::{alg, alg_seed};
 use crate::{run_on_backend, run_trials, BackendOp};
 
 /// Configuration for the decay experiment.
@@ -109,14 +110,14 @@ impl BackendOp for DecayTrial<'_> {
         let f = run_algorithm(
             g,
             &Algorithm::feedback(),
-            self.trial_seed ^ 0xFEED,
+            alg_seed(self.trial_seed, alg::FEEDBACK),
             self.sim.clone(),
         );
         assert!(f.terminated());
         let s = run_algorithm(
             g,
             &Algorithm::sweep(),
-            self.trial_seed ^ 0x5157,
+            alg_seed(self.trial_seed, alg::SWEEP),
             self.sim.clone(),
         );
         assert!(s.terminated());

@@ -13,7 +13,6 @@
 //! Reported per fault level: termination rate, MIS-violation rate, and
 //! rounds (for terminated runs).
 
-use mis_beeping::rng::splitmix64;
 use mis_beeping::FaultPlan;
 use mis_core::verify::check_mis;
 use mis_core::{run_algorithm, Algorithm, FeedbackConfig};
@@ -22,6 +21,7 @@ use mis_stats::{OnlineStats, Table};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 
 use crate::run_trials;
+use crate::seeds::{alg, alg_seed, experiment, stage_seed};
 
 /// Configuration for the fault experiments.
 #[derive(Debug, Clone, PartialEq)]
@@ -135,7 +135,7 @@ pub fn run(config: &FaultsConfig) -> FaultsResults {
                 variant_name,
                 &algorithm,
                 repair,
-                config.seed ^ ((i as u64 + 1) << 12),
+                stage_seed(config.seed, experiment::FAULTS_LOSS, i as u64),
                 move |_, _| FaultPlan {
                     message_loss: loss,
                     wake_rounds: vec![],
@@ -160,9 +160,9 @@ pub fn run(config: &FaultsConfig) -> FaultsResults {
             variant_name,
             &algorithm,
             repair,
-            config.seed ^ (0xDEAD << 16),
+            stage_seed(config.seed, experiment::FAULTS_WAKE, 0),
             move |trial_seed, _| {
-                let mut rng = SmallRng::seed_from_u64(splitmix64(trial_seed ^ 0x5EE9));
+                let mut rng = SmallRng::seed_from_u64(alg_seed(trial_seed, alg::WAKE_PLAN));
                 let wake_rounds = (0..n)
                     .map(|_| {
                         if rng.random_bool(sleeper_fraction) {
@@ -198,7 +198,7 @@ fn measure(
             .with_max_rounds(config.max_rounds)
             .with_mis_keeps_beeping(repair)
             .with_faults(plan(trial_seed, idx));
-        let outcome = run_algorithm(&g, algorithm, trial_seed ^ 0xFA01, sim);
+        let outcome = run_algorithm(&g, algorithm, alg_seed(trial_seed, alg::FAULT_ALG), sim);
         let violated = outcome.terminated() && check_mis(&g, &outcome.mis()).is_err();
         (outcome.terminated(), violated, f64::from(outcome.rounds()))
     });

@@ -13,6 +13,7 @@ use mis_stats::{
 use rand::{rngs::SmallRng, SeedableRng};
 
 use crate::report::series_table;
+use crate::seeds::{alg, alg_seed, experiment, stage_seed};
 use crate::{run_trials, SeriesPoint};
 
 /// Configuration for the Figure 3 reproduction.
@@ -94,16 +95,20 @@ pub fn run(config: &Fig3Config) -> Fig3Results {
     let mut feedback = Vec::new();
     let mut largest_samples: (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
     for (si, &n) in config.sizes.iter().enumerate() {
-        let master = config.seed ^ ((si as u64 + 1) << 32);
+        let master = stage_seed(config.seed, experiment::FIG3, si as u64);
         let samples = run_trials(config.trials, master, |trial_seed, _| {
             let mut graph_rng = SmallRng::seed_from_u64(trial_seed);
             let g = generators::gnp(n, config.edge_probability, &mut graph_rng);
-            let s = solve_mis(&g, &Algorithm::sweep(), trial_seed ^ 0x5157)
+            let s = solve_mis(&g, &Algorithm::sweep(), alg_seed(trial_seed, alg::SWEEP))
                 .expect("sweep terminates")
                 .rounds();
-            let f = solve_mis(&g, &Algorithm::feedback(), trial_seed ^ 0xFEED)
-                .expect("feedback terminates")
-                .rounds();
+            let f = solve_mis(
+                &g,
+                &Algorithm::feedback(),
+                alg_seed(trial_seed, alg::FEEDBACK),
+            )
+            .expect("feedback terminates")
+            .rounds();
             (f64::from(s), f64::from(f))
         });
         sweep.push(SeriesPoint::from_samples(

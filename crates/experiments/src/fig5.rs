@@ -13,6 +13,7 @@ use mis_stats::{AsciiPlot, ModelCurve, ModelFit, Series};
 use rand::{rngs::SmallRng, SeedableRng};
 
 use crate::report::series_table;
+use crate::seeds::{alg, alg_seed, experiment, stage_seed};
 use crate::{run_trials, SeriesPoint};
 
 /// Configuration for the Figure 5 reproduction.
@@ -96,20 +97,28 @@ pub fn run(config: &Fig5Config) -> Fig5Results {
     let mut feedback = Vec::new();
     let mut science: Option<Vec<SeriesPoint>> = config.include_science.then(Vec::new);
     for (si, &n) in config.sizes.iter().enumerate() {
-        let master = config.seed ^ ((si as u64 + 1) << 24);
+        let master = stage_seed(config.seed, experiment::FIG5, si as u64);
         let samples = run_trials(config.trials, master, |trial_seed, _| {
             let mut graph_rng = SmallRng::seed_from_u64(trial_seed);
             let g = generators::gnp(n, config.edge_probability, &mut graph_rng);
-            let s = solve_mis(&g, &Algorithm::sweep(), trial_seed ^ 0x5157)
+            let s = solve_mis(&g, &Algorithm::sweep(), alg_seed(trial_seed, alg::SWEEP))
                 .expect("sweep terminates")
                 .mean_beeps_per_node();
-            let f = solve_mis(&g, &Algorithm::feedback(), trial_seed ^ 0xFEED)
-                .expect("feedback terminates")
-                .mean_beeps_per_node();
+            let f = solve_mis(
+                &g,
+                &Algorithm::feedback(),
+                alg_seed(trial_seed, alg::FEEDBACK),
+            )
+            .expect("feedback terminates")
+            .mean_beeps_per_node();
             let sci = if config.include_science {
-                solve_mis(&g, &Algorithm::science(), trial_seed ^ 0x5C1)
-                    .expect("science terminates")
-                    .mean_beeps_per_node()
+                solve_mis(
+                    &g,
+                    &Algorithm::science(),
+                    alg_seed(trial_seed, alg::SCIENCE),
+                )
+                .expect("science terminates")
+                .mean_beeps_per_node()
             } else {
                 0.0
             };

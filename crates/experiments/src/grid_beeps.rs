@@ -4,6 +4,7 @@ use mis_core::{solve_mis, Algorithm};
 use mis_graph::generators;
 use mis_stats::Table;
 
+use crate::seeds::{experiment, stage_seed};
 use crate::{run_trials, SeriesPoint};
 
 /// Configuration for the grid beeps experiment.
@@ -80,7 +81,7 @@ pub fn run(config: &GridBeepsConfig) -> GridBeepsResults {
         .enumerate()
         .map(|(i, &(r, c))| {
             let g = generators::grid2d(r, c);
-            let master = config.seed ^ ((i as u64 + 1) << 16);
+            let master = stage_seed(config.seed, experiment::GRID_BEEPS, i as u64);
             let samples = run_trials(config.trials, master, |trial_seed, _| {
                 let result = solve_mis(&g, &Algorithm::feedback(), trial_seed).expect("terminates");
                 (

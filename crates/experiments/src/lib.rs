@@ -42,6 +42,7 @@ pub mod race;
 pub mod report;
 pub mod robustness;
 mod runner;
+pub mod seeds;
 pub mod sop;
 pub mod tails;
 

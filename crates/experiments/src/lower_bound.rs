@@ -12,6 +12,7 @@ use mis_graph::generators;
 use mis_stats::{AsciiPlot, ModelCurve, ModelFit, Series};
 
 use crate::report::series_table;
+use crate::seeds::{alg, alg_seed, experiment, stage_seed};
 use crate::{run_trials, SeriesPoint};
 
 /// Configuration for the lower-bound experiment.
@@ -90,14 +91,18 @@ pub fn run(config: &LowerBoundConfig) -> LowerBoundResults {
         let g = generators::theorem1_family(side);
         let n = g.node_count();
         sizes.push(n);
-        let master = config.seed ^ ((i as u64 + 1) << 40);
+        let master = stage_seed(config.seed, experiment::LOWER_BOUND, i as u64);
         let samples = run_trials(config.trials, master, |trial_seed, _| {
-            let s = solve_mis(&g, &Algorithm::sweep(), trial_seed ^ 0x5157)
+            let s = solve_mis(&g, &Algorithm::sweep(), alg_seed(trial_seed, alg::SWEEP))
                 .expect("sweep terminates")
                 .rounds();
-            let f = solve_mis(&g, &Algorithm::feedback(), trial_seed ^ 0xFEED)
-                .expect("feedback terminates")
-                .rounds();
+            let f = solve_mis(
+                &g,
+                &Algorithm::feedback(),
+                alg_seed(trial_seed, alg::FEEDBACK),
+            )
+            .expect("feedback terminates")
+            .rounds();
             (f64::from(s), f64::from(f))
         });
         sweep.push(SeriesPoint::from_samples(

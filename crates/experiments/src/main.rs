@@ -29,6 +29,8 @@
 //! non-zero unless every entry reproduces byte-identically.
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::io::Write as _;
 use std::process::ExitCode;
 
@@ -538,6 +540,7 @@ fn main() -> ExitCode {
 
     let mut report = Report::new();
     for runner in plan {
+        // detlint: allow(D03) -- progress display only; never feeds results or seeds
         let started = std::time::Instant::now();
         let (title, body) = runner(&opts);
         eprintln!("  …done in {:.1?}", started.elapsed());

@@ -14,6 +14,7 @@ use mis_stats::{OnlineStats, Table};
 use rand::{rngs::SmallRng, SeedableRng};
 
 use crate::run_trials;
+use crate::seeds::{alg, alg_seed, experiment, stage_seed};
 
 /// Configuration for the quality experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,21 +125,27 @@ pub fn run(config: &QualityConfig) -> QualityResults {
         .into_iter()
         .enumerate()
         .map(|(wi, (name, make_graph))| {
-            let master = config.seed ^ ((wi as u64 + 1) << 28);
+            let master = stage_seed(config.seed, experiment::QUALITY, wi as u64);
             let samples = run_trials(config.trials, master, |trial_seed, _| {
                 let g = make_graph(trial_seed);
                 let alpha = maximum_independent_set(&g).len() as f64;
-                let feedback = solve_mis(&g, &Algorithm::feedback(), trial_seed ^ 0xFEED)
+                let feedback = solve_mis(
+                    &g,
+                    &Algorithm::feedback(),
+                    alg_seed(trial_seed, alg::FEEDBACK),
+                )
+                .expect("terminates")
+                .mis()
+                .len() as f64;
+                let sweep = solve_mis(&g, &Algorithm::sweep(), alg_seed(trial_seed, alg::SWEEP))
                     .expect("terminates")
                     .mis()
                     .len() as f64;
-                let sweep = solve_mis(&g, &Algorithm::sweep(), trial_seed ^ 0x5157)
-                    .expect("terminates")
-                    .mis()
-                    .len() as f64;
-                let greedy =
-                    random_greedy_mis(&g, &mut SmallRng::seed_from_u64(trial_seed ^ 0x9EED)).len()
-                        as f64;
+                let greedy = random_greedy_mis(
+                    &g,
+                    &mut SmallRng::seed_from_u64(alg_seed(trial_seed, alg::GREEDY)),
+                )
+                .len() as f64;
                 (alpha, feedback, sweep, greedy)
             });
             QualityRow {

@@ -31,6 +31,7 @@ use mis_stats::{OnlineStats, Table};
 use rand::{rngs::SmallRng, SeedableRng};
 
 use crate::run_trials;
+use crate::seeds::{alg, alg_seed, experiment, stage_seed};
 
 /// The graph surface every contender races on: the base workload graph or
 /// a lazy derived-graph view of it (`xp race --on …`).
@@ -307,11 +308,11 @@ fn workloads(scale: usize) -> Vec<(String, WorkloadGen)> {
 /// One trial of the whole field on one surface: the sequential greedy
 /// size anchor plus every contender, all on the same [`GraphView`].
 fn trial_on<G: GraphView + ?Sized>(g: &G, trial_seed: u64) -> (f64, Vec<(f64, f64, f64)>) {
-    let mut rng = SmallRng::seed_from_u64(trial_seed ^ 0x9EED);
+    let mut rng = SmallRng::seed_from_u64(alg_seed(trial_seed, alg::GREEDY));
     let greedy = random_greedy_mis(g, &mut rng).len() as f64;
     let runs: Vec<(f64, f64, f64)> = Contender::all()
         .iter()
-        .map(|c| c.run_once(g, trial_seed ^ 0xC047))
+        .map(|c| c.run_once(g, alg_seed(trial_seed, alg::CONTENDER)))
         .collect();
     (greedy, runs)
 }
@@ -326,7 +327,7 @@ pub fn run(config: &RaceConfig) -> RaceResults {
     assert!(config.trials > 0, "need at least one trial");
     let mut results = Vec::new();
     for (wi, (name, make_graph)) in workloads(config.scale).into_iter().enumerate() {
-        let master = config.seed ^ ((wi as u64 + 1) << 20);
+        let master = stage_seed(config.seed, experiment::RACE, wi as u64);
         let surface = config.surface;
         let per_trial = run_trials(config.trials, master, |trial_seed, _| {
             let g = make_graph(trial_seed);

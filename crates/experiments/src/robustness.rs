@@ -16,6 +16,7 @@ use mis_stats::{OnlineStats, Table};
 use rand::{rngs::SmallRng, SeedableRng};
 
 use crate::run_trials;
+use crate::seeds::{alg, alg_seed, experiment, stage_seed};
 
 /// Configuration for the robustness experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -150,7 +151,7 @@ pub fn run(config: &RobustnessConfig) -> RobustnessResults {
     let variant_list = variants();
     let mut results = Vec::with_capacity(variant_list.len());
     for (vi, (name, kind)) in variant_list.into_iter().enumerate() {
-        let master = config.seed ^ ((vi as u64 + 1) << 8);
+        let master = stage_seed(config.seed, experiment::ROBUSTNESS, vi as u64);
         let samples = run_trials(config.trials, master, |trial_seed, _| {
             let mut graph_rng = SmallRng::seed_from_u64(trial_seed);
             let g = generators::gnp(config.n, config.edge_probability, &mut graph_rng);
@@ -170,8 +171,8 @@ pub fn run(config: &RobustnessConfig) -> RobustnessResults {
                 };
                 FeedbackProcess::new(cfg)
             });
-            let outcome =
-                Simulator::new(&g, &factory, trial_seed ^ 0xAB1A, crate::sim_config()).run();
+            let sim_seed = alg_seed(trial_seed, alg::VARIANT_SIM);
+            let outcome = Simulator::new(&g, &factory, sim_seed, crate::sim_config()).run();
             assert!(outcome.terminated(), "variant failed to terminate");
             check_mis(&g, &outcome.mis()).expect("variant produced an invalid MIS");
             (

@@ -18,6 +18,7 @@ use mis_stats::{ks_test, OnlineStats, Table};
 use rand::{rngs::SmallRng, SeedableRng};
 
 use crate::run_trials;
+use crate::seeds::{experiment, stage_seed};
 
 /// Configuration for the SOP-timing experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,7 +103,7 @@ pub fn run(config: &SopConfig) -> SopResults {
         .into_iter()
         .enumerate()
         .map(|(mi, model)| {
-            let master = config.seed ^ ((mi as u64 + 1) << 32);
+            let master = stage_seed(config.seed, experiment::SOP_MODEL, mi as u64);
             let samples = run_trials(config.trials, master, |trial_seed, _| {
                 let outcome = run_sop_selection(
                     &tissue,
@@ -131,7 +132,8 @@ pub fn run(config: &SopConfig) -> SopResults {
         })
         .collect();
 
-    let alg = run_trials(config.trials, config.seed ^ 0xA16, |trial_seed, _| {
+    let alg_master = stage_seed(config.seed, experiment::SOP_ALG, 0);
+    let alg = run_trials(config.trials, alg_master, |trial_seed, _| {
         let result = solve_mis(&tissue, &Algorithm::feedback(), trial_seed).expect("terminates");
         (
             result.mis().len() as f64 / cells,

@@ -12,6 +12,7 @@ use mis_stats::{Histogram, Summary, Table};
 use rand::{rngs::SmallRng, SeedableRng};
 
 use crate::run_trials;
+use crate::seeds::{alg, alg_seed, experiment, stage_seed};
 
 /// Configuration for the tail experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,14 +95,18 @@ pub fn run(config: &TailsConfig) -> TailsResults {
         .enumerate()
         .map(|(i, &n)| {
             assert!(n >= 2, "sizes below 2 make log₂ n degenerate");
-            let master = config.seed ^ ((i as u64 + 1) << 48);
+            let master = stage_seed(config.seed, experiment::TAILS, i as u64);
             let samples = run_trials(config.trials, master, |trial_seed, _| {
                 let mut graph_rng = SmallRng::seed_from_u64(trial_seed);
                 let g = generators::gnp(n, config.edge_probability, &mut graph_rng);
                 f64::from(
-                    solve_mis(&g, &Algorithm::feedback(), trial_seed ^ 0xFEED)
-                        .expect("feedback terminates")
-                        .rounds(),
+                    solve_mis(
+                        &g,
+                        &Algorithm::feedback(),
+                        alg_seed(trial_seed, alg::FEEDBACK),
+                    )
+                    .expect("feedback terminates")
+                    .rounds(),
                 )
             });
             let rounds = Summary::from_slice(&samples);

@@ -139,7 +139,8 @@ impl BlockWriter {
     /// Encodes `v`'s sorted neighbour list as the next node of the block.
     pub(crate) fn push(&mut self, v: NodeId, neighbors: &[NodeId]) {
         debug_assert!(self.dir.len() < BLOCK_NODES, "block overfull");
-        self.dir.push(self.payload.len() as u32);
+        self.dir
+            .push(u32::try_from(self.payload.len()).expect("block payload overflows u32"));
         encode_adjacency(v, neighbors, &mut self.payload);
     }
 
@@ -215,7 +216,7 @@ pub(crate) fn decode_block(
         let v = base + slot as NodeId;
         let mut pos = offset;
         let degree = read_varint(payload, &mut pos).ok_or("truncated degree")? as usize;
-        starts.push(neighbors.len() as u32);
+        starts.push(u32::try_from(neighbors.len()).expect("block adjacency overflows u32"));
         let mut prev: Option<i64> = None;
         for _ in 0..degree {
             let raw = read_varint(payload, &mut pos).ok_or("truncated neighbour")?;
@@ -238,7 +239,7 @@ pub(crate) fn decode_block(
             prev = Some(u);
         }
     }
-    starts.push(neighbors.len() as u32);
+    starts.push(u32::try_from(neighbors.len()).expect("block adjacency overflows u32"));
     Ok(DecodedBlock { starts, neighbors })
 }
 

@@ -136,6 +136,7 @@ pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
         }
         return builder.build();
     }
+    // detlint: allow(D01) -- membership-only rejection set; edges are emitted via the builder
     let mut chosen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(m);
     let mut builder = GraphBuilder::new(n);
     builder.reserve(m);

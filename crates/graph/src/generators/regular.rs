@@ -49,6 +49,7 @@ pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph
         .collect();
     'attempt: for _ in 0..MAX_ATTEMPTS {
         stubs.shuffle(rng);
+        // detlint: allow(D01) -- membership-only multi-edge check, never iterated
         let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
         let mut builder = GraphBuilder::new(n);
         builder.reserve(n * d / 2);

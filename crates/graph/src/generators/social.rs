@@ -42,6 +42,7 @@ pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut 
     assert!(k < n || (k == 0 && n == 0), "k must be below n");
     assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
     let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * k / 2);
+    // detlint: allow(D01) -- membership-only duplicate guard; `edges` carries the order
     let mut present = std::collections::HashSet::with_capacity(n * k / 2);
     let canon = |a: NodeId, b: NodeId| (a.min(b), a.max(b));
     for v in 0..n {

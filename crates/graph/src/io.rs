@@ -153,6 +153,7 @@ pub fn read_edge_list<R: Read>(mut reader: R) -> Result<Graph, GraphError> {
 #[must_use]
 pub fn to_dot(g: &Graph, highlighted: &[NodeId]) -> String {
     let mut out = String::from("graph G {\n  node [shape=circle];\n");
+    // detlint: allow(D01) -- contains-only lookup; iteration order comes from g.nodes()
     let special: std::collections::HashSet<NodeId> = highlighted.iter().copied().collect();
     for v in g.nodes() {
         if special.contains(&v) {

@@ -288,8 +288,9 @@ pub fn line_graph(g: &Graph) -> (Graph, Vec<(NodeId, NodeId)>) {
     // pair of edges incident to the same vertex is adjacent in L(g).
     let mut incident: Vec<Vec<u32>> = vec![Vec::new(); g.node_count()];
     for (i, &(u, v)) in edges.iter().enumerate() {
-        incident[u as usize].push(i as u32);
-        incident[v as usize].push(i as u32);
+        let id = u32::try_from(i).expect("edge id overflows u32");
+        incident[u as usize].push(id);
+        incident[v as usize].push(id);
     }
     let mut builder = GraphBuilder::new(m);
     for list in &incident {

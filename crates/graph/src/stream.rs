@@ -55,7 +55,7 @@
 
 use core::fmt;
 use core::ops::ControlFlow;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs::{self, File};
 use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -684,7 +684,11 @@ struct CacheEntry {
 
 struct DiskState {
     files: Vec<File>,
-    cache: HashMap<usize, CacheEntry>,
+    // BTreeMap, not HashMap: both LRU evictions below iterate the cache to
+    // find the min-tick victim, and `last_used` ties (pre-warm, equal-tick
+    // paths) must break toward the same block in every process — hash-order
+    // iteration made eviction, and with it DiskCacheStats, run-dependent.
+    cache: BTreeMap<usize, CacheEntry>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -762,7 +766,7 @@ impl DiskGraph {
             cache_blocks: DEFAULT_CACHE_BLOCKS,
             state: Mutex::new(DiskState {
                 files,
-                cache: HashMap::new(),
+                cache: BTreeMap::new(),
                 tick: 0,
                 hits: 0,
                 misses: 0,

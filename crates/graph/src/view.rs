@@ -283,7 +283,7 @@ impl<'g> LineGraphView<'g> {
         for v in base.nodes() {
             for (j, &u) in base.neighbors(v).iter().enumerate() {
                 if v < u {
-                    let id = edges.len() as u32;
+                    let id = u32::try_from(edges.len()).expect("edge id overflows u32");
                     edges.push((v, u));
                     edge_ids[offsets[v as usize] + j] = id;
                     let k = base
@@ -566,7 +566,7 @@ impl<'g> InducedView<'g> {
                 "selection must be strictly ascending (got {v} after {prev:?})"
             );
             prev = Some(v);
-            remap[v as usize] = i as u32;
+            remap[v as usize] = u32::try_from(i).expect("selection index overflows u32");
         }
         Self {
             base,

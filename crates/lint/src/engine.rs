@@ -1,0 +1,352 @@
+//! Waiver resolution, per-file linting, and the workspace walk.
+//!
+//! ## Waivers
+//!
+//! A finding is silenced by an inline waiver comment:
+//!
+//! ```text
+//! // detlint: allow(D01) -- membership-only set, never iterated
+//! let mut seen = std::collections::HashSet::new();
+//! ```
+//!
+//! * A **standalone** waiver (nothing but the comment on its line) covers
+//!   the next line that carries code; a **trailing** waiver covers its own
+//!   line.
+//! * The `-- reason` clause is mandatory; a missing or empty reason is a
+//!   `W00` finding at the waiver's line.
+//! * Several rules may be waived at once: `allow(D01, D02)`.
+//! * A waiver that silences nothing is itself a `W01` finding — stale
+//!   waivers rot into false documentation.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Comment};
+use crate::rules::{detect, rule, FileContext, Severity};
+
+/// One reportable finding (post waiver-resolution).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id (`D01`…`D05`, `W00`, `W01`).
+    pub rule: &'static str,
+    /// Severity tier of that rule.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// Human message.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Aggregate result of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings across all files, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Waivers that silenced at least one finding.
+    pub waivers_used: usize,
+    /// Findings silenced by waivers.
+    pub findings_waived: usize,
+}
+
+impl LintReport {
+    /// Whether the run fails: any deny finding, or — under `deny_all` —
+    /// any finding at all.
+    #[must_use]
+    pub fn failed(&self, deny_all: bool) -> bool {
+        self.findings
+            .iter()
+            .any(|f| deny_all || f.severity == Severity::Deny)
+    }
+}
+
+/// A parsed waiver comment.
+#[derive(Debug)]
+struct Waiver {
+    line: u32,
+    target: u32,
+    rules: Vec<String>,
+    used: bool,
+}
+
+/// Parses waivers out of the comment stream. Returns the waivers plus
+/// `W00` findings for malformed ones. `token_lines` must be the sorted
+/// list of lines that carry code, used to resolve standalone targets.
+fn parse_waivers(comments: &[Comment], token_lines: &[u32]) -> (Vec<Waiver>, Vec<(u32, String)>) {
+    let mut waivers = Vec::new();
+    let mut malformed = Vec::new();
+    for c in comments {
+        // Doc comments (`///`, `//!`) never carry waivers — they are
+        // documentation, where waiver syntax appears as an *example*.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let Some(pos) = c.text.find("detlint:") else {
+            continue;
+        };
+        let rest = c.text[pos + "detlint:".len()..].trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            malformed.push((
+                c.line,
+                "waiver must use `detlint: allow(<rules>) -- <reason>`".to_owned(),
+            ));
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            malformed.push((c.line, "unclosed rule list in waiver".to_owned()));
+            continue;
+        };
+        let ids: Vec<String> = args[..close]
+            .split(',')
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if ids.is_empty() {
+            malformed.push((c.line, "waiver names no rules".to_owned()));
+            continue;
+        }
+        if let Some(bad) = ids.iter().find(|id| {
+            rule(id).is_none() || id.starts_with('W') // meta-rules unwaivable
+        }) {
+            malformed.push((
+                c.line,
+                format!("waiver names unknown or unwaivable rule `{bad}`"),
+            ));
+            continue;
+        }
+        let after = &args[close + 1..];
+        let reason = after.split_once("--").map(|(_, r)| r.trim()).unwrap_or("");
+        if reason.is_empty() {
+            malformed.push((
+                c.line,
+                "waiver reason is mandatory: `detlint: allow(…) -- <why this is sound>`".to_owned(),
+            ));
+            continue;
+        }
+        let target = if c.trailing {
+            c.line
+        } else {
+            token_lines
+                .iter()
+                .copied()
+                .find(|&l| l > c.line)
+                .unwrap_or(c.line)
+        };
+        waivers.push(Waiver {
+            line: c.line,
+            target,
+            rules: ids,
+            used: false,
+        });
+    }
+    (waivers, malformed)
+}
+
+/// Lints one file's source under its workspace-relative path.
+///
+/// This is the seam the fixture tests drive: the path determines crate
+/// scoping, the source is linted as-is.
+#[must_use]
+pub fn lint_source(rel_path: &str, source: &str) -> LintReport {
+    let ctx = FileContext::classify(rel_path);
+    let lexed = lex(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_owned())
+            .unwrap_or_default()
+    };
+
+    let raw = detect(&ctx, &lexed);
+    let mut token_lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    token_lines.dedup();
+    let (mut waivers, malformed) = parse_waivers(&lexed.comments, &token_lines);
+
+    let mut report = LintReport {
+        files_scanned: 1,
+        ..LintReport::default()
+    };
+    for (line, message) in malformed {
+        report.findings.push(Finding {
+            rule: "W00",
+            severity: Severity::Deny,
+            file: rel_path.to_owned(),
+            line,
+            message,
+            snippet: snippet(line),
+        });
+    }
+    for f in raw {
+        let waived = waivers
+            .iter_mut()
+            .find(|w| w.target == f.line && w.rules.iter().any(|r| r == f.rule));
+        if let Some(w) = waived {
+            w.used = true;
+            report.findings_waived += 1;
+            continue;
+        }
+        let severity = rule(f.rule).map_or(Severity::Deny, |r| r.severity);
+        report.findings.push(Finding {
+            rule: f.rule,
+            severity,
+            file: rel_path.to_owned(),
+            line: f.line,
+            message: f.message,
+            snippet: snippet(f.line),
+        });
+    }
+    for w in &waivers {
+        if w.used {
+            report.waivers_used += 1;
+        } else {
+            report.findings.push(Finding {
+                rule: "W01",
+                severity: Severity::Deny,
+                file: rel_path.to_owned(),
+                line: w.line,
+                message: format!(
+                    "unused waiver for {}: nothing on line {} triggers it — delete it \
+                     or fix the waived line",
+                    w.rules.join(", "),
+                    w.target
+                ),
+                snippet: snippet(w.line),
+            });
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    report
+}
+
+/// Directory names never descended into. `fixtures` holds deliberately
+/// violating lint-test inputs; `vendor` is third-party stand-ins outside
+/// this project's invariants.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", "corpus"];
+
+/// Collects every `.rs` file under `root`, workspace-relative, sorted.
+fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = fs::read_dir(&dir)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(std::fs::DirEntry::path);
+        for entry in entries {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints the whole workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Returns an error when the root or a source file cannot be read.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let mut report = LintReport::default();
+    for path in collect_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(&path)?;
+        let file_report = lint_source(&rel, &source);
+        report.files_scanned += 1;
+        report.waivers_used += file_report.waivers_used;
+        report.findings_waived += file_report.findings_waived;
+        report.findings.extend(file_report.findings);
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_waiver_covers_its_line() {
+        let src = "fn f(seed: u64) -> u64 {\n    seed ^ 0xFEED // detlint: allow(D02) -- test\n}\n";
+        let r = lint_source("src/x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.waivers_used, 1);
+        assert_eq!(r.findings_waived, 1);
+    }
+
+    #[test]
+    fn standalone_waiver_covers_next_code_line() {
+        let src = "fn f(seed: u64) -> u64 {\n    // detlint: allow(D02) -- frozen stream\n\n    seed ^ 0xFEED\n}\n";
+        let r = lint_source("src/x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.waivers_used, 1);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_w00() {
+        let src = "// detlint: allow(D02)\nlet m = seed ^ 1;\n";
+        let r = lint_source("src/x.rs", src);
+        let rules: Vec<_> = r.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"W00"), "{rules:?}");
+        assert!(
+            rules.contains(&"D02"),
+            "waiver must not silence anything: {rules:?}"
+        );
+    }
+
+    #[test]
+    fn unused_waiver_is_w01() {
+        let src = "// detlint: allow(D02) -- stale\nlet m = a ^ b;\n";
+        let r = lint_source("src/x.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "W01");
+    }
+
+    #[test]
+    fn unknown_and_meta_rules_are_unwaivable() {
+        for src in [
+            "// detlint: allow(D99) -- nope\nlet m = seed ^ 1;\n",
+            "// detlint: allow(W01) -- nope\nlet m = seed ^ 1;\n",
+        ] {
+            let r = lint_source("src/x.rs", src);
+            assert!(r.findings.iter().any(|f| f.rule == "W00"), "{src}");
+        }
+    }
+
+    #[test]
+    fn multi_rule_waiver() {
+        let src = "// detlint: allow(D01, D02) -- membership-only and frozen\nlet m: HashSet<u64> = seed_set(seed ^ 1);\n";
+        let r = lint_source("crates/core/src/x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.findings_waived, 2);
+    }
+
+    #[test]
+    fn wrong_rule_waiver_does_not_silence() {
+        let src = "// detlint: allow(D03) -- mismatched\nlet m = seed ^ 1;\n";
+        let r = lint_source("src/x.rs", src);
+        let rules: Vec<_> = r.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"D02"));
+        assert!(rules.contains(&"W01"));
+    }
+}

@@ -1,0 +1,482 @@
+//! A minimal, comment/string/char-aware Rust lexer.
+//!
+//! The rules in this crate are lexical, not syntactic: they only need a
+//! faithful token stream in which comments, string/char literals and raw
+//! strings can never masquerade as code (so `"seed ^ tag"` inside a test
+//! string or a doc example never trips a rule). The lexer therefore
+//! recognises exactly the token classes the rule engine consumes —
+//! identifiers, integer/float literals, string/char literals, lifetimes
+//! and operators — and collects comments separately for waiver parsing.
+//!
+//! It deliberately does **not** build a syntax tree; every rule is written
+//! against local token windows plus a little per-line state.
+
+/// Token classes the rule engine distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`seed`, `as`, `use`, `HashMap`, …).
+    Ident,
+    /// Integer or float literal (`0xFEED`, `1_000`, `2.5`).
+    Number,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'g`, `'_`).
+    Lifetime,
+    /// Operator or punctuation (`^`, `<<`, `::`, `(`, …).
+    Op,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Verbatim token text (operators are normalised, e.g. `<<`).
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block), kept for waiver parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Body text without the delimiters.
+    pub text: String,
+    /// 1-indexed line the comment starts on.
+    pub line: u32,
+    /// Whether code tokens precede the comment on its starting line
+    /// (a trailing comment waives that line; a standalone one waives the
+    /// next code line).
+    pub trailing: bool,
+}
+
+/// Lexer output: the token stream plus the comment stream.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const COMPOUND_OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Lexes `source`, returning tokens and comments.
+///
+/// The lexer is resilient: malformed input (an unterminated string, a
+/// stray byte) never panics — it degrades to single-character `Op` tokens,
+/// which at worst makes a rule miss, never crash.
+#[must_use]
+pub fn lex(source: &str) -> Lexed {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_has_code = false;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            line_has_code = false;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == '/' {
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    text: bytes[start..j].iter().collect(),
+                    line,
+                    trailing: line_has_code,
+                });
+                i = j;
+                continue;
+            }
+            if bytes[i + 1] == '*' {
+                let start_line = line;
+                let trailing = line_has_code;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                let body_start = j;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == '/' && j + 1 < bytes.len() && bytes[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == '*' && j + 1 < bytes.len() && bytes[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let body_end = j.saturating_sub(2).max(body_start);
+                out.comments.push(Comment {
+                    text: bytes[body_start..body_end.min(bytes.len())]
+                        .iter()
+                        .collect(),
+                    line: start_line,
+                    trailing,
+                });
+                line_has_code = false;
+                i = j;
+                continue;
+            }
+        }
+        line_has_code = true;
+        // Identifiers, keywords, and raw/byte string prefixes.
+        if c == '_' || c.is_alphabetic() {
+            let start = i;
+            let mut j = i;
+            while j < bytes.len() && (bytes[j] == '_' || bytes[j].is_alphanumeric()) {
+                j += 1;
+            }
+            let word: String = bytes[start..j].iter().collect();
+            // r"…" / r#"…"# / b"…" / br#"…"# are string literals, not idents.
+            if matches!(word.as_str(), "r" | "b" | "br" | "rb")
+                && j < bytes.len()
+                && (bytes[j] == '"' || bytes[j] == '#')
+            {
+                let start_line = line;
+                if let Some(end) = scan_raw_or_plain_string(&bytes, j, &mut line) {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text: String::new(),
+                        line: start_line,
+                    });
+                    i = end;
+                    continue;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: word,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers (ints, hex/oct/bin, floats; `0..n` must not eat the range).
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            if c == '0' && j + 1 < bytes.len() && matches!(bytes[j + 1], 'x' | 'o' | 'b') {
+                j += 2;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+            } else {
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                // A float fraction: `.` followed by a digit (not `..`).
+                if j + 1 < bytes.len() && bytes[j] == '.' && bytes[j + 1].is_ascii_digit() {
+                    j += 1;
+                    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_') {
+                        j += 1;
+                    }
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Number,
+                text: bytes[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            let start_line = line;
+            if let Some(end) = scan_plain_string(&bytes, i, &mut line) {
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: String::new(),
+                    line: start_line,
+                });
+                i = end;
+                continue;
+            }
+            // Unterminated: consume the rest of the file as a string.
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: String::new(),
+                line: start_line,
+            });
+            break;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if let Some((end, kind)) = scan_char_or_lifetime(&bytes, i) {
+                out.tokens.push(Token {
+                    kind,
+                    text: String::new(),
+                    line,
+                });
+                i = end;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        // Operators and punctuation.
+        let mut matched = false;
+        for op in COMPOUND_OPS {
+            let oplen = op.len();
+            if i + oplen <= bytes.len() && bytes[i..i + oplen].iter().collect::<String>() == **op {
+                out.tokens.push(Token {
+                    kind: TokenKind::Op,
+                    text: (*op).to_owned(),
+                    line,
+                });
+                i += oplen;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            out.tokens.push(Token {
+                kind: TokenKind::Op,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Scans a plain `"…"` string starting at the opening quote; returns the
+/// index one past the closing quote, updating `line` for embedded
+/// newlines. `None` if unterminated.
+fn scan_plain_string(bytes: &[char], open: usize, line: &mut u32) -> Option<usize> {
+    let mut j = open + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            // An escape consumes the next char too — which may be the
+            // newline of a `\`-line-continuation, still a line to count.
+            '\\' => {
+                if bytes.get(j + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                j += 2;
+            }
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return Some(j + 1),
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Scans a raw (`r"…"`, `r#"…"#`) or plain string starting at `pos`
+/// (pointing at `"` or the first `#`); returns the index one past the end.
+fn scan_raw_or_plain_string(bytes: &[char], pos: usize, line: &mut u32) -> Option<usize> {
+    let mut hashes = 0usize;
+    let mut j = pos;
+    while j < bytes.len() && bytes[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != '"' {
+        return None;
+    }
+    if hashes == 0 {
+        // `r"…"`: no escapes, terminated by a bare quote.
+        j += 1;
+        while j < bytes.len() {
+            match bytes[j] {
+                '\n' => {
+                    *line += 1;
+                    j += 1;
+                }
+                '"' => return Some(j + 1),
+                _ => j += 1,
+            }
+        }
+        return None;
+    }
+    // `r#…"…"#…`: terminated by `"` followed by the same number of `#`.
+    j += 1;
+    while j < bytes.len() {
+        if bytes[j] == '\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if bytes[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < bytes.len() && bytes[k] == '#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return Some(k);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime) at a `'`; returns the
+/// end index and token kind.
+fn scan_char_or_lifetime(bytes: &[char], pos: usize) -> Option<(usize, TokenKind)> {
+    let next = *bytes.get(pos + 1)?;
+    if next == '\\' {
+        // Escaped char literal: skip to the closing quote.
+        let mut j = pos + 2;
+        if j < bytes.len() {
+            j += 1; // the escaped character itself
+        }
+        // Longer escapes (`\u{…}`, `\x41`) run to the quote.
+        while j < bytes.len() && bytes[j] != '\'' && bytes[j] != '\n' {
+            j += 1;
+        }
+        return Some((j.min(bytes.len() - 1) + 1, TokenKind::Char));
+    }
+    if next == '_' || next.is_alphanumeric() {
+        // Could be `'a'` (char) or `'a` / `'static` (lifetime).
+        let mut j = pos + 1;
+        while j < bytes.len() && (bytes[j] == '_' || bytes[j].is_alphanumeric()) {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j] == '\'' && j == pos + 2 {
+            return Some((j + 1, TokenKind::Char));
+        }
+        return Some((j, TokenKind::Lifetime));
+    }
+    // `'('`-style single-char literal of punctuation.
+    if bytes.get(pos + 2) == Some(&'\'') {
+        return Some((pos + 3, TokenKind::Char));
+    }
+    Some((pos + 1, TokenKind::Op))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // HashMap in a comment
+            /* seed ^ 0xBAD in a block
+               spanning lines */
+            let s = "HashMap seed ^ 0xBAD";
+            let r = r#"HashSet"#;
+            let real = 1;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_owned()));
+        assert!(!ids.contains(&"HashSet".to_owned()));
+        assert!(ids.contains(&"real".to_owned()));
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'g>(x: &'g str) -> char { 'g' }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let lexed = lex("0..n as u64 + 0xFEED_BEEF 2.5 1_000");
+        let nums: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "0xFEED_BEEF", "2.5", "1_000"]);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Op && t.text == ".."));
+    }
+
+    #[test]
+    fn compound_ops_are_single_tokens() {
+        let lexed = lex("a ^= b << 2 ^ c");
+        let ops: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Op)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(ops, ["^=", "<<", "^"]);
+    }
+
+    #[test]
+    fn trailing_vs_standalone_comments() {
+        let lexed = lex("let x = 1; // trailing\n// standalone\nlet y = 2;");
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn line_numbers_survive_escaped_line_continuations() {
+        // `"… \` at end of line continues the string; the skipped newline
+        // must still count, or every later finding drifts up a line.
+        let lexed = lex("let a = \"one \\\n         two\";\nlet b = 1;");
+        let b = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident && t.text == "b")
+            .expect("b token");
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let lexed = lex("let a = \"two\nlines\";\nlet b = 1;");
+        let b = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident && t.text == "b")
+            .expect("b token");
+        assert_eq!(b.line, 3);
+    }
+}

@@ -1,0 +1,43 @@
+//! `mis-lint` — the workspace determinism auditor.
+//!
+//! Every performance claim this repository makes is gated on bit-identical
+//! outcomes, so the determinism invariants are load-bearing. This crate
+//! machine-checks them as named, severity-tiered rules over a hand-rolled,
+//! comment/string/char-aware Rust lexer (std only, no dependencies):
+//!
+//! | Rule | Tier | Invariant |
+//! |------|------|-----------|
+//! | `D01` | deny | no `HashMap`/`HashSet` in outcome-affecting crates (`apps`, `baselines`, `beeping`, `core`, `graph`) — iteration order is per-process random |
+//! | `D02` | deny | no ad-hoc XOR/offset seed derivation (`seed ^ CONST`, `seed + i`) — derive sub-streams with `mis_beeping::rng::{mix, trial_seed}` |
+//! | `D03` | deny | no `Instant`/`SystemTime` outside `crates/bench` |
+//! | `D04` | deny | every crate root carries `#![forbid(unsafe_code)]` |
+//! | `D05` | warn | no narrowing `as` casts on node/edge-id arithmetic in `crates/graph` hot paths — use `try_from` |
+//!
+//! Findings carry `file:line:rule` plus the offending snippet. A finding
+//! that is deliberate is silenced inline — with a mandatory written
+//! reason:
+//!
+//! ```text
+//! // detlint: allow(D01) -- membership-only set, never iterated
+//! ```
+//!
+//! Waivers are themselves audited: a malformed waiver is a `W00` error
+//! and a waiver that no longer silences anything is a `W01` error, so the
+//! waiver inventory cannot rot.
+//!
+//! The `mis-lint` binary walks the workspace (skipping `target/`,
+//! `vendor/` and lint fixtures) and exits non-zero on any deny-tier
+//! finding — or any finding at all under `--deny-all`, which is what CI
+//! runs. `--format json` emits the machine-readable report CI uploads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use engine::{lint_source, lint_workspace, Finding, LintReport};
+pub use report::{render_human, render_json};
+pub use rules::{FileContext, Rule, Severity, RULES};

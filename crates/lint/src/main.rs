@@ -1,0 +1,121 @@
+//! The `mis-lint` binary: determinism auditing for the whole workspace.
+//!
+//! ```text
+//! mis-lint [--root PATH] [--deny-all] [--format human|json] [FILE…]
+//! ```
+//!
+//! With no `FILE` arguments the workspace under `--root` (default `.`) is
+//! walked. Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mis_lint::engine::{lint_source, LintReport};
+use mis_lint::{lint_workspace, render_human, render_json};
+
+struct Options {
+    root: PathBuf,
+    deny_all: bool,
+    json: bool,
+    files: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "mis-lint — workspace determinism auditor\n\
+     \n\
+     USAGE: mis-lint [--root PATH] [--deny-all] [--format human|json] [FILE…]\n\
+     \n\
+     --root PATH      workspace root to walk (default: .)\n\
+     --deny-all       treat warn-tier findings (D05) as errors too\n\
+     --format FMT     `human` (default) or `json`\n\
+     --rules          print the rule table and exit\n\
+     FILE…            lint just these files (paths must stay\n\
+                      workspace-relative so crate scoping applies)\n\
+     \n\
+     Waive a deliberate finding inline, reason mandatory:\n\
+     // detlint: allow(D01) -- membership-only set, never iterated"
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        deny_all: false,
+        json: false,
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a path")?);
+            }
+            "--deny-all" => opts.deny_all = true,
+            "--format" => match args.next().as_deref() {
+                Some("human") => opts.json = false,
+                Some("json") => opts.json = true,
+                other => return Err(format!("unknown format {other:?}")),
+            },
+            "--rules" => {
+                for r in mis_lint::RULES {
+                    println!("{} [{}] {}", r.id, r.severity.label(), r.summary);
+                }
+                return Ok(None);
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(None);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn run(opts: &Options) -> std::io::Result<LintReport> {
+    if opts.files.is_empty() {
+        return lint_workspace(&opts.root);
+    }
+    let mut report = LintReport::default();
+    for file in &opts.files {
+        let source = std::fs::read_to_string(file)?;
+        let rel = file.to_string_lossy().replace('\\', "/");
+        let rel = rel.trim_start_matches("./");
+        let fr = lint_source(rel, &source);
+        report.files_scanned += 1;
+        report.waivers_used += fr.waivers_used;
+        report.findings_waived += fr.findings_waived;
+        report.findings.extend(fr.findings);
+    }
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("mis-lint: {message}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let report = match run(&opts) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("mis-lint: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.json {
+        println!("{}", render_json(&report, opts.deny_all));
+    } else {
+        print!("{}", render_human(&report, opts.deny_all));
+    }
+    if report.failed(opts.deny_all) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

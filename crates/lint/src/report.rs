@@ -1,0 +1,137 @@
+//! Human and machine-readable rendering of a [`LintReport`].
+
+use crate::engine::{Finding, LintReport};
+use crate::rules::RULES;
+
+/// Renders the human report: one `file:line: RULE [severity] message`
+/// block per finding with the offending line quoted underneath, then a
+/// summary line.
+#[must_use]
+pub fn render_human(report: &LintReport, deny_all: bool) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{}:{}: {} [{}] {}\n",
+            f.file,
+            f.line,
+            f.rule,
+            f.severity.label(),
+            f.message
+        ));
+        if !f.snippet.is_empty() {
+            out.push_str(&format!("    {}\n", f.snippet));
+        }
+    }
+    let verdict = if report.failed(deny_all) {
+        "FAIL"
+    } else {
+        "ok"
+    };
+    out.push_str(&format!(
+        "mis-lint: {} — {} finding(s) in {} file(s); {} waiver(s) silenced {} finding(s)\n",
+        verdict,
+        report.findings.len(),
+        report.files_scanned,
+        report.waivers_used,
+        report.findings_waived,
+    ));
+    out
+}
+
+/// Renders the machine-readable JSON report (stable key order, one
+/// object; findings sorted like the human report).
+#[must_use]
+pub fn render_json(report: &LintReport, deny_all: bool) -> String {
+    let mut out = String::from("{");
+    out.push_str("\"tool\":\"mis-lint\",");
+    out.push_str(&format!("\"deny_all\":{deny_all},"));
+    out.push_str(&format!("\"failed\":{},", report.failed(deny_all)));
+    out.push_str(&format!("\"files_scanned\":{},", report.files_scanned));
+    out.push_str(&format!("\"waivers_used\":{},", report.waivers_used));
+    out.push_str(&format!("\"findings_waived\":{},", report.findings_waived));
+    out.push_str("\"rules\":[");
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"severity\":{},\"summary\":{}}}",
+            json_str(r.id),
+            json_str(r.severity.label()),
+            json_str(r.summary)
+        ));
+    }
+    out.push_str("],\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&render_finding(f));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn render_finding(f: &Finding) -> String {
+    format!(
+        "{{\"rule\":{},\"severity\":{},\"file\":{},\"line\":{},\"message\":{},\"snippet\":{}}}",
+        json_str(f.rule),
+        json_str(f.severity.label()),
+        json_str(&f.file),
+        f.line,
+        json_str(&f.message),
+        json_str(&f.snippet)
+    )
+}
+
+/// Escapes a string into a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::lint_source;
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let r = lint_source("src/x.rs", "let m = seed ^ 1; // \"quote\"\n");
+        let json = render_json(&r, true);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"rule\":\"D02\""));
+        assert!(json.contains("\"failed\":true"));
+        // Balanced braces and quotes (cheap structural sanity).
+        assert_eq!(json.matches('{').count(), json.matches('}').count(),);
+    }
+
+    #[test]
+    fn human_report_quotes_the_line() {
+        let r = lint_source("src/x.rs", "let m = seed ^ 0xFEED;\n");
+        let text = render_human(&r, false);
+        assert!(text.contains("src/x.rs:1: D02 [deny]"));
+        assert!(text.contains("let m = seed ^ 0xFEED;"));
+        assert!(text.contains("FAIL"));
+    }
+
+    #[test]
+    fn clean_report_says_ok() {
+        let r = lint_source("src/x.rs", "fn f() {}\n");
+        assert!(render_human(&r, true).contains("mis-lint: ok"));
+        assert!(render_json(&r, true).contains("\"failed\":false"));
+    }
+}

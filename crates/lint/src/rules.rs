@@ -1,0 +1,422 @@
+//! The determinism rules D01–D05 and the per-file detection pass.
+//!
+//! Each rule is a lexical pattern over the token stream produced by
+//! [`crate::lexer`], scoped by [`FileContext`] (which crate the file
+//! belongs to and whether it is a crate root). See `docs/ARCHITECTURE.md`
+//! §"Determinism invariants" for the rationale behind each rule.
+
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// Finding severity tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the lint (exit 1) in every mode.
+    Deny,
+    /// Reported, but only fails under `--deny-all`.
+    Warn,
+}
+
+impl Severity {
+    /// Lower-case label used in reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Rule id (`D01` … `D05`, plus the waiver meta-rules `W00`/`W01`).
+    pub id: &'static str,
+    /// Severity tier.
+    pub severity: Severity,
+    /// One-line summary shown in `--explain`-style listings.
+    pub summary: &'static str,
+}
+
+/// The rule table. `W00`/`W01` are meta-rules emitted by the waiver
+/// machinery itself (malformed and unused waivers) — they cannot be
+/// waived.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "D01",
+        severity: Severity::Deny,
+        summary: "no HashMap/HashSet in outcome-affecting crates \
+                  (iteration order is per-process random)",
+    },
+    Rule {
+        id: "D02",
+        severity: Severity::Deny,
+        summary: "no ad-hoc XOR/offset seed derivation; use \
+                  mis_beeping::rng::{mix, trial_seed}",
+    },
+    Rule {
+        id: "D03",
+        severity: Severity::Deny,
+        summary: "no Instant/SystemTime outside bench/timing modules",
+    },
+    Rule {
+        id: "D04",
+        severity: Severity::Deny,
+        summary: "every crate root must carry #![forbid(unsafe_code)]",
+    },
+    Rule {
+        id: "D05",
+        severity: Severity::Warn,
+        summary: "no narrowing `as` casts on node/edge-id arithmetic in \
+                  graph hot paths; use try_from",
+    },
+    Rule {
+        id: "W00",
+        severity: Severity::Deny,
+        summary: "malformed waiver (unknown rule id or missing `-- reason`)",
+    },
+    Rule {
+        id: "W01",
+        severity: Severity::Deny,
+        summary: "unused waiver (the waived finding no longer fires)",
+    },
+];
+
+/// Looks a rule up by id.
+#[must_use]
+pub fn rule(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Crates whose outputs feed outcome digests, BENCH gates, or committed
+/// artifacts: D01 applies here.
+pub const OUTCOME_CRATES: &[&str] = &["apps", "baselines", "beeping", "core", "graph"];
+
+/// Crates allowed to read wall clocks (D03 exemption).
+pub const TIMING_CRATES: &[&str] = &["bench"];
+
+/// Crates whose id arithmetic D05 audits.
+pub const ID_CAST_CRATES: &[&str] = &["graph"];
+
+/// Where a file sits in the workspace, derived from its relative path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileContext {
+    /// Short crate name (`core`, `graph`, …; the root package and its
+    /// `tests/`/`examples/` map to `root`; `lint` is this crate).
+    pub crate_name: String,
+    /// True for files that open their own compilation unit (`src/lib.rs`,
+    /// `src/main.rs`, `src/bin/*.rs`) — the files D04 audits.
+    pub is_crate_root: bool,
+}
+
+impl FileContext {
+    /// Classifies a workspace-relative path (`crates/core/src/run.rs`).
+    #[must_use]
+    pub fn classify(rel_path: &str) -> Self {
+        let parts: Vec<&str> = rel_path.split(['/', '\\']).collect();
+        let (crate_name, in_src): (String, bool) = match parts.as_slice() {
+            ["crates", name, "src", ..] => ((*name).to_owned(), true),
+            ["crates", name, ..] => ((*name).to_owned(), false),
+            ["src", ..] => ("root".to_owned(), true),
+            _ => ("root".to_owned(), false),
+        };
+        let tail: Vec<&str> = if parts.first() == Some(&"crates") {
+            parts[2..].to_vec()
+        } else {
+            parts.clone()
+        };
+        let is_crate_root = in_src
+            && matches!(
+                tail.as_slice(),
+                ["src", "lib.rs"] | ["src", "main.rs"] | ["src", "bin", _]
+            );
+        Self {
+            crate_name,
+            is_crate_root,
+        }
+    }
+}
+
+/// One rule hit before waiver resolution.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// Rule id.
+    pub rule: &'static str,
+    /// 1-indexed line.
+    pub line: u32,
+    /// Human message.
+    pub message: String,
+}
+
+/// Runs every rule over one lexed file.
+#[must_use]
+pub fn detect(ctx: &FileContext, lexed: &Lexed) -> Vec<RawFinding> {
+    let mut findings = Vec::new();
+    let toks = &lexed.tokens;
+    let outcome_crate = OUTCOME_CRATES.contains(&ctx.crate_name.as_str());
+    let timing_crate = TIMING_CRATES.contains(&ctx.crate_name.as_str());
+    let id_cast_crate = ID_CAST_CRATES.contains(&ctx.crate_name.as_str());
+
+    // Statement-level state: inside a `use …;` declaration (D01 skips the
+    // import itself — the use *site* is what must be waived or fixed).
+    let mut in_use_decl = false;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == TokenKind::Ident && t.text == "use" {
+            in_use_decl = true;
+        } else if in_use_decl && t.kind == TokenKind::Op && t.text == ";" {
+            in_use_decl = false;
+        }
+
+        // D01 — hash-ordered collections in outcome-affecting crates.
+        if outcome_crate
+            && !in_use_decl
+            && t.kind == TokenKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+        {
+            findings.push(RawFinding {
+                rule: "D01",
+                line: t.line,
+                message: format!(
+                    "`{}` in outcome-affecting crate `{}`: iteration order is \
+                     per-process random (RandomState); use BTreeMap/BTreeSet or a \
+                     sorted Vec, or waive with an order-insensitivity argument",
+                    t.text, ctx.crate_name
+                ),
+            });
+        }
+
+        // D02 — ad-hoc seed derivation.
+        if t.kind == TokenKind::Op && t.text == "^" {
+            let prev = prev_token(toks, i);
+            let next = toks.get(i + 1);
+            if prev.is_some_and(is_seed_ident) || next.is_some_and(is_seed_ident) {
+                findings.push(RawFinding {
+                    rule: "D02",
+                    line: t.line,
+                    message: "ad-hoc XOR seed derivation correlates streams (single-bit \
+                              flips replay each other); derive sub-streams with \
+                              `mis_beeping::rng::{mix, trial_seed}`"
+                        .to_owned(),
+                });
+            }
+        }
+        if t.kind == TokenKind::Op && (t.text == "+" || t.text == "-") {
+            let prev = prev_token(toks, i);
+            let next = toks.get(i + 1);
+            let seed_plus_int = prev.is_some_and(is_seed_ident)
+                && next.is_some_and(|n| n.kind == TokenKind::Number);
+            let int_plus_seed = prev.is_some_and(|p| p.kind == TokenKind::Number)
+                && next.is_some_and(is_seed_ident);
+            if seed_plus_int || int_plus_seed {
+                findings.push(RawFinding {
+                    rule: "D02",
+                    line: t.line,
+                    message: "ad-hoc offset seed derivation (`seed ± k`) makes adjacent \
+                              masters replay each other's streams; derive sub-streams \
+                              with `mis_beeping::rng::{mix, trial_seed}`"
+                        .to_owned(),
+                });
+            }
+        }
+
+        // D03 — wall clocks outside timing crates.
+        if !timing_crate
+            && t.kind == TokenKind::Ident
+            && (t.text == "Instant" || t.text == "SystemTime")
+        {
+            findings.push(RawFinding {
+                rule: "D03",
+                line: t.line,
+                message: format!(
+                    "`{}` reads the wall clock, which must never influence outcomes; \
+                     confine timing to `crates/bench` or waive with a justification",
+                    t.text
+                ),
+            });
+        }
+
+        // D05 — narrowing casts on id-like values in graph hot paths.
+        if id_cast_crate && t.kind == TokenKind::Ident && t.text == "as" {
+            if let Some(ty) = toks.get(i + 1) {
+                if ty.kind == TokenKind::Ident && matches!(ty.text.as_str(), "u8" | "u16" | "u32") {
+                    if let Some(ident) = nearest_ident_before(toks, i) {
+                        if is_id_like(&ident.text) {
+                            findings.push(RawFinding {
+                                rule: "D05",
+                                line: t.line,
+                                message: format!(
+                                    "narrowing `as {}` on id-like value `{}` truncates \
+                                     silently on overflow; use `{}::try_from(…).expect(…)` \
+                                     so bad arithmetic traps",
+                                    ty.text, ident.text, ty.text
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // D04 — forbid(unsafe_code) header on crate roots.
+    if ctx.is_crate_root && !has_forbid_unsafe(toks) {
+        findings.push(RawFinding {
+            rule: "D04",
+            line: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_owned(),
+        });
+    }
+
+    findings
+}
+
+/// The token before index `i`, if any.
+fn prev_token(toks: &[Token], i: usize) -> Option<&Token> {
+    i.checked_sub(1).and_then(|j| toks.get(j))
+}
+
+/// Whether a token is an identifier that names a seed value.
+fn is_seed_ident(t: &Token) -> bool {
+    t.kind == TokenKind::Ident && {
+        let lower = t.text.to_lowercase();
+        lower.contains("seed") || lower == "master"
+    }
+}
+
+/// Scans backwards (at most 6 tokens) from the `as` keyword for the
+/// nearest identifier — the value being cast, through closing
+/// parens/brackets and field accesses.
+fn nearest_ident_before(toks: &[Token], as_index: usize) -> Option<&Token> {
+    let lo = as_index.saturating_sub(6);
+    toks[lo..as_index]
+        .iter()
+        .rev()
+        .find(|t| t.kind == TokenKind::Ident)
+}
+
+/// Whether an identifier smells like a node/edge id or an id count:
+/// underscore-split parts containing `node`/`edge`, exact id/index parts,
+/// or `.len()` results being narrowed.
+fn is_id_like(name: &str) -> bool {
+    name.split('_').any(|part| {
+        let part = part.to_lowercase();
+        part.contains("node")
+            || part.contains("edge")
+            || matches!(part.as_str(), "id" | "ids" | "idx" | "i" | "j" | "len")
+    })
+}
+
+/// Whether the token stream contains `forbid ( unsafe_code`.
+fn has_forbid_unsafe(toks: &[Token]) -> bool {
+    toks.windows(3).any(|w| {
+        w[0].kind == TokenKind::Ident
+            && w[0].text == "forbid"
+            && w[1].text == "("
+            && w[2].kind == TokenKind::Ident
+            && w[2].text == "unsafe_code"
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx(path: &str) -> FileContext {
+        FileContext::classify(path)
+    }
+
+    fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+        detect(&ctx(path), &lex(src))
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(ctx("crates/core/src/run.rs").crate_name, "core");
+        assert!(ctx("crates/core/src/lib.rs").is_crate_root);
+        assert!(ctx("crates/bench/src/bin/simbench.rs").is_crate_root);
+        assert!(!ctx("crates/core/src/theory/beeps.rs").is_crate_root);
+        assert_eq!(ctx("tests/determinism.rs").crate_name, "root");
+        assert!(ctx("src/lib.rs").is_crate_root);
+        assert_eq!(ctx("examples/quickstart.rs").crate_name, "root");
+    }
+
+    #[test]
+    fn d01_fires_in_outcome_crates_only() {
+        let src = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+        assert_eq!(rules_hit("crates/core/src/x.rs", src), ["D01", "D01"]);
+        assert!(rules_hit("crates/biology/src/x.rs", src).is_empty());
+        assert!(rules_hit("crates/experiments/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d01_skips_use_declarations() {
+        let src = "use std::collections::HashMap;\nfn f() -> HashMap<u8, u8> { todo!() }";
+        assert_eq!(rules_hit("crates/graph/src/x.rs", src), ["D01"]);
+        let multiline = "use std::collections::{\n    HashMap,\n    HashSet,\n};";
+        assert!(rules_hit("crates/graph/src/x.rs", multiline).is_empty());
+    }
+
+    #[test]
+    fn d02_xor_and_offset_derivations() {
+        assert_eq!(
+            rules_hit("crates/experiments/src/x.rs", "let m = seed ^ 0xFEED;"),
+            ["D02"]
+        );
+        assert_eq!(
+            rules_hit(
+                "tests/x.rs",
+                "let m = config.seed ^ ((i as u64 + 1) << 32);"
+            ),
+            ["D02"]
+        );
+        assert_eq!(rules_hit("src/x.rs", "let m = master ^ tag;"), ["D02"]);
+        assert_eq!(rules_hit("src/x.rs", "let m = trial_seed + 10;"), ["D02"]);
+        // Non-seed arithmetic, and seed idents inside strings, stay clean.
+        assert!(rules_hit("src/x.rs", "let m = a ^ b; let s = \"seed ^ 1\";").is_empty());
+        // Calling the blessed helpers is what the rule migrates *to*.
+        assert!(rules_hit("src/x.rs", "let m = trial_seed(seed, 3);").is_empty());
+    }
+
+    #[test]
+    fn d03_wall_clocks() {
+        let src = "let t = std::time::Instant::now();";
+        assert_eq!(rules_hit("crates/experiments/src/runner.rs", src), ["D03"]);
+        assert_eq!(rules_hit("crates/bench/src/x.rs", src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn d04_crate_roots_need_forbid() {
+        assert_eq!(
+            rules_hit("crates/core/src/main.rs", "fn main() {}"),
+            ["D04"]
+        );
+        assert!(rules_hit(
+            "crates/core/src/main.rs",
+            "#![forbid(unsafe_code)]\nfn main() {}"
+        )
+        .is_empty());
+        // Non-root modules don't need their own header.
+        assert!(rules_hit("crates/core/src/run.rs", "fn f() {}").is_empty());
+    }
+
+    #[test]
+    fn d05_narrowing_id_casts() {
+        assert_eq!(
+            rules_hit("crates/graph/src/view.rs", "let id = edges.len() as u32;"),
+            ["D05"]
+        );
+        assert_eq!(
+            rules_hit("crates/graph/src/ops.rs", "incident.push(i as u32);"),
+            ["D05"]
+        );
+        // Masked or small-domain casts don't look id-like.
+        assert!(rules_hit("crates/graph/src/x.rs", "let b = (x & 0x7f) as u8;").is_empty());
+        assert!(rules_hit("crates/graph/src/x.rs", "out.push(width as u8);").is_empty());
+        // Outside the graph crate the rule is silent.
+        assert!(rules_hit("crates/beeping/src/x.rs", "let id = edges.len() as u32;").is_empty());
+    }
+}

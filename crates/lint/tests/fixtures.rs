@@ -1,0 +1,166 @@
+//! Per-rule regression fixtures: every rule must catch its seeded bad
+//! input, pass the idiomatic rewrite, honour a reasoned waiver, and flag
+//! a stale one. Fixtures live under `tests/fixtures/` (a directory the
+//! workspace walk skips) and are linted under fabricated
+//! workspace-relative paths, which is what scopes each rule.
+
+use mis_lint::{lint_source, Severity};
+
+fn rules_of(path: &str, source: &str) -> Vec<&'static str> {
+    lint_source(path, source)
+        .findings
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+#[test]
+fn d01_catches_hash_iteration_in_outcome_crate() {
+    let src = include_str!("fixtures/d01_hash_iteration.rs");
+    let rules = rules_of("crates/core/src/metrics.rs", src);
+    assert!(
+        rules.iter().filter(|&&r| r == "D01").count() >= 2,
+        "HashMap and HashSet uses must both be flagged: {rules:?}"
+    );
+}
+
+#[test]
+fn d01_ignores_non_outcome_crates() {
+    let src = include_str!("fixtures/d01_hash_iteration.rs");
+    assert!(rules_of("crates/stats/src/metrics.rs", src).is_empty());
+}
+
+#[test]
+fn d01_passes_ordered_containers() {
+    let src = include_str!("fixtures/d01_good_btree.rs");
+    assert!(rules_of("crates/core/src/metrics.rs", src).is_empty());
+}
+
+#[test]
+fn d01_waiver_honoured_with_reason() {
+    let src = include_str!("fixtures/d01_waived.rs");
+    let report = lint_source("crates/core/src/dedup.rs", src);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.waivers_used, 1);
+    assert!(report.findings_waived >= 1);
+}
+
+#[test]
+fn d01_unused_waiver_is_flagged() {
+    let src = include_str!("fixtures/d01_unused_waiver.rs");
+    let rules = rules_of("crates/core/src/dedup.rs", src);
+    assert_eq!(rules, ["W01"]);
+}
+
+#[test]
+fn d02_catches_xor_and_offset_derivations() {
+    let src = include_str!("fixtures/d02_xor_seed.rs");
+    let rules = rules_of("crates/experiments/src/streams.rs", src);
+    assert_eq!(
+        rules.iter().filter(|&&r| r == "D02").count(),
+        3,
+        "seed^const, seed+1 and trial^master_seed() must all fire: {rules:?}"
+    );
+}
+
+#[test]
+fn d02_passes_blessed_derivations() {
+    let src = include_str!("fixtures/d02_good_mix.rs");
+    let report = lint_source("crates/experiments/src/streams.rs", src);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    // The fixture's stand-in `mix` body carries one legitimate waiver.
+    assert_eq!(report.waivers_used, 1);
+}
+
+#[test]
+fn d03_catches_wall_clocks_outside_timing_crates() {
+    let src = include_str!("fixtures/d03_wall_clock.rs");
+    let rules = rules_of("crates/core/src/progress.rs", src);
+    // Four sites: the import line names both types, and each is read once
+    // in the body — importing a wall clock into a deterministic crate is
+    // as reportable as calling it.
+    assert_eq!(
+        rules.iter().filter(|&&r| r == "D03").count(),
+        4,
+        "import and body uses must all fire: {rules:?}"
+    );
+}
+
+#[test]
+fn d03_permits_wall_clocks_in_bench() {
+    let src = include_str!("fixtures/d03_wall_clock.rs");
+    assert!(rules_of("crates/bench/src/progress.rs", src).is_empty());
+}
+
+#[test]
+fn d04_catches_missing_forbid_header_on_crate_roots() {
+    let src = include_str!("fixtures/d04_missing_forbid.rs");
+    for root in [
+        "crates/core/src/lib.rs",
+        "crates/experiments/src/main.rs",
+        "crates/bench/src/bin/simbench.rs",
+        "src/lib.rs",
+    ] {
+        assert_eq!(rules_of(root, src), ["D04"], "{root}");
+    }
+    // Non-root modules don't need the header.
+    assert!(rules_of("crates/core/src/util.rs", src).is_empty());
+}
+
+#[test]
+fn d04_passes_with_forbid_header() {
+    let src = include_str!("fixtures/d04_good_forbid.rs");
+    assert!(rules_of("crates/core/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn d05_warns_on_narrowing_id_casts_in_graph() {
+    let src = include_str!("fixtures/d05_narrowing_cast.rs");
+    let report = lint_source("crates/graph/src/ids.rs", src);
+    let d05: Vec<_> = report.findings.iter().filter(|f| f.rule == "D05").collect();
+    assert_eq!(d05.len(), 2, "{:?}", report.findings);
+    assert!(
+        d05.iter().all(|f| f.severity == Severity::Warn),
+        "D05 is warn-tier"
+    );
+    // Warn-only reports pass by default but fail under --deny-all.
+    assert!(!report.failed(false));
+    assert!(report.failed(true));
+}
+
+#[test]
+fn d05_is_scoped_to_graph_hot_paths() {
+    let src = include_str!("fixtures/d05_narrowing_cast.rs");
+    assert!(rules_of("crates/core/src/ids.rs", src).is_empty());
+}
+
+#[test]
+fn d05_passes_trapping_conversions() {
+    let src = include_str!("fixtures/d05_good_try_from.rs");
+    assert!(rules_of("crates/graph/src/ids.rs", src).is_empty());
+}
+
+#[test]
+fn w00_flags_every_malformed_waiver_and_silences_nothing() {
+    let src = include_str!("fixtures/w00_bad_waivers.rs");
+    let report = lint_source("crates/experiments/src/streams.rs", src);
+    let w00 = report.findings.iter().filter(|f| f.rule == "W00").count();
+    let d02 = report.findings.iter().filter(|f| f.rule == "D02").count();
+    assert_eq!(w00, 5, "{:?}", report.findings);
+    assert_eq!(
+        d02, 5,
+        "malformed waivers must not silence: {:?}",
+        report.findings
+    );
+    assert_eq!(report.waivers_used, 0);
+}
+
+#[test]
+fn findings_carry_location_and_snippet() {
+    let src = include_str!("fixtures/d02_xor_seed.rs");
+    let report = lint_source("crates/experiments/src/streams.rs", src);
+    let f = &report.findings[0];
+    assert_eq!(f.file, "crates/experiments/src/streams.rs");
+    assert_eq!(f.line, 4);
+    assert!(f.snippet.contains("seed ^ 0xFEED"), "{f:?}");
+}

@@ -1,0 +1,9 @@
+//! D01 fixture (good): ordered containers iterate deterministically.
+use std::collections::{BTreeMap, BTreeSet};
+
+fn ordered(rounds: &BTreeMap<u32, u32>) -> Vec<u32> {
+    let mut out: Vec<u32> = rounds.values().copied().collect();
+    let extra: BTreeSet<u32> = out.iter().copied().collect();
+    out.extend(extra.iter());
+    out
+}

@@ -1,0 +1,12 @@
+//! D01 fixture: order-leaking hash-container use in an outcome crate.
+use std::collections::{HashMap, HashSet};
+
+fn leaky(rounds: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (_, &v) in rounds.iter() {
+        out.push(v);
+    }
+    let extra: HashSet<u32> = out.iter().copied().collect();
+    out.extend(extra.iter());
+    out
+}

@@ -1,0 +1,6 @@
+//! W01 fixture: a waiver whose target line triggers nothing.
+
+fn fine() -> u64 {
+    // detlint: allow(D01) -- stale claim, nothing here uses a hash container
+    42
+}

@@ -1,0 +1,7 @@
+//! D01 fixture: a membership-only set behind an honoured waiver.
+
+fn dedup(xs: &[u64]) -> usize {
+    // detlint: allow(D01) -- membership-only dedup set, never iterated
+    let mut seen = std::collections::HashSet::new();
+    xs.iter().filter(|&&x| seen.insert(x)).count()
+}

@@ -1,0 +1,16 @@
+//! D02 fixture (good): blessed SplitMix64 derivations only.
+
+fn streams(seed: u64, trial: u64) -> (u64, u64) {
+    let a = trial_seed(seed, trial);
+    let b = mix(seed, 0xD0, trial, 0, 0);
+    (a, b)
+}
+
+fn trial_seed(master: u64, trial: u64) -> u64 {
+    mix(master, 1, trial, 0, 0)
+}
+
+fn mix(seed: u64, domain: u64, a: u64, b: u64, c: u64) -> u64 {
+    // detlint: allow(D02) -- fixture stand-in for the blessed primitive
+    seed ^ domain ^ a ^ b ^ c
+}

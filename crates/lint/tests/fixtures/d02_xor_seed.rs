@@ -1,0 +1,13 @@
+//! D02 fixture: ad-hoc XOR and offset seed derivations.
+
+fn streams(seed: u64, trial: u64) -> (u64, u64, u64) {
+    let a = seed ^ 0xFEED;
+    let b = seed + 1;
+    let c = trial ^ master_seed();
+    let _ = trial; // `trial` alone is not seed-like
+    (a, b, c)
+}
+
+fn master_seed() -> u64 {
+    7
+}

@@ -1,0 +1,8 @@
+//! D03 fixture: wall-clock reads outside a timing crate.
+use std::time::{Instant, SystemTime};
+
+fn leak() -> bool {
+    let t = Instant::now();
+    let _ = SystemTime::now();
+    t.elapsed().as_nanos() % 2 == 0
+}

@@ -1,0 +1,7 @@
+//! D04 fixture (good): the forbid header is present.
+
+#![forbid(unsafe_code)]
+
+pub fn entry() -> u64 {
+    1
+}

@@ -1,0 +1,5 @@
+//! D04 fixture: a crate root with no `#![forbid(unsafe_code)]`.
+
+pub fn entry() -> u64 {
+    1
+}

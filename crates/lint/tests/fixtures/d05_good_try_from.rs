@@ -1,0 +1,10 @@
+//! D05 fixture (good): trapping conversions instead of silent truncation.
+
+fn ids(edges: &[(u32, u32)]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (i, _) in edges.iter().enumerate() {
+        let edge_id = u32::try_from(i).expect("edge id overflows u32");
+        out.push(edge_id);
+    }
+    out
+}

@@ -1,0 +1,13 @@
+//! D05 fixture: narrowing casts on id-like values in graph hot paths.
+
+fn ids(edges: &[(u32, u32)], node_count: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (i, _) in edges.iter().enumerate() {
+        let edge_id = i as u32;
+        out.push(edge_id);
+    }
+    let len = edges.len();
+    out.push(len as u32);
+    let _ = node_count as u64; // widening: not flagged
+    out
+}

@@ -1,0 +1,15 @@
+//! W00 fixture: malformed waivers — every variant is its own finding.
+
+fn derive(seed: u64) -> u64 {
+    // detlint: allow(D02)
+    let a = seed ^ 1;
+    // detlint: allow(D02) --
+    let b = seed ^ 2;
+    // detlint: allow(D99) -- unknown rule
+    let c = seed ^ 3;
+    // detlint: allow(W01) -- meta-rules are unwaivable
+    let d = seed ^ 4;
+    // detlint: deny(D02) -- wrong verb
+    let e = seed ^ 5;
+    a ^ b ^ c ^ d ^ e
+}

@@ -1,0 +1,37 @@
+//! The auditor's strongest test: the workspace that ships it must itself
+//! be deny-clean, including warn-tier rules, with every waiver used and
+//! reasoned. This is the same invariant CI enforces via
+//! `mis-lint --deny-all`.
+
+use std::path::Path;
+
+use mis_lint::lint_workspace;
+
+#[test]
+fn workspace_is_deny_all_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = lint_workspace(&root).expect("workspace readable");
+    assert!(
+        report.files_scanned > 100,
+        "walk looks truncated: {} files",
+        report.files_scanned
+    );
+    assert!(
+        !report.failed(true),
+        "workspace has lint findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {}:{}: {} {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Waivers are audited too: every one must silence something (W01
+    // enforces this as a finding, so deny-clean implies none are stale),
+    // and the workspace is expected to carry a non-trivial set of them.
+    assert!(
+        report.waivers_used > 10,
+        "waiver count collapsed unexpectedly"
+    );
+    assert!(report.findings_waived >= report.waivers_used);
+}

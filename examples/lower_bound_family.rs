@@ -12,6 +12,7 @@
 //! cargo run --release --example lower_bound_family
 //! ```
 
+use beeping_mis::beeping::rng::trial_seed;
 use beeping_mis::core::{solve_mis, Algorithm};
 use beeping_mis::graph::generators;
 use beeping_mis::stats::OnlineStats;
@@ -31,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 solve_mis(&g, &Algorithm::sweep(), seed)?.rounds(),
             ));
             feedback.push(f64::from(
-                solve_mis(&g, &Algorithm::feedback(), seed ^ 0xF00D)?.rounds(),
+                solve_mis(&g, &Algorithm::feedback(), trial_seed(seed, 1))?.rounds(),
             ));
         }
         println!(

@@ -10,7 +10,7 @@
 //! cargo run --release --example robustness
 //! ```
 
-use beeping_mis::beeping::rng::{node_seed, splitmix64};
+use beeping_mis::beeping::rng::{node_seed, splitmix64, trial_seed};
 use beeping_mis::beeping::{FnFactory, SimConfig, Simulator};
 use beeping_mis::core::{verify, FeedbackConfig, FeedbackProcess};
 use beeping_mis::graph::generators;
@@ -27,7 +27,8 @@ fn measure(name: &str, make_config: impl Fn(u32) -> FeedbackConfig + Copy) {
         let mut rng = SmallRng::seed_from_u64(trial);
         let g = generators::gnp(N, 0.5, &mut rng);
         let factory = FnFactory(move |v, _, _: &_| FeedbackProcess::new(make_config(v)));
-        let outcome = Simulator::new(&g, &factory, trial ^ 0x0B0B, SimConfig::default()).run();
+        let sim_seed = trial_seed(trial, 1);
+        let outcome = Simulator::new(&g, &factory, sim_seed, SimConfig::default()).run();
         assert!(outcome.terminated());
         verify::check_mis(&g, &outcome.mis()).expect("robust variants stay correct");
         rounds.push(f64::from(outcome.rounds()));

@@ -1,6 +1,7 @@
 //! Theorem 6 and §5: message/bit complexity across algorithms.
 
 use beeping_mis::baselines::{LubyPriorityFactory, MessageSimulator, MetivierFactory};
+use beeping_mis::beeping::rng::trial_seed;
 use beeping_mis::core::{solve_mis, Algorithm};
 use beeping_mis::graph::generators;
 use beeping_mis::stats::OnlineStats;
@@ -14,7 +15,7 @@ fn feedback_beeps_per_node_bounded_across_sizes() {
         let mut beeps = OnlineStats::new();
         for seed in 0..10 {
             let g = generators::gnp(n, 0.5, &mut SmallRng::seed_from_u64(seed));
-            let r = solve_mis(&g, &Algorithm::feedback(), seed ^ 0xBEE).unwrap();
+            let r = solve_mis(&g, &Algorithm::feedback(), trial_seed(seed, 1)).unwrap();
             beeps.push(r.mean_beeps_per_node());
         }
         assert!(
@@ -48,9 +49,9 @@ fn sweep_beeps_grow_feedback_beeps_flat() {
     let measure = |algo: &Algorithm, n: usize| {
         let mut stats = OnlineStats::new();
         for seed in 0..8 {
-            let g = generators::gnp(n, 0.5, &mut SmallRng::seed_from_u64(seed + 100));
+            let g = generators::gnp(n, 0.5, &mut SmallRng::seed_from_u64(trial_seed(seed, 2)));
             stats.push(
-                solve_mis(&g, algo, seed ^ 0x5EED)
+                solve_mis(&g, algo, trial_seed(seed, 3))
                     .unwrap()
                     .mean_beeps_per_node(),
             );
@@ -113,7 +114,7 @@ fn science_schedule_beeps_bounded() {
                 .unwrap()
                 .mean_beeps_per_node(),
         );
-        let g = generators::gnp(250, 0.5, &mut SmallRng::seed_from_u64(seed + 50));
+        let g = generators::gnp(250, 0.5, &mut SmallRng::seed_from_u64(trial_seed(seed, 4)));
         large.push(
             solve_mis(&g, &Algorithm::science(), seed)
                 .unwrap()

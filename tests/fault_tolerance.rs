@@ -7,6 +7,7 @@
 use std::sync::Arc;
 
 use beeping_mis::baselines::{LubyPriorityFactory, MessageSimulator};
+use beeping_mis::beeping::rng::trial_seed;
 use beeping_mis::beeping::scenario::{
     ChurnModel, ChurnWindow, DelayModel, LossModel, Scenario, ScenarioSpec, WakePattern,
 };
@@ -44,7 +45,7 @@ fn repaired_variant_survives_late_wakeups() {
     let n = 70;
     for seed in 0..10u64 {
         let g = generators::gnp(n, 0.3, &mut SmallRng::seed_from_u64(seed));
-        let mut wake_rng = SmallRng::seed_from_u64(seed ^ 0x57A9);
+        let mut wake_rng = SmallRng::seed_from_u64(trial_seed(seed, 1));
         let wake_rounds: Vec<u32> = (0..n)
             .map(|_| {
                 if wake_rng.random_bool(0.4) {
@@ -76,7 +77,7 @@ fn plain_variant_can_violate_under_wakeups() {
     let mut violations = 0;
     for seed in 0..10u64 {
         let g = generators::gnp(n, 0.3, &mut SmallRng::seed_from_u64(seed));
-        let mut wake_rng = SmallRng::seed_from_u64(seed ^ 0x57A9);
+        let mut wake_rng = SmallRng::seed_from_u64(trial_seed(seed, 1));
         let wake_rounds: Vec<u32> = (0..n)
             .map(|_| {
                 if wake_rng.random_bool(0.4) {
@@ -132,7 +133,7 @@ fn repair_reduces_violations_under_loss() {
     let mut plain_violations = 0;
     let mut repaired_violations = 0;
     for seed in 0..trials {
-        let g = generators::gnp(60, 0.4, &mut SmallRng::seed_from_u64(seed + 100));
+        let g = generators::gnp(60, 0.4, &mut SmallRng::seed_from_u64(trial_seed(seed, 2)));
         let plain_outcome = run_algorithm(&g, &Algorithm::feedback(), seed, lossy(0.15));
         if plain_outcome.terminated() && check_mis(&g, &plain_outcome.mis()).is_err() {
             plain_violations += 1;
