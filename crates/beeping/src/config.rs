@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use crate::json::Json;
 use crate::scenario::{scenario_eq, Scenario};
 use crate::TraceLevel;
 
@@ -125,6 +126,27 @@ pub enum PropagationKernel {
     Bitset,
 }
 
+impl PropagationKernel {
+    /// The canonical wire spelling of this kernel (`scalar` / `bitset`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PropagationKernel::Scalar => "scalar",
+            PropagationKernel::Bitset => "bitset",
+        }
+    }
+
+    /// Parses a canonical wire spelling written by [`Self::name`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "scalar" => Some(PropagationKernel::Scalar),
+            "bitset" => Some(PropagationKernel::Bitset),
+            _ => None,
+        }
+    }
+}
+
 /// How the simulator derives its random draws (see [`crate::rng`]).
 ///
 /// Both modes are deterministic per master seed; they define *different*
@@ -148,6 +170,27 @@ pub enum RngMode {
     /// irrelevant by construction, which legalises intra-run sharding
     /// ([`SimConfig::shards`]) and the bitset kernel on lossy runs.
     Counter,
+}
+
+impl RngMode {
+    /// The canonical wire spelling of this mode (`stream` / `counter`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RngMode::Stream => "stream",
+            RngMode::Counter => "counter",
+        }
+    }
+
+    /// Parses a canonical wire spelling written by [`Self::name`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "stream" => Some(RngMode::Stream),
+            "counter" => Some(RngMode::Counter),
+            _ => None,
+        }
+    }
 }
 
 /// Configuration for a [`Simulator`](crate::Simulator) run.
@@ -323,6 +366,87 @@ impl SimConfig {
         }
         self
     }
+
+    /// The canonical JSON tree of this configuration: every field
+    /// materialised (defaults included), keys in a fixed alphabetical
+    /// order, scenarios by their canonical spec. Two configs are equal
+    /// ([`PartialEq`]) **iff** their canonical JSON renders to the same
+    /// text, which is what makes the tree usable as a content-address
+    /// component — the serving tier keys its result cache on it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mis_beeping::SimConfig;
+    ///
+    /// let a = SimConfig::default().with_max_rounds(10).with_shards(2);
+    /// let b = SimConfig::default().with_shards(2).with_max_rounds(10);
+    /// assert_eq!(a.canonical_json().render(), b.canonical_json().render());
+    /// assert_ne!(
+    ///     a.canonical_json().render(),
+    ///     SimConfig::default().canonical_json().render()
+    /// );
+    /// ```
+    #[must_use]
+    pub fn canonical_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "faults".to_owned(),
+                Json::Obj(vec![
+                    (
+                        "message_loss".to_owned(),
+                        Json::Num(self.faults.message_loss),
+                    ),
+                    (
+                        "wake_rounds".to_owned(),
+                        Json::Arr(
+                            self.faults
+                                .wake_rounds
+                                .iter()
+                                .map(|&w| Json::Num(f64::from(w)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "kernel".to_owned(),
+                Json::Str(self.kernel.name().to_owned()),
+            ),
+            (
+                "max_rounds".to_owned(),
+                Json::Num(f64::from(self.max_rounds)),
+            ),
+            (
+                "mis_keeps_beeping".to_owned(),
+                Json::Bool(self.mis_keeps_beeping),
+            ),
+            (
+                "record_active_series".to_owned(),
+                Json::Bool(self.record_active_series),
+            ),
+            ("rng".to_owned(), Json::Str(self.rng.name().to_owned())),
+            (
+                "scenario".to_owned(),
+                match &self.scenario {
+                    // Scenario specs are already canonical compact JSON.
+                    Some(s) => Json::parse(&s.spec_json()).unwrap_or(Json::Null),
+                    None => Json::Null,
+                },
+            ),
+            ("shards".to_owned(), Json::Num(self.shards as f64)),
+            (
+                "trace".to_owned(),
+                Json::Str(
+                    match self.trace {
+                        TraceLevel::Off => "off",
+                        TraceLevel::Rounds => "rounds",
+                    }
+                    .to_owned(),
+                ),
+            ),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -457,6 +581,87 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn nan_loss_probability_panics() {
         let _ = SimConfig::default().with_faults(loss_plan(f64::NAN));
+    }
+
+    #[test]
+    fn kernel_and_rng_names_round_trip() {
+        for k in [PropagationKernel::Scalar, PropagationKernel::Bitset] {
+            assert_eq!(PropagationKernel::parse(k.name()), Some(k));
+        }
+        for r in [RngMode::Stream, RngMode::Counter] {
+            assert_eq!(RngMode::parse(r.name()), Some(r));
+        }
+        assert_eq!(PropagationKernel::parse("simd"), None);
+        assert_eq!(RngMode::parse("hybrid"), None);
+    }
+
+    #[test]
+    fn canonical_json_is_deterministic_and_total() {
+        let cfg = SimConfig::default()
+            .with_max_rounds(123)
+            .with_mis_keeps_beeping(true)
+            .with_kernel(PropagationKernel::Scalar)
+            .with_shards(3)
+            .with_faults(FaultPlan {
+                message_loss: 0.25,
+                wake_rounds: vec![0, 4],
+            });
+        let text = cfg.canonical_json().render();
+        // Round-trips through the parser and re-renders identically.
+        assert_eq!(Json::parse(&text).unwrap().render(), text);
+        // Every outcome-bearing knob is present.
+        for key in [
+            "faults",
+            "kernel",
+            "max_rounds",
+            "mis_keeps_beeping",
+            "record_active_series",
+            "rng",
+            "scenario",
+            "shards",
+            "trace",
+        ] {
+            assert!(
+                text.contains(&format!("\"{key}\"")),
+                "missing {key}: {text}"
+            );
+        }
+        assert!(text.contains("\"scalar\""));
+        assert!(text.contains("\"counter\""));
+    }
+
+    #[test]
+    fn canonical_json_separates_distinct_configs() {
+        let base = SimConfig::default();
+        let texts = [
+            base.canonical_json().render(),
+            base.clone().with_max_rounds(5).canonical_json().render(),
+            base.clone()
+                .with_kernel(PropagationKernel::Scalar)
+                .canonical_json()
+                .render(),
+            base.clone()
+                .with_rng_mode(RngMode::Counter)
+                .canonical_json()
+                .render(),
+            base.clone().with_shards(4).canonical_json().render(),
+            base.clone()
+                .with_scenario(Arc::new(crate::scenario::ScenarioSpec::uniform_loss(
+                    1, 0.1,
+                )))
+                .canonical_json()
+                .render(),
+        ];
+        for (i, a) in texts.iter().enumerate() {
+            for b in texts.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        // Equal configs render equal canonical text.
+        assert_eq!(
+            base.canonical_json().render(),
+            SimConfig::default().canonical_json().render()
+        );
     }
 
     #[test]

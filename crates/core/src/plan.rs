@@ -203,11 +203,31 @@ impl<E> RunPlan<E> {
         G: GraphView + ?Sized,
         E: Engine<G>,
     {
+        self.execute_observed(graph, |_| {})
+    }
+
+    /// [`execute`](Self::execute) with a completion observer: `observe(i)`
+    /// is called once per run, from the worker that finished run `i`,
+    /// immediately after its record is reduced. Observers must be cheap
+    /// and side-effect-only (progress counters, run accounting) — they can
+    /// never influence the records, which stay bit-identical to
+    /// [`execute`](Self::execute) for any job count. The serving tier uses
+    /// this to stream queued-job progress without touching the engine
+    /// contract.
+    #[must_use]
+    pub fn execute_observed<G, F>(&self, graph: &G, observe: F) -> BatchReport<E::Record>
+    where
+        G: GraphView + ?Sized,
+        E: Engine<G>,
+        F: Fn(usize) + Sync,
+    {
         let plan = self.batch_plan();
         let records = parallel_indexed_map(plan.runs, plan.effective_jobs(), |i| {
             let seed = plan.run_seed(i);
             let outcome = self.engine.run(graph, seed);
-            self.engine.record(graph, seed, &outcome)
+            let record = self.engine.record(graph, seed, &outcome);
+            observe(i);
+            record
         });
         BatchReport::from_records(records)
     }
@@ -423,6 +443,22 @@ mod tests {
             assert_eq!(outcome.rounds(), record.rounds);
             assert_eq!(outcome.mis().len(), record.mis_size);
         }
+    }
+
+    #[test]
+    fn execute_observed_sees_every_run_and_matches_execute() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let g = generators::gnp(40, 0.2, &mut SmallRng::seed_from_u64(7));
+        let plan = RunPlan::new(Algorithm::feedback(), 9)
+            .with_master_seed(21)
+            .with_jobs(3);
+        let seen = AtomicUsize::new(0);
+        let observed = plan.execute_observed(&g, |_i| {
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 9);
+        assert_eq!(observed, plan.execute(&g));
     }
 
     #[test]

@@ -158,7 +158,20 @@ pub trait BackendOp {
 /// Panics if the disk backend cannot write or reopen its temporary shard
 /// directory.
 pub fn run_on_backend<Op: BackendOp>(g: &Graph, op: Op) -> Op::Out {
-    match default_backend() {
+    run_with_backend(g, default_backend(), op)
+}
+
+/// [`run_on_backend`] with an explicit backend, bypassing the process-wide
+/// [`set_default_backend`] override. Embedders that serve several
+/// independent requests in one process (the `mis-serve` daemon) use this so
+/// a per-request backend choice cannot couple through the global default.
+///
+/// # Panics
+///
+/// Panics if the disk backend cannot write or reopen its temporary shard
+/// directory.
+pub fn run_with_backend<Op: BackendOp>(g: &Graph, backend: Backend, op: Op) -> Op::Out {
+    match backend {
         Backend::Csr => op.run(g),
         Backend::Compressed => op.run(&CompressedGraph::from_view(g)),
         Backend::Disk => {
@@ -373,6 +386,35 @@ mod tests {
             assert_eq!(default_backend(), b);
             assert_eq!(run_on_backend(&g, DegreeSum), reference, "{}", b.name());
         }
+    }
+
+    #[test]
+    fn explicit_backend_ignores_the_process_default() {
+        struct Restore;
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                set_default_backend(Backend::Csr);
+            }
+        }
+        let _restore = Restore;
+
+        /// Degree-sum probe: backend-independent by the GraphView contract.
+        struct DegreeSum;
+        impl BackendOp for DegreeSum {
+            type Out = usize;
+            fn run<G: GraphView + ?Sized>(self, g: &G) -> usize {
+                (0..g.node_count() as u32).map(|v| g.degree(v)).sum()
+            }
+        }
+
+        let g = mis_graph::generators::cycle(32);
+        // Pin the process default to one backend and route through the
+        // others explicitly: the default must not leak into the dispatch.
+        set_default_backend(Backend::Disk);
+        for b in [Backend::Csr, Backend::Compressed, Backend::Disk] {
+            assert_eq!(run_with_backend(&g, b, DegreeSum), 64, "{}", b.name());
+        }
+        assert_eq!(default_backend(), Backend::Disk);
     }
 
     #[test]

@@ -89,8 +89,9 @@ pub fn rule(id: &str) -> Option<&'static Rule> {
 }
 
 /// Crates whose outputs feed outcome digests, BENCH gates, or committed
-/// artifacts: D01 applies here.
-pub const OUTCOME_CRATES: &[&str] = &["apps", "baselines", "beeping", "core", "graph"];
+/// artifacts: D01 applies here. `serve` qualifies because its replies and
+/// cache entries are byte-compared across daemons.
+pub const OUTCOME_CRATES: &[&str] = &["apps", "baselines", "beeping", "core", "graph", "serve"];
 
 /// Crates allowed to read wall clocks (D03 exemption).
 pub const TIMING_CRATES: &[&str] = &["bench"];
@@ -348,6 +349,7 @@ mod tests {
     fn d01_fires_in_outcome_crates_only() {
         let src = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
         assert_eq!(rules_hit("crates/core/src/x.rs", src), ["D01", "D01"]);
+        assert_eq!(rules_hit("crates/serve/src/x.rs", src), ["D01", "D01"]);
         assert!(rules_hit("crates/biology/src/x.rs", src).is_empty());
         assert!(rules_hit("crates/experiments/src/x.rs", src).is_empty());
     }

@@ -1,0 +1,121 @@
+//! Daemon configuration: everything the operator chooses at startup.
+//!
+//! Nothing here enters a cache key — the cache is addressed purely by
+//! request content, so two daemons with different worker counts, frame
+//! caps, or cache directories agree byte-for-byte on every payload.
+
+use std::path::PathBuf;
+
+/// Default listen address (`--addr`).
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7713";
+
+/// Default number of engine worker threads (`--workers`).
+pub const DEFAULT_WORKERS: usize = 2;
+
+/// Default intra-job parallelism handed to `RunPlan::with_jobs`
+/// (`--job-jobs`). Results are bit-identical for any value; this only
+/// trades worker-thread fan-out against per-job fan-out.
+pub const DEFAULT_JOB_JOBS: usize = 1;
+
+/// Default request-frame cap in bytes (`--max-frame-bytes`): DIMACS
+/// uploads ride inside one JSON line, so the cap must fit a graph.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// Startup configuration for [`Server`](crate::Server).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7713`; port `0` picks a free port
+    /// (the test suites run on `127.0.0.1:0`).
+    pub addr: String,
+    /// Directory persisting cache entries across restarts (`None` keeps
+    /// the cache in memory only).
+    pub cache_dir: Option<PathBuf>,
+    /// Engine worker threads draining the job queue.
+    pub workers: usize,
+    /// `RunPlan::with_jobs` value used inside each job.
+    pub job_jobs: usize,
+    /// Longest accepted request line, in bytes (excluding the newline).
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: DEFAULT_ADDR.to_owned(),
+            cache_dir: None,
+            workers: DEFAULT_WORKERS,
+            job_jobs: DEFAULT_JOB_JOBS,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Replaces the listen address.
+    #[must_use]
+    pub fn with_addr(mut self, addr: &str) -> Self {
+        self.addr = addr.to_owned();
+        self
+    }
+
+    /// Persists cache entries under `dir` (created on bind if missing).
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Replaces the worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Replaces the intra-job `RunPlan` parallelism (clamped to at
+    /// least 1).
+    #[must_use]
+    pub fn with_job_jobs(mut self, jobs: usize) -> Self {
+        self.job_jobs = jobs.max(1);
+        self
+    }
+
+    /// Replaces the request-frame byte cap.
+    #[must_use]
+    pub fn with_max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.max_frame_bytes = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_replace_fields() {
+        let c = ServeConfig::default()
+            .with_addr("127.0.0.1:0")
+            .with_cache_dir("/tmp/x")
+            .with_workers(0)
+            .with_job_jobs(0)
+            .with_max_frame_bytes(512);
+        assert_eq!(c.addr, "127.0.0.1:0");
+        assert_eq!(c.cache_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        // Zero worker counts clamp to one: a daemon that can never drain
+        // its queue is a misconfiguration, not a mode.
+        assert_eq!(c.workers, 1);
+        assert_eq!(c.job_jobs, 1);
+        assert_eq!(c.max_frame_bytes, 512);
+    }
+
+    #[test]
+    fn defaults_are_the_documented_constants() {
+        let c = ServeConfig::default();
+        assert_eq!(c.addr, DEFAULT_ADDR);
+        assert_eq!(c.cache_dir, None);
+        assert_eq!(c.workers, DEFAULT_WORKERS);
+        assert_eq!(c.job_jobs, DEFAULT_JOB_JOBS);
+        assert_eq!(c.max_frame_bytes, DEFAULT_MAX_FRAME_BYTES);
+    }
+}

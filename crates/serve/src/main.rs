@@ -1,0 +1,157 @@
+//! `mis-serve` — the simulation-as-a-service daemon and its CLI client.
+//!
+//! ```text
+//! mis-serve [--addr A] [--cache-dir D] [--workers N] [--job-jobs N] [--max-frame-bytes N]
+//! mis-serve client --addr A (--request JSON | --request-file F | --stats | --ping | --shutdown)
+//! ```
+//!
+//! The daemon prints `listening on <addr>` once bound and serves until a
+//! client sends `shutdown`. The client subcommand performs one action and
+//! prints one JSON line, so shell pipelines (and the CI smoke job) can
+//! drive the protocol without a JSON library on the client side.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use mis_beeping::json::Json;
+use mis_serve::{ServeClient, ServeConfig, Server};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = if args.first().map(String::as_str) == Some("client") {
+        client_main(&args[1..])
+    } else {
+        daemon_main(&args)
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("mis-serve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn daemon_main(args: &[String]) -> Result<ExitCode, String> {
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config = config.with_addr(value("--addr")?),
+            "--cache-dir" => config = config.with_cache_dir(value("--cache-dir")?),
+            "--workers" => config = config.with_workers(parse_num(value("--workers")?)?),
+            "--job-jobs" => config = config.with_job_jobs(parse_num(value("--job-jobs")?)?),
+            "--max-frame-bytes" => {
+                config = config.with_max_frame_bytes(parse_num(value("--max-frame-bytes")?)?);
+            }
+            other => return Err(format!("unknown flag {other:?} (see src/main.rs docs)")),
+        }
+    }
+    let server = Server::bind(config).map_err(|e| format!("bind failed: {e}"))?;
+    println!("listening on {}", server.local_addr());
+    server.run().map_err(|e| format!("serve failed: {e}"))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("not a number: {s:?}"))
+}
+
+enum ClientAction {
+    Request(String),
+    Stats,
+    Ping,
+    Shutdown,
+}
+
+fn client_main(args: &[String]) -> Result<ExitCode, String> {
+    let mut addr = mis_serve::config::DEFAULT_ADDR.to_owned();
+    let mut action = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--request" => action = Some(ClientAction::Request(value("--request")?)),
+            "--request-file" => {
+                let path = value("--request-file")?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path:?}: {e}"))?;
+                action = Some(ClientAction::Request(text));
+            }
+            "--stats" => action = Some(ClientAction::Stats),
+            "--ping" => action = Some(ClientAction::Ping),
+            "--shutdown" => action = Some(ClientAction::Shutdown),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let action = action.ok_or_else(|| {
+        "client needs --request, --request-file, --stats, --ping, or --shutdown".to_owned()
+    })?;
+    let mut client =
+        ServeClient::connect_retry(addr.as_str(), 40).map_err(|e| format!("connect: {e}"))?;
+    match action {
+        ClientAction::Ping => {
+            let ok = client.ping().map_err(|e| e.to_string())?;
+            println!("{{\"ok\":{ok},\"pong\":{ok}}}");
+            Ok(exit_ok(ok))
+        }
+        ClientAction::Stats => {
+            let stats = client.cache_stats().map_err(|e| e.to_string())?;
+            let ok = stats.get("ok") == Some(&Json::Bool(true));
+            println!("{}", stats.render());
+            Ok(exit_ok(ok))
+        }
+        ClientAction::Shutdown => {
+            let reply = client.shutdown().map_err(|e| e.to_string())?;
+            let ok = reply.get("ok") == Some(&Json::Bool(true));
+            println!("{}", reply.render());
+            Ok(exit_ok(ok))
+        }
+        ClientAction::Request(text) => {
+            let request =
+                Json::parse(&text).map_err(|e| format!("request is not valid JSON: {e}"))?;
+            let ack = client.submit(&request).map_err(|e| e.to_string())?;
+            if ack.get("ok") != Some(&Json::Bool(true)) {
+                println!("{}", ack.render());
+                return Ok(ExitCode::FAILURE);
+            }
+            let job = ack
+                .get("job")
+                .and_then(Json::as_str)
+                .ok_or("ack without a job id")?
+                .to_owned();
+            client.wait(&job).map_err(|e| e.to_string())?;
+            // Splice raw reply lines so payload bytes survive untouched —
+            // the CI smoke compares the `result` bytes of two runs.
+            let result = client.fetch_line(&job).map_err(|e| e.to_string())?;
+            let stats = client.cache_stats().map_err(|e| e.to_string())?.render();
+            println!(
+                "{{\"submit\":{},\"result\":{result},\"stats\":{stats}}}",
+                ack.render()
+            );
+            let ok = Json::parse(&result)
+                .map(|r| r.get("ok") == Some(&Json::Bool(true)))
+                .unwrap_or(false);
+            Ok(exit_ok(ok))
+        }
+    }
+}
+
+fn exit_ok(ok: bool) -> ExitCode {
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,217 @@
+//! The content-addressed result store.
+//!
+//! Keys are the 16-hex-digit request digests of
+//! [`cache_key`](crate::request::cache_key); values are fully rendered
+//! payload JSON strings. Because every payload is a pure function of its
+//! key's preimage, entries never expire and never invalidate — the store
+//! is append-only, and a hit is *byte-identical* to the miss that produced
+//! the entry.
+//!
+//! With a cache directory configured, each entry also lives as
+//! `<key>.json` on disk (written to a temp name and renamed, so a crash
+//! can leave stale temp files but never a torn entry) and the whole
+//! directory is reloaded on startup — a restarted daemon serves its old
+//! results without re-running anything.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Counters the daemon exposes through the `cache_stats` command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Submissions answered from the store.
+    pub hits: u64,
+    /// Submissions that had to run the engine.
+    pub misses: u64,
+    /// Entries written (≤ misses: concurrent duplicates dedupe).
+    pub insertions: u64,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+/// Thread-safe content-addressed payload store with optional directory
+/// persistence.
+#[derive(Debug)]
+pub struct ResultStore {
+    entries: Mutex<BTreeMap<String, Arc<String>>>,
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl ResultStore {
+    /// An empty in-memory store.
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Self {
+            entries: Mutex::new(BTreeMap::new()),
+            dir: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    /// A store persisting entries under `dir`, pre-loaded with every
+    /// `<16-hex>.json` entry already there. The directory is created if
+    /// missing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory creation/read failures; unreadable individual
+    /// entries are skipped rather than fatal.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut entries = BTreeMap::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(key) = name.strip_suffix(".json") else {
+                continue;
+            };
+            if key.len() != 16 || !key.bytes().all(|b| b.is_ascii_hexdigit()) {
+                continue;
+            }
+            if let Ok(payload) = std::fs::read_to_string(&path) {
+                entries.insert(key.to_owned(), Arc::new(payload));
+            }
+        }
+        Ok(Self {
+            entries: Mutex::new(entries),
+            dir: Some(dir),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        })
+    }
+
+    /// Submission-time lookup: counts a hit or a miss.
+    #[must_use]
+    pub fn lookup(&self, key: &str) -> Option<Arc<String>> {
+        let found = self.peek(key);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Stat-free lookup — used by workers re-checking a dequeued job, so
+    /// in-flight duplicates dedupe without inflating the hit counter.
+    #[must_use]
+    pub fn peek(&self, key: &str) -> Option<Arc<String>> {
+        self.entries
+            .lock()
+            .expect("result store poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Inserts (or re-reads) the payload for `key` and returns the stored
+    /// copy. First writer wins: a concurrent duplicate insert returns the
+    /// existing bytes, so every reader of one key sees one payload.
+    pub fn insert(&self, key: &str, payload: String) -> Arc<String> {
+        let stored = {
+            let mut entries = self.entries.lock().expect("result store poisoned");
+            if let Some(existing) = entries.get(key) {
+                return Arc::clone(existing);
+            }
+            let stored = Arc::new(payload);
+            entries.insert(key.to_owned(), Arc::clone(&stored));
+            stored
+        };
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if let Some(dir) = &self.dir {
+            // Persistence is best effort: a full disk degrades the daemon
+            // to in-memory caching, it does not fail the job.
+            let _ = persist(dir, key, &stored);
+        }
+        stored
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("result store poisoned").len(),
+        }
+    }
+}
+
+fn persist(dir: &std::path::Path, key: &str, payload: &str) -> std::io::Result<()> {
+    let tmp = dir.join(format!("{key}.tmp"));
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(payload.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, dir.join(format!("{key}.json")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mis-serve-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn lookup_counts_peek_does_not() {
+        let store = ResultStore::in_memory();
+        assert!(store.lookup("00000000000000aa").is_none());
+        assert!(store.peek("00000000000000aa").is_none());
+        store.insert("00000000000000aa", "{}".to_owned());
+        assert!(store.lookup("00000000000000aa").is_some());
+        assert!(store.peek("00000000000000aa").is_some());
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.insertions, s.entries), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn first_writer_wins_on_duplicate_insert() {
+        let store = ResultStore::in_memory();
+        let first = store.insert("00000000000000bb", "first".to_owned());
+        let second = store.insert("00000000000000bb", "second".to_owned());
+        assert_eq!(*first, "first");
+        assert_eq!(*second, "first");
+        assert_eq!(store.stats().insertions, 1);
+    }
+
+    #[test]
+    fn directory_round_trip_survives_restart() {
+        let dir = temp_dir("roundtrip");
+        {
+            let store = ResultStore::with_dir(&dir).unwrap();
+            store.insert("00000000000000cc", "{\"x\":1}".to_owned());
+        }
+        let reloaded = ResultStore::with_dir(&dir).unwrap();
+        assert_eq!(
+            reloaded
+                .peek("00000000000000cc")
+                .as_deref()
+                .map(String::as_str),
+            Some("{\"x\":1}")
+        );
+        // Non-entry files are ignored on load.
+        std::fs::write(dir.join("README.txt"), "not an entry").unwrap();
+        std::fs::write(dir.join("zz.json"), "short key").unwrap();
+        let again = ResultStore::with_dir(&dir).unwrap();
+        assert_eq!(again.stats().entries, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -21,6 +21,7 @@
 //! | [`biology`] | `mis-biology` | Notch–Delta lateral-inhibition ODE model |
 //! | [`stats`] | `mis-stats` | summaries, fits, tables, plots |
 //! | [`experiments`] | `mis-experiments` | per-figure experiment harness |
+//! | [`serve`] | `mis-serve` | simulation-as-a-service daemon + client |
 //!
 //! # Quick start
 //!
@@ -51,4 +52,5 @@ pub use mis_biology as biology;
 pub use mis_core as core;
 pub use mis_experiments as experiments;
 pub use mis_graph as graph;
+pub use mis_serve as serve;
 pub use mis_stats as stats;

@@ -1,0 +1,158 @@
+//! Concurrency suite: interleaved multi-client traffic yields results
+//! bit-identical to solo runs and independent of arrival order, and a
+//! stalled connection cannot block the queue (the pattern of
+//! `sharding_equivalence.rs`, lifted to the wire).
+
+use std::io::Write;
+use std::net::TcpStream;
+
+use beeping_mis::beeping::json::Json;
+use beeping_mis::serve::{ServeClient, ServeConfig, Server, ServerHandle};
+
+fn spawn_workers(workers: usize) -> ServerHandle {
+    Server::spawn(
+        ServeConfig::default()
+            .with_addr("127.0.0.1:0")
+            .with_workers(workers),
+    )
+    .expect("spawn daemon")
+}
+
+fn request(family: &str, seed: u64, runs: usize) -> Json {
+    Json::parse(&format!(
+        r#"{{"graph": {{"generator": "gnp", "n": 20, "p": 0.25, "graph_seed": "5"}},
+            "algorithm": {{"family": "{family}"}}, "seed": "{seed}", "runs": {runs}}}"#
+    ))
+    .unwrap()
+}
+
+fn result_bytes(fetch_line: &str) -> &str {
+    fetch_line.split_once("\"result\":").expect("result").1
+}
+
+/// Full round-trip on a fresh connection, returning the raw result bytes.
+fn round_trip(addr: std::net::SocketAddr, req: &Json) -> String {
+    let mut c = ServeClient::connect(addr).expect("connect");
+    let ack = c.submit(req).unwrap();
+    assert_eq!(ack.get("ok"), Some(&Json::Bool(true)));
+    let job = ack.get("job").and_then(Json::as_str).unwrap().to_owned();
+    c.wait(&job).unwrap();
+    let line = c.fetch_line(&job).unwrap();
+    assert!(line.contains("\"ok\":true"), "{line}");
+    result_bytes(&line).to_owned()
+}
+
+#[test]
+fn interleaved_clients_match_solo_runs_for_every_family_exercised() {
+    // Solo reference: each request alone on its own single-worker daemon.
+    let families = ["feedback", "sweep", "luby_priority", "metivier"];
+    let mut solo = Vec::new();
+    for (i, family) in families.iter().enumerate() {
+        let handle = spawn_workers(1);
+        solo.push(round_trip(
+            handle.addr(),
+            &request(family, 100 + i as u64, 3),
+        ));
+        handle.stop();
+    }
+
+    // Interleaved: all four families at once from four client threads
+    // against one two-worker daemon, each submitted twice (so jobs from
+    // different requests genuinely interleave in the queue).
+    let handle = spawn_workers(2);
+    let addr = handle.addr();
+    let mut threads = Vec::new();
+    for (i, family) in families.iter().enumerate() {
+        let family = (*family).to_owned();
+        threads.push(std::thread::spawn(move || {
+            let first = round_trip(addr, &request(&family, 100 + i as u64, 3));
+            let second = round_trip(addr, &request(&family, 100 + i as u64, 3));
+            assert_eq!(first, second, "{family}: repeat equals first");
+            first
+        }));
+    }
+    let interleaved: Vec<String> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    for ((family, solo), interleaved) in families.iter().zip(&solo).zip(&interleaved) {
+        assert_eq!(
+            solo, interleaved,
+            "{family}: concurrent == solo, bit for bit"
+        );
+    }
+    handle.stop();
+}
+
+#[test]
+fn submission_order_does_not_change_any_result() {
+    let reqs = [
+        request("feedback", 7, 3),
+        request("sweep", 8, 3),
+        request("greedy_local", 9, 3),
+    ];
+    let handle_fwd = spawn_workers(1);
+    let forward: Vec<String> = reqs
+        .iter()
+        .map(|r| round_trip(handle_fwd.addr(), r))
+        .collect();
+    handle_fwd.stop();
+
+    let handle_rev = spawn_workers(1);
+    let mut reverse: Vec<String> = reqs
+        .iter()
+        .rev()
+        .map(|r| round_trip(handle_rev.addr(), r))
+        .collect();
+    reverse.reverse();
+    handle_rev.stop();
+    assert_eq!(forward, reverse);
+}
+
+#[test]
+fn concurrent_identical_requests_share_one_payload() {
+    let handle = spawn_workers(2);
+    let addr = handle.addr();
+    let threads: Vec<_> = (0..4)
+        .map(|_| std::thread::spawn(move || round_trip(addr, &request("feedback", 55, 3))))
+        .collect();
+    let payloads: Vec<String> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    for p in &payloads[1..] {
+        assert_eq!(p, &payloads[0]);
+    }
+    // However the race resolved, exactly one payload was published.
+    let mut c = ServeClient::connect(addr).unwrap();
+    let stats = c.cache_stats().unwrap();
+    assert_eq!(
+        stats
+            .get("stats")
+            .and_then(|s| s.get("insertions"))
+            .and_then(Json::as_f64),
+        Some(1.0)
+    );
+    handle.stop();
+}
+
+#[test]
+fn queue_drains_despite_a_stalled_connection() {
+    let handle = spawn_workers(1);
+    let addr = handle.addr();
+
+    // A connection that sends half a frame and then just... sits there.
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    stalled.write_all(b"{\"cmd\": \"sub").unwrap();
+    stalled.flush().unwrap();
+
+    // And one that submits a burst but never reads a single reply byte.
+    let mut mute = TcpStream::connect(addr).unwrap();
+    for _ in 0..16 {
+        mute.write_all(b"{\"cmd\": \"ping\"}\n").unwrap();
+    }
+    mute.flush().unwrap();
+
+    // Other clients still get full service while both hang around.
+    let payload = round_trip(addr, &request("feedback", 77, 3));
+    assert!(payload.contains("\"records\""));
+    let mut c = ServeClient::connect(addr).unwrap();
+    assert!(c.ping().unwrap());
+    drop(stalled);
+    drop(mute);
+    handle.stop();
+}
